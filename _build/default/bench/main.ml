@@ -1,0 +1,1095 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (Section 7) plus the definitional tables.
+
+   Usage:
+     dune exec bench/main.exe                 # quick averaging set
+     dune exec bench/main.exe -- --full       # the paper's 20x10 runs
+     dune exec bench/main.exe -- --bechamel   # Bechamel micro-benchmarks
+     dune exec bench/main.exe -- --only fig12a,fig15
+
+   Absolute times differ from the paper's 2005 Oracle testbed; the
+   reproduction target is the *shape*: which algorithm wins, by what
+   factor, and where the curves peak.  Machine-independent counters
+   (states visited) are printed alongside wall-clock times. *)
+
+module C = Cqp_core
+module W = Cqp_workload
+module V = Cqp_relal.Value
+
+(* ---------------------------------------------------------------- *)
+(* Configuration                                                     *)
+(* ---------------------------------------------------------------- *)
+
+type mode = {
+  full : bool;
+  seed : int;
+  only : string list;  (** empty = all sections *)
+  bechamel : bool;
+}
+
+let mode = ref { full = false; seed = 42; only = []; bechamel = false }
+
+let default_cmax = 400.
+(* the paper's default cmax (ms) *)
+
+let k_values () = if !mode.full then [ 10; 15; 20; 25; 30; 35; 40 ] else [ 10; 15; 20; 25 ]
+let k_values_slow () = if !mode.full then [ 10; 15; 20; 25; 30 ] else [ 10; 15; 20 ]
+let cmax_fracs () =
+  if !mode.full then [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]
+  else [ 0.1; 0.3; 0.5; 0.7; 0.9 ]
+
+let runs_fast () = if !mode.full then 200 else 20
+let runs_slow () = if !mode.full then 20 else 6
+
+let experiment_config () =
+  let base = if !mode.full then W.Experiment.default else W.Experiment.quick in
+  { base with W.Experiment.seed = !mode.seed }
+
+let slow_algorithms =
+  [ C.Algorithm.D_maxdoi; C.Algorithm.D_singlemaxdoi; C.Algorithm.C_boundaries ]
+
+let is_slow a = List.mem a slow_algorithms
+
+let section_header id title =
+  Printf.printf "\n==================================================\n";
+  Printf.printf "%s — %s\n" id title;
+  Printf.printf "==================================================\n%!"
+
+(* ---------------------------------------------------------------- *)
+(* Shared measurement machinery                                      *)
+(* ---------------------------------------------------------------- *)
+
+type measurement = {
+  time_ms : float;
+  peak_kb : float;
+  visited : int;
+  doi : float;
+}
+
+let bundle =
+  lazy
+    (let cfg = experiment_config () in
+     Printf.printf
+       "building workload: %d movies, %d profiles x %d queries (seed %d)...\n%!"
+       cfg.W.Experiment.imdb.W.Imdb.n_movies cfg.W.Experiment.n_profiles
+       cfg.W.Experiment.n_queries cfg.W.Experiment.seed;
+     W.Experiment.build cfg)
+
+(* Per-(profile, query) runs, truncated to [max_runs]. *)
+let runs_list max_runs =
+  let b = Lazy.force bundle in
+  let pairs =
+    List.concat_map
+      (fun p -> List.map (fun q -> (p, q)) b.W.Experiment.queries)
+      b.W.Experiment.profiles
+  in
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  take max_runs pairs
+
+let catalog () = (Lazy.force bundle).W.Experiment.catalog
+
+(* Preference spaces are the expensive shared input: cache per
+   (profile, query, K, orders). *)
+let ps_cache : (int * int * int * bool, C.Pref_space.t) Hashtbl.t =
+  Hashtbl.create 64
+
+let pref_space ?(orders = C.Pref_space.All_orders) profile query ~k =
+  let key =
+    ( Hashtbl.hash (Cqp_prefs.Profile.selections profile),
+      Hashtbl.hash (Cqp_sql.Printer.to_string query),
+      k,
+      orders = C.Pref_space.All_orders )
+  in
+  match Hashtbl.find_opt ps_cache key with
+  | Some ps -> ps
+  | None ->
+      let est = C.Estimate.create (catalog ()) query in
+      let ps = C.Pref_space.build ~max_k:k ~orders est profile in
+      Hashtbl.add ps_cache key ps;
+      ps
+
+let measure_algo algo profile query ~k ~cmax : measurement option =
+  let ps = pref_space profile query ~k in
+  if C.Pref_space.k ps = 0 then None
+  else begin
+    let sol = C.Algorithm.run algo ps ~cmax in
+    let stats = sol.C.Solution.stats in
+    Some
+      {
+        time_ms = 1000. *. stats.C.Instrument.wall_seconds;
+        peak_kb = C.Instrument.peak_kbytes stats;
+        visited = stats.C.Instrument.states_visited;
+        doi = sol.C.Solution.params.C.Params.doi;
+      }
+  end
+
+let average_measurements algo ~k ~cmax_of =
+  let runs = runs_list (if is_slow algo then runs_slow () else runs_fast ()) in
+  let acc_t = ref 0. and acc_m = ref 0. and acc_v = ref 0 in
+  let acc_d = ref 0. and n = ref 0 in
+  List.iter
+    (fun (p, q) ->
+      let cmax = cmax_of p q in
+      match measure_algo algo p q ~k ~cmax with
+      | Some m ->
+          acc_t := !acc_t +. m.time_ms;
+          acc_m := !acc_m +. m.peak_kb;
+          acc_v := !acc_v + m.visited;
+          acc_d := !acc_d +. m.doi;
+          incr n
+      | None -> ())
+    runs;
+  if !n = 0 then None
+  else
+    Some
+      {
+        time_ms = !acc_t /. float_of_int !n;
+        peak_kb = !acc_m /. float_of_int !n;
+        visited = !acc_v / !n;
+        doi = !acc_d /. float_of_int !n;
+      }
+
+(* Campaign A: sweep K at the default cmax.  Campaign B: sweep cmax
+   (fraction of Supreme Cost) at K = 20.  Results are cached so the
+   time/memory/quality figures all reuse the same runs. *)
+let campaign_a : (string * int, measurement option) Hashtbl.t = Hashtbl.create 64
+let campaign_b : (string * int, measurement option) Hashtbl.t = Hashtbl.create 64
+
+let run_campaign_a algo k =
+  let key = (C.Algorithm.name algo, k) in
+  match Hashtbl.find_opt campaign_a key with
+  | Some m -> m
+  | None ->
+      let m = average_measurements algo ~k ~cmax_of:(fun _ _ -> default_cmax) in
+      Hashtbl.add campaign_a key m;
+      m
+
+let run_campaign_b algo frac_pct =
+  let key = (C.Algorithm.name algo, frac_pct) in
+  match Hashtbl.find_opt campaign_b key with
+  | Some m -> m
+  | None ->
+      let cmax_of p q =
+        let ps = pref_space p q ~k:20 in
+        float_of_int frac_pct /. 100. *. C.Pref_space.supreme_cost ps
+      in
+      let m = average_measurements algo ~k:20 ~cmax_of in
+      Hashtbl.add campaign_b key m;
+      m
+
+let print_row label cells = Printf.printf "%-16s %s\n%!" label (String.concat " " cells)
+
+let fmt_opt f = function Some m -> f m | None -> Printf.sprintf "%10s" "-"
+
+(* ---------------------------------------------------------------- *)
+(* Definitional tables                                               *)
+(* ---------------------------------------------------------------- *)
+
+let table1 () =
+  section_header "Table 1" "the CQP problem family, each solved on one instance";
+  let b = Lazy.force bundle in
+  let profile = List.hd b.W.Experiment.profiles in
+  let query = Cqp_sql.Parser.parse "select title from movie" in
+  let est = C.Estimate.create (catalog ()) query in
+  let ps = C.Pref_space.build ~max_k:12 est profile in
+  let base = C.Estimate.base_size est in
+  let supreme = C.Pref_space.supreme_cost ps in
+  let problems =
+    [
+      C.Problem.problem1 ~smin:(0.02 *. base) ~smax:base;
+      C.Problem.problem2 ~cmax:(0.4 *. supreme);
+      C.Problem.problem3 ~cmax:(0.4 *. supreme) ~smin:1. ~smax:(0.5 *. base);
+      C.Problem.problem4 ~dmin:0.8;
+      C.Problem.problem5 ~dmin:0.8 ~smin:1. ~smax:base;
+      C.Problem.problem6 ~smin:1. ~smax:(0.8 *. base);
+    ]
+  in
+  List.iter
+    (fun problem ->
+      Printf.printf "%-70s" (C.Problem.describe problem);
+      match C.Solver.solve ps problem with
+      | Some sol ->
+          Printf.printf "-> |PU|=%d doi=%.4f cost=%.1f size=%.1f\n%!"
+            (List.length sol.C.Solution.pref_ids)
+            sol.C.Solution.params.C.Params.doi
+            sol.C.Solution.params.C.Params.cost
+            sol.C.Solution.params.C.Params.size
+      | None -> Printf.printf "-> infeasible on this instance\n%!")
+    problems
+
+let table2 () =
+  section_header "Table 2" "P = {p1,p2,p3} and its D, C, S vectors (Section 4.4)";
+  (* The paper's example: doi (0.5, 0.8, 0.7), cost (10, 5, 12), size
+     (3, 2, 10) -> D = {2,3,1}, C = {3,1,2}, S = {2,1,3}. *)
+  let prefs = [| (0.5, 10., 3.); (0.8, 5., 2.); (0.7, 12., 10.) |] in
+  Printf.printf "preference   doi   cost   size\n";
+  Array.iteri
+    (fun i (d, c, s) -> Printf.printf "p%d          %.1f   %4.0f   %4.0f\n" (i + 1) d c s)
+    prefs;
+  let by cmp =
+    let idx = [ 0; 1; 2 ] in
+    List.sort cmp idx |> List.map (fun i -> "p" ^ string_of_int (i + 1))
+  in
+  let d =
+    by (fun i j ->
+        let (di, _, _) = prefs.(i) and (dj, _, _) = prefs.(j) in
+        compare dj di)
+  in
+  let c =
+    by (fun i j ->
+        let (_, ci, _) = prefs.(i) and (_, cj, _) = prefs.(j) in
+        compare cj ci)
+  in
+  let s =
+    by (fun i j ->
+        let (_, _, si) = prefs.(i) and (_, _, sj) = prefs.(j) in
+        compare si sj)
+  in
+  Printf.printf "D = {%s}   (paper: {2, 3, 1})\n" (String.concat ", " d);
+  Printf.printf "C = {%s}   (paper: {3, 1, 2})\n" (String.concat ", " c);
+  Printf.printf "S = {%s}   (paper: {2, 1, 3})\n%!" (String.concat ", " s)
+
+let table3_fig4 () =
+  section_header "Table 3 / Figure 4" "states and cost-space transitions for K = 4";
+  let states = C.State.all_states ~k:4 in
+  for g = 1 to 4 do
+    let members = List.filter (fun s -> C.State.group_size s = g) states in
+    Printf.printf "group %d (%d states): %s\n" g (List.length members)
+      (String.concat " " (List.map C.State.to_string members))
+  done;
+  (* Figure 4's example transitions from c1c3. *)
+  let c1c3 = [ 0; 2 ] in
+  Printf.printf "Horizontal(c1c3) = %s   (paper: c1c3c4)\n"
+    (match C.State.horizontal ~k:4 c1c3 with
+    | Some s -> C.State.to_string s
+    | None -> "-");
+  Printf.printf "Vertical(c1c3)   = %s   (paper: {c1c4, c2c3})\n%!"
+    (String.concat " " (List.map C.State.to_string (C.State.vertical ~k:4 c1c3)))
+
+let table4_5 () =
+  section_header "Table 4 / Table 5" "transition directions, verified empirically";
+  let ps =
+    (* a fixed synthetic space: 6 preferences *)
+    let b = Lazy.force bundle in
+    let profile = List.hd b.W.Experiment.profiles in
+    pref_space profile (Cqp_sql.Parser.parse "select title from movie") ~k:6
+  in
+  let verify order label =
+    let space = C.Space.create ~order ps in
+    let k = C.Space.k space in
+    let checks = ref 0 and violations = ref 0 in
+    List.iter
+      (fun st ->
+        let value =
+          match order with
+          | C.Space.By_cost -> C.Space.cost space st
+          | C.Space.By_doi -> C.Space.doi space st
+          | C.Space.By_size -> C.Space.size space st
+        in
+        (match C.State.horizontal ~k st with
+        | Some h ->
+            incr checks;
+            let hv =
+              match order with
+              | C.Space.By_cost -> C.Space.cost space h
+              | C.Space.By_doi -> C.Space.doi space h
+              | C.Space.By_size -> C.Space.size space h
+            in
+            let ok =
+              match order with
+              | C.Space.By_size -> hv <= value (* size shrinks *)
+              | _ -> hv >= value
+            in
+            if not ok then incr violations
+        | None -> ());
+        List.iter
+          (fun v ->
+            incr checks;
+            let vv =
+              match order with
+              | C.Space.By_cost -> C.Space.cost space v
+              | C.Space.By_doi -> C.Space.doi space v
+              | C.Space.By_size -> C.Space.size space v
+            in
+            let ok =
+              match order with
+              | C.Space.By_size -> vv >= value
+              | _ -> vv <= value
+            in
+            if not ok then incr violations)
+          (C.State.vertical ~k st))
+      (C.State.all_states ~k);
+    Printf.printf "%-34s %d transition checks, %d violations\n%!" label !checks !violations
+  in
+  verify C.Space.By_cost "cost space (Table 4): H up, V down";
+  verify C.Space.By_doi "doi space (Table 5): H up, V down";
+  verify C.Space.By_size "size space (Sec. 6): H down, V up"
+
+let fig6_fig8 () =
+  section_header "Figure 6 / Figure 8"
+    "worked FINDBOUNDARY and C-MAXBOUNDS runs (costs 120/80/60/40/30, cmax=185)";
+  (* Reconstruct the figures' space: per-item sub-query costs derived
+     from the singles; all figure node costs follow by additivity. *)
+  let catalog = Cqp_relal.Catalog.create () in
+  Cqp_relal.Catalog.add catalog
+    (Cqp_relal.Relation.of_tuples
+       (Cqp_relal.Schema.make "t" [ ("a", V.Tint, 8) ])
+       (List.init 50 (fun i -> Cqp_relal.Tuple.make [ V.Int i ])));
+  let query = Cqp_sql.Parser.parse "select a from t" in
+  let estimate = C.Estimate.create catalog query in
+  let base_size = C.Estimate.base_size estimate in
+  let costs = [| 120.; 80.; 60.; 40.; 30. |] in
+  let dois = [| 0.9; 0.8; 0.7; 0.6; 0.5 |] in
+  let items =
+    Array.init 5 (fun i ->
+        {
+          C.Pref_space.path =
+            Cqp_prefs.Path.atomic (Cqp_prefs.Profile.selection "t" "a" (V.Int i) dois.(i));
+          doi = dois.(i);
+          cost = costs.(i);
+          size = base_size *. 0.5;
+        })
+  in
+  let iota = Array.init 5 (fun i -> i) in
+  let ps = { C.Pref_space.estimate; items; d = iota; c = Array.copy iota; s = Array.copy iota } in
+  let space = C.Space.create ~order:C.Space.By_cost ps in
+  let bounds = C.C_boundaries.find_boundaries space ~cmax:185. in
+  Printf.printf "FINDBOUNDARY output: %s\n"
+    (String.concat " " (List.rev_map C.State.to_string bounds));
+  Printf.printf
+    "  (paper prints {1} {1,3} {2,3,4} {2,4,5} and then notes {2,4,5} was\n";
+  Printf.printf
+    "   wrongly classified, lying below {2,3,4}; our prune removes it)\n";
+  let space2 = C.Space.create ~order:C.Space.By_cost ps in
+  let mbounds = C.C_maxbounds.find_max_bounds space2 ~cmax:185. in
+  Printf.printf "C-MAXBOUNDS output:  %s   (paper: {1,3} {2,3,4})\n%!"
+    (String.concat " " (List.rev_map C.State.to_string mbounds))
+
+(* ---------------------------------------------------------------- *)
+(* Figure 12: execution times                                        *)
+(* ---------------------------------------------------------------- *)
+
+let fig12a () =
+  section_header "Figure 12(a)"
+    (Printf.sprintf "CQP optimization time (ms) vs K, cmax = %.0f ms" default_cmax);
+  Printf.printf "%-16s %s\n" "algorithm"
+    (String.concat " " (List.map (Printf.sprintf "%10s") (List.map (fun k -> "K=" ^ string_of_int k) (k_values ()))));
+  List.iter
+    (fun algo ->
+      let cells =
+        List.map
+          (fun k ->
+            if is_slow algo && not (List.mem k (k_values_slow ())) then
+              Printf.sprintf "%10s" "(skip)"
+            else
+              fmt_opt
+                (fun m -> Printf.sprintf "%10.2f" m.time_ms)
+                (run_campaign_a algo k))
+          (k_values ())
+      in
+      print_row (C.Algorithm.name algo) cells)
+    C.Algorithm.all;
+  Printf.printf
+    "(paper shape: D_MaxDoi and D_SingleMaxDoi slowest and growing fastest;\n";
+  Printf.printf
+    " C_Boundaries in between; C_MaxBounds and D_HeurDoi near-flat and fastest)\n%!"
+
+let fig12b () =
+  section_header "Figure 12(b)"
+    "Preference Space time (ms) vs K: D-only vs full D/C/S ordering";
+  let b = Lazy.force bundle in
+  Printf.printf "%-16s %s\n" ""
+    (String.concat " " (List.map (fun k -> Printf.sprintf "%10s" ("K=" ^ string_of_int k)) (k_values ())));
+  let time_orders orders =
+    List.map
+      (fun k ->
+        let t0 = Unix.gettimeofday () in
+        let n = ref 0 in
+        List.iter
+          (fun p ->
+            List.iter
+              (fun q ->
+                let est = C.Estimate.create (catalog ()) q in
+                ignore (C.Pref_space.build ~max_k:k ~orders est p);
+                incr n)
+              b.W.Experiment.queries)
+          b.W.Experiment.profiles;
+        let dt = Unix.gettimeofday () -. t0 in
+        Printf.sprintf "%10.3f" (1000. *. dt /. float_of_int !n))
+      (k_values ())
+  in
+  print_row "D_PrefSelTime" (time_orders C.Pref_space.D_only);
+  print_row "C_PrefSelTime" (time_orders C.Pref_space.All_orders);
+  Printf.printf
+    "(paper shape: both negligible vs the CQP algorithms of Fig 12(a))\n%!"
+
+let fig12cd () =
+  section_header "Figure 12(c,d)"
+    "CQP optimization time (ms) vs cmax (%% of Supreme Cost), K = 20";
+  Printf.printf "%-16s %s\n" "algorithm"
+    (String.concat " "
+       (List.map (fun f -> Printf.sprintf "%10s" (Printf.sprintf "%d%%" (int_of_float (100. *. f)))) (cmax_fracs ())));
+  List.iter
+    (fun algo ->
+      let cells =
+        List.map
+          (fun frac ->
+            fmt_opt
+              (fun m -> Printf.sprintf "%10.2f" m.time_ms)
+              (run_campaign_b algo (int_of_float (100. *. frac))))
+          (cmax_fracs ())
+      in
+      print_row (C.Algorithm.name algo) cells)
+    C.Algorithm.all;
+  Printf.printf
+    "(paper shape: times peak around cmax = 50%% of Supreme Cost;\n";
+  Printf.printf " D_HeurDoi nearly unaffected by cmax)\n%!"
+
+(* ---------------------------------------------------------------- *)
+(* Figure 13: memory                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let fig13ab () =
+  section_header "Figure 13(a)"
+    (Printf.sprintf "memory high-water mark (KB) vs K, cmax = %.0f ms" default_cmax);
+  Printf.printf "%-16s %s\n" "algorithm"
+    (String.concat " " (List.map (fun k -> Printf.sprintf "%10s" ("K=" ^ string_of_int k)) (k_values ())));
+  List.iter
+    (fun algo ->
+      let cells =
+        List.map
+          (fun k ->
+            if is_slow algo && not (List.mem k (k_values_slow ())) then
+              Printf.sprintf "%10s" "(skip)"
+            else
+              fmt_opt (fun m -> Printf.sprintf "%10.2f" m.peak_kb) (run_campaign_a algo k))
+          (k_values ())
+      in
+      print_row (C.Algorithm.name algo) cells)
+    C.Algorithm.all;
+  section_header "Figure 13(b)" "memory high-water mark (KB) vs cmax (% Supreme Cost), K = 20";
+  Printf.printf "%-16s %s\n" "algorithm"
+    (String.concat " "
+       (List.map (fun f -> Printf.sprintf "%10s" (Printf.sprintf "%d%%" (int_of_float (100. *. f)))) (cmax_fracs ())));
+  List.iter
+    (fun algo ->
+      let cells =
+        List.map
+          (fun frac ->
+            fmt_opt
+              (fun m -> Printf.sprintf "%10.2f" m.peak_kb)
+              (run_campaign_b algo (int_of_float (100. *. frac))))
+          (cmax_fracs ())
+      in
+      print_row (C.Algorithm.name algo) cells)
+    C.Algorithm.all;
+  Printf.printf
+    "(paper shape: D_MaxDoi/D_SingleMaxDoi memory-hungry, C_Boundaries\n";
+  Printf.printf
+    " moderate, C_MaxBounds and D_HeurDoi tiny; absolute KB are small)\n%!"
+
+(* ---------------------------------------------------------------- *)
+(* Figure 14: quality                                                *)
+(* ---------------------------------------------------------------- *)
+
+let fig14ab () =
+  section_header "Figure 14(a)"
+    "Quality = doi_optimal - doi_found (x 1e7) vs K  [D_MaxDoi is the oracle]";
+  let heuristics =
+    [ C.Algorithm.D_heurdoi; C.Algorithm.C_maxbounds; C.Algorithm.D_singlemaxdoi ]
+  in
+  let quality_vs campaign param_list param_name run =
+    Printf.printf "%-16s %s\n" "algorithm"
+      (String.concat " "
+         (List.map (fun p -> Printf.sprintf "%12s" (param_name p)) param_list));
+    List.iter
+      (fun algo ->
+        let cells =
+          List.map
+            (fun p ->
+              let oracle = run C.Algorithm.D_maxdoi p in
+              let found = run algo p in
+              match oracle, found with
+              | Some o, Some f ->
+                  Printf.sprintf "%12.4f" (1e7 *. (o.doi -. f.doi))
+              | _ -> Printf.sprintf "%12s" "-")
+            param_list
+        in
+        print_row (C.Algorithm.name algo) cells)
+      heuristics;
+    ignore campaign
+  in
+  quality_vs `A (k_values_slow ())
+    (fun k -> "K=" ^ string_of_int k)
+    (fun algo k -> run_campaign_a algo k);
+  section_header "Figure 14(b)"
+    "Quality = doi_optimal - doi_found (x 1e7) vs cmax (% Supreme Cost), K = 20";
+  quality_vs `B
+    (List.map (fun f -> int_of_float (100. *. f)) (cmax_fracs ()))
+    (fun pct -> Printf.sprintf "%d%%" pct)
+    (fun algo pct -> run_campaign_b algo pct);
+  Printf.printf
+    "(paper shape: differences are minuscule — order 1e-7 — because the\n";
+  Printf.printf
+    " noisy-or doi of conjunctions saturates as preferences accumulate)\n%!"
+
+(* ---------------------------------------------------------------- *)
+(* Figure 15: cost-model validation                                   *)
+(* ---------------------------------------------------------------- *)
+
+let fig15 () =
+  section_header "Figure 15"
+    "personalized-query cost: estimated vs real (engine-measured) vs K";
+  let b = Lazy.force bundle in
+  let profiles = b.W.Experiment.profiles in
+  let queries = b.W.Experiment.queries in
+  Printf.printf "%6s %14s %14s %10s\n" "K" "estimated(ms)" "real(ms)" "rel.err";
+  List.iter
+    (fun k ->
+      let est_sum = ref 0. and real_sum = ref 0. and n = ref 0 in
+      List.iteri
+        (fun i p ->
+          List.iteri
+            (fun j q ->
+              if i < 4 && j < 3 then begin
+                let ps = pref_space p q ~k in
+                if C.Pref_space.k ps > 0 then begin
+                  let sol = C.Algorithm.run C.Algorithm.D_heurdoi ps ~cmax:infinity in
+                  let space = C.Space.create ~order:C.Space.By_doi ps in
+                  let paths = C.Solution.paths space sol in
+                  let personalized = C.Rewrite.personalize (catalog ()) q paths in
+                  let result = Cqp_exec.Engine.execute (catalog ()) personalized in
+                  est_sum := !est_sum +. sol.C.Solution.params.C.Params.cost;
+                  real_sum :=
+                    !real_sum
+                    +. (float_of_int result.Cqp_exec.Engine.block_reads
+                       *. Cqp_exec.Io.default_block_ms);
+                  incr n
+                end
+              end)
+            queries)
+        profiles;
+      if !n > 0 then begin
+        let est = !est_sum /. float_of_int !n and real = !real_sum /. float_of_int !n in
+        Printf.printf "%6d %14.1f %14.1f %9.1f%%\n%!" k est real
+          (100. *. abs_float (est -. real) /. max 1. real)
+      end)
+    (k_values ());
+  Printf.printf
+    "(paper shape: estimated and real curves nearly coincide.  In this\n";
+  Printf.printf
+    " reproduction they coincide exactly: the engine implements the same\n";
+  Printf.printf
+    " physical regime the estimator assumes — every relation instance of\n";
+  Printf.printf
+    " each sub-query scanned once, no indexes; the paper's residual gap\n";
+  Printf.printf
+    " comes from Oracle internals outside that model)\n%!"
+
+(* ---------------------------------------------------------------- *)
+(* Section 6: other CQP problems                                      *)
+(* ---------------------------------------------------------------- *)
+
+let sec6_problems () =
+  section_header "Section 6" "the other CQP problems on the experiment workload";
+  let b = Lazy.force bundle in
+  let profile = List.nth b.W.Experiment.profiles 1 in
+  let query = Cqp_sql.Parser.parse "select title from movie" in
+  let ps = pref_space profile query ~k:12 in
+  let est = ps.C.Pref_space.estimate in
+  let base = C.Estimate.base_size est in
+  let supreme = C.Pref_space.supreme_cost ps in
+  let cases =
+    [
+      ("P1 smin=2%", C.Problem.problem1 ~smin:(0.02 *. base) ~smax:base);
+      ("P2 cmax=40%", C.Problem.problem2 ~cmax:(0.4 *. supreme));
+      ("P3 + size", C.Problem.problem3 ~cmax:(0.4 *. supreme) ~smin:1e-6 ~smax:(0.5 *. base));
+      ("P4 dmin=.7", C.Problem.problem4 ~dmin:0.7);
+      ("P5 + size", C.Problem.problem5 ~dmin:0.7 ~smin:1e-6 ~smax:base);
+      ("P6 size", C.Problem.problem6 ~smin:1e-6 ~smax:(0.8 *. base));
+    ]
+  in
+  List.iter
+    (fun (label, problem) ->
+      match C.Solver.solve ps problem with
+      | Some sol ->
+          Printf.printf "%-12s |PU|=%2d doi=%.4f cost=%8.1f size=%8.2f  [%s]\n%!"
+            label
+            (List.length sol.C.Solution.pref_ids)
+            sol.C.Solution.params.C.Params.doi
+            sol.C.Solution.params.C.Params.cost
+            sol.C.Solution.params.C.Params.size
+            (C.Problem.describe problem)
+      | None -> Printf.printf "%-12s infeasible  [%s]\n%!" label (C.Problem.describe problem))
+    cases
+
+(* ---------------------------------------------------------------- *)
+(* Ablation: generic metaheuristics                                   *)
+(* ---------------------------------------------------------------- *)
+
+let ablation_metaheuristics () =
+  section_header "Ablation (Section 2)"
+    "generic metaheuristics vs CQP-aware algorithms, K = 20, cmax = 30% Supreme";
+  let runs = runs_list (runs_slow ()) in
+  Printf.printf "%-22s %12s %14s\n" "method" "avg time(ms)" "avg doi gap(1e7)";
+  let eval name solve =
+    let t_sum = ref 0. and gap_sum = ref 0. and n = ref 0 in
+    List.iter
+      (fun (p, q) ->
+        let ps = pref_space p q ~k:20 in
+        if C.Pref_space.k ps > 0 then begin
+          let cmax = 0.3 *. C.Pref_space.supreme_cost ps in
+          let oracle =
+            (C.Algorithm.run C.Algorithm.C_boundaries ps ~cmax).C.Solution.params
+              .C.Params.doi
+          in
+          let t0 = Unix.gettimeofday () in
+          let doi = solve ps ~cmax in
+          let dt = 1000. *. (Unix.gettimeofday () -. t0) in
+          t_sum := !t_sum +. dt;
+          gap_sum := !gap_sum +. (oracle -. doi);
+          incr n
+        end)
+      runs;
+    if !n > 0 then
+      Printf.printf "%-22s %12.2f %14.2f\n%!" name
+        (!t_sum /. float_of_int !n)
+        (1e7 *. !gap_sum /. float_of_int !n)
+  in
+  List.iter
+    (fun algo ->
+      eval (C.Algorithm.name algo) (fun ps ~cmax ->
+          (C.Algorithm.run algo ps ~cmax).C.Solution.params.C.Params.doi))
+    [ C.Algorithm.C_maxbounds; C.Algorithm.D_heurdoi ];
+  let mh name solve =
+    eval name (fun ps ~cmax ->
+        let space = C.Space.create ~order:C.Space.By_doi ps in
+        let rng = Cqp_util.Rng.create 7 in
+        (solve ~rng space ~cmax).C.Solution.params.C.Params.doi)
+  in
+  List.iter
+    (fun evals ->
+      let budget = { C.Metaheuristics.evaluations = evals } in
+      let tag name = Printf.sprintf "%s (%d evals)" name evals in
+      mh (tag "simulated_annealing") (fun ~rng space ~cmax ->
+          C.Metaheuristics.simulated_annealing ~budget ~rng space ~cmax);
+      mh (tag "genetic") (fun ~rng space ~cmax ->
+          C.Metaheuristics.genetic ~budget ~rng space ~cmax);
+      mh (tag "tabu") (fun ~rng space ~cmax ->
+          C.Metaheuristics.tabu ~budget ~rng space ~cmax))
+    [ 100; 500; 2000 ];
+  Printf.printf
+    "(observed: with generous evaluation budgets the generic methods are\n";
+  Printf.printf
+    " competitive at this K — the search space is small and the penalty-\n";
+  Printf.printf
+    " guided objective is smooth; their gap grows as the budget shrinks.\n";
+  Printf.printf
+    " What they never provide is the exact algorithms' optimality proof,\n";
+  Printf.printf
+    " and D_HeurDoi reaches comparable quality with ~%d parameter\n"
+    20;
+  Printf.printf " evaluations instead of hundreds)\n%!"
+
+(* ---------------------------------------------------------------- *)
+(* "Similar results were obtained for the other CQP problems"        *)
+(* ---------------------------------------------------------------- *)
+
+let fig12_problem1 () =
+  section_header "Section 7 (Problem 1)"
+    "optimization time (ms) vs K on the size state space (floor at 40% of the supreme shrinkage)";
+  (* The size floor becomes a cost bound on the transformed space
+     (Section 6 / Solver.log_size_pref_space), so the Section-5
+     algorithms run unchanged; the paper reports the same relative
+     behaviour as Figures 12-14 and omits the plots. *)
+  Printf.printf "%-16s %s\n" "algorithm"
+    (String.concat " "
+       (List.map
+          (fun k -> Printf.sprintf "%10s" ("K=" ^ string_of_int k))
+          (k_values_slow ())));
+  let runs = runs_list (runs_slow ()) in
+  List.iter
+    (fun algo ->
+      let cells =
+        List.map
+          (fun k ->
+            if is_slow algo && k > 15 then Printf.sprintf "%10s" "(skip)"
+            else begin
+            let t_sum = ref 0. and n = ref 0 in
+            List.iter
+              (fun (p, q) ->
+                let ps = pref_space p q ~k in
+                if C.Pref_space.k ps > 0 then begin
+                  let ps' = C.Solver.log_size_pref_space ps in
+                  (* The resource budget plays cmax's role: 40% of the
+                     total shrinkage all K preferences would apply —
+                     the regime where Figure 12's searches peak. *)
+                  let supreme_resource =
+                    Array.fold_left
+                      (fun acc it -> acc +. it.C.Pref_space.cost)
+                      0. ps'.C.Pref_space.items
+                  in
+                  let cmax' = 0.4 *. supreme_resource in
+                  let sol = C.Algorithm.run algo ps' ~cmax:cmax' in
+                  t_sum :=
+                    !t_sum
+                    +. (1000.
+                       *. sol.C.Solution.stats.C.Instrument.wall_seconds);
+                  incr n
+                end)
+              runs;
+            if !n = 0 then Printf.sprintf "%10s" "-"
+            else Printf.sprintf "%10.2f" (!t_sum /. float_of_int !n)
+            end)
+          (k_values_slow ())
+      in
+      print_row (C.Algorithm.name algo) cells)
+    C.Algorithm.all;
+  Printf.printf
+    "(same two performance classes as Figure 12(a): the state spaces and\n";
+  Printf.printf
+    " partial orders are identical, only the resource being bounded\n";
+  Printf.printf " changed — the paper's Section 7 closing remark)\n%!"
+
+(* ---------------------------------------------------------------- *)
+(* Database-size scaling                                             *)
+(* ---------------------------------------------------------------- *)
+
+let scaling () =
+  section_header "Scaling"
+    "database size vs optimizer time: CQP search depends on K, not on data volume";
+  Printf.printf "%10s %14s %14s %16s %16s\n" "movies" "base cost(ms)"
+    "supreme(ms)" "C_MB time(ms)" "D_Heur time(ms)";
+  List.iter
+    (fun n_movies ->
+      let config = { W.Imdb.default_config with W.Imdb.n_movies } in
+      let catalog = W.Imdb.build ~config ~seed:!mode.seed () in
+      let rng = Cqp_util.Rng.create (!mode.seed + n_movies) in
+      let profile = W.Profile_gen.generate ~rng catalog in
+      let query = Cqp_sql.Parser.parse "select title from movie" in
+      let est = C.Estimate.create catalog query in
+      let ps = C.Pref_space.build ~max_k:20 est profile in
+      if C.Pref_space.k ps > 0 then begin
+        let supreme = C.Pref_space.supreme_cost ps in
+        let cmax = 0.3 *. supreme in
+        let time algo =
+          let sol = C.Algorithm.run algo ps ~cmax in
+          1000. *. sol.C.Solution.stats.C.Instrument.wall_seconds
+        in
+        Printf.printf "%10d %14.1f %14.1f %16.3f %16.3f\n%!" n_movies
+          (C.Estimate.base_cost est) supreme
+          (time C.Algorithm.C_maxbounds)
+          (time C.Algorithm.D_heurdoi)
+      end)
+    [ 1000; 5000; 20000; 50000 ];
+  Printf.printf
+    "(query costs grow linearly with the data; the CQP optimizer's own\n";
+  Printf.printf
+    " time depends only on K and the cmax fraction — the premise that\n";
+  Printf.printf
+    " lets personalization run per-request in front of a large database)\n%!"
+
+(* ---------------------------------------------------------------- *)
+(* The [12] evaluation setting: doi distributions and deviations      *)
+(* ---------------------------------------------------------------- *)
+
+let doi_distributions () =
+  section_header "Setting of [12]"
+    "sensitivity to the profile doi distribution (K = 15, cmax = 30% Supreme)";
+  let cfg = experiment_config () in
+  let catalog = (Lazy.force bundle).W.Experiment.catalog in
+  let query = Cqp_sql.Parser.parse "select title from movie" in
+  let distributions =
+    [
+      ("uniform wide [0.05,0.95]", W.Profile_gen.Uniform (0.05, 0.95));
+      ("uniform high [0.6,0.95]", W.Profile_gen.Uniform (0.6, 0.95));
+      ("uniform low  [0.05,0.4]", W.Profile_gen.Uniform (0.05, 0.4));
+      ("normal 0.5 +/- 0.1", W.Profile_gen.Normal { mean = 0.5; stddev = 0.1 });
+      ("normal 0.5 +/- 0.3", W.Profile_gen.Normal { mean = 0.5; stddev = 0.3 });
+    ]
+  in
+  Printf.printf "%-24s %10s %12s %12s %14s\n" "doi distribution" "opt doi"
+    "|PU| (opt)" "t C_MB (ms)" "t D_Heur (ms)";
+  List.iter
+    (fun (label, dist) ->
+      let rng = Cqp_util.Rng.create (cfg.W.Experiment.seed * 13) in
+      let pconfig =
+        { W.Profile_gen.default_config with W.Profile_gen.doi_dist = dist }
+      in
+      let n = 6 in
+      let doi_sum = ref 0. and pu_sum = ref 0 in
+      let t_mb = ref 0. and t_hd = ref 0. in
+      for _ = 1 to n do
+        let profile = W.Profile_gen.generate ~config:pconfig ~rng catalog in
+        let est = C.Estimate.create catalog query in
+        let ps = C.Pref_space.build ~max_k:15 est profile in
+        if C.Pref_space.k ps > 0 then begin
+          let cmax = 0.3 *. C.Pref_space.supreme_cost ps in
+          let opt = C.Algorithm.run C.Algorithm.C_boundaries ps ~cmax in
+          doi_sum := !doi_sum +. opt.C.Solution.params.C.Params.doi;
+          pu_sum := !pu_sum + List.length opt.C.Solution.pref_ids;
+          let time algo =
+            let sol = C.Algorithm.run algo ps ~cmax in
+            1000. *. sol.C.Solution.stats.C.Instrument.wall_seconds
+          in
+          t_mb := !t_mb +. time C.Algorithm.C_maxbounds;
+          t_hd := !t_hd +. time C.Algorithm.D_heurdoi
+        end
+      done;
+      let f = float_of_int n in
+      Printf.printf "%-24s %10.4f %12.1f %12.3f %14.3f\n%!" label
+        (!doi_sum /. f)
+        (float_of_int !pu_sum /. f)
+        (!t_mb /. f) (!t_hd /. f))
+    distributions;
+  Printf.printf
+    "(the paper adopts [12]'s setting with 'a broad range of doi values\n";
+  Printf.printf
+    " and doi-value deviations'; the algorithms' relative standing is\n";
+  Printf.printf " insensitive to the distribution)\n%!"
+
+(* ---------------------------------------------------------------- *)
+(* Extensions: merged construction (footnote 1) and Pareto fronts    *)
+(* ---------------------------------------------------------------- *)
+
+let ablation_merged () =
+  section_header "Ablation (footnote 1)"
+    "UNION construction vs merged conjunctive sub-query, estimated & real cost";
+  let b = Lazy.force bundle in
+  let profile = List.hd b.W.Experiment.profiles in
+  let query = Cqp_sql.Parser.parse "select title from movie" in
+  Printf.printf "%4s %16s %16s %14s %12s\n" "L" "union est(ms)" "merged est(ms)"
+    "union real" "merged real";
+  List.iter
+    (fun l ->
+      let ps = pref_space profile query ~k:l in
+      if C.Pref_space.k ps >= l then begin
+        let est = ps.C.Pref_space.estimate in
+        let space = C.Space.create ~order:C.Space.By_doi ps in
+        let ids = List.init l Fun.id in
+        let paths =
+          List.map (fun id -> (C.Space.item space id).C.Pref_space.path) ids
+        in
+        let union_est =
+          List.fold_left (fun acc p -> acc +. C.Estimate.item_cost est p) 0. paths
+        in
+        let merged_est = C.Estimate.merged_cost est paths in
+        let union_q = C.Rewrite.personalize (catalog ()) query paths in
+        let merged_q = C.Rewrite.personalize_merged (catalog ()) query paths in
+        let real q =
+          float_of_int (Cqp_exec.Engine.execute (catalog ()) q).Cqp_exec.Engine.block_reads
+        in
+        Printf.printf "%4d %16.1f %16.1f %14.1f %12.1f\n%!" l union_est
+          merged_est (real union_q) (real merged_q)
+      end)
+    [ 2; 4; 8; 12 ];
+  Printf.printf
+    "(the merged form scans Q's relations once instead of L times; the\n";
+  Printf.printf
+    " paper leaves this combining 'beyond the scope' in footnote 1)\n%!"
+
+let ablation_streaming () =
+  section_header "Ablation (execution)"
+    "materialized engine vs streaming cursor under LIMIT (block reads)";
+  let catalog = catalog () in
+  let queries =
+    [
+      "select title from movie limit 10";
+      "select title from movie where year >= 2000 limit 10";
+      "select m.title from movie m, genre g where m.mid = g.mid and g.genre = 'drama' limit 10";
+      "select title from movie";
+    ]
+  in
+  Printf.printf "%-72s %10s %10s\n" "query" "engine" "cursor";
+  List.iter
+    (fun sql ->
+      let q = Cqp_sql.Parser.parse sql in
+      let engine_blocks =
+        (Cqp_exec.Engine.execute catalog q).Cqp_exec.Engine.block_reads
+      in
+      let cur = Cqp_exec.Cursor.open_query catalog q in
+      ignore (Cqp_exec.Cursor.to_list cur);
+      Printf.printf "%-72s %10d %10d\n%!" sql engine_blocks
+        (Cqp_exec.Cursor.block_reads cur))
+    queries;
+  Printf.printf
+    "(the paper's cost model assumes full scans — the engine implements\n";
+  Printf.printf
+    " it; the cursor shows what a pipelined executor saves when the\n";
+  Printf.printf " context caps the answer size, e.g. the palmtop scenario)\n%!"
+
+let pareto_front () =
+  section_header "Extension (Section 8)"
+    "multi-objective CQP: the doi/cost Pareto front, K = 12";
+  let b = Lazy.force bundle in
+  let profile = List.nth b.W.Experiment.profiles 2 in
+  let query = Cqp_sql.Parser.parse "select title from movie" in
+  let ps = pref_space profile query ~k:12 in
+  let space = C.Space.create ~order:C.Space.By_doi ps in
+  let exact = C.Pareto.exact_front space in
+  let greedy = C.Pareto.greedy_front space in
+  Printf.printf "exact front: %d points; greedy approximation: %d points\n"
+    (List.length exact) (List.length greedy);
+  Printf.printf "%8s %10s %10s %8s\n" "" "cost(ms)" "doi" "|PU|";
+  let show tag points =
+    List.iteri
+      (fun i p ->
+        if i < 8 then
+          Printf.printf "%8s %10.1f %10.6f %8d\n" tag
+            p.C.Pareto.params.C.Params.cost p.C.Pareto.params.C.Params.doi
+            (List.length p.C.Pareto.pref_ids))
+      points
+  in
+  show "exact" exact;
+  (match C.Pareto.knee exact with
+  | Some knee ->
+      Printf.printf "knee: cost %.1f doi %.6f |PU|=%d\n%!"
+        knee.C.Pareto.params.C.Params.cost knee.C.Pareto.params.C.Params.doi
+        (List.length knee.C.Pareto.pref_ids)
+  | None -> ());
+  (* greedy-vs-exact coverage: worst doi shortfall at equal cost *)
+  let shortfall =
+    List.fold_left
+      (fun worst g ->
+        let best_doi_at_cost =
+          List.fold_left
+            (fun acc e ->
+              if
+                e.C.Pareto.params.C.Params.cost
+                <= g.C.Pareto.params.C.Params.cost +. 1e-9
+              then max acc e.C.Pareto.params.C.Params.doi
+              else acc)
+            0. exact
+        in
+        max worst (best_doi_at_cost -. g.C.Pareto.params.C.Params.doi))
+      0. greedy
+  in
+  Printf.printf "greedy front max doi shortfall vs exact: %.2e\n%!" shortfall
+
+(* ---------------------------------------------------------------- *)
+(* Bechamel micro-benchmarks                                          *)
+(* ---------------------------------------------------------------- *)
+
+let bechamel_benchmarks () =
+  section_header "Bechamel" "micro-benchmarks (one Test.make per experiment)";
+  let open Bechamel in
+  let b = Lazy.force bundle in
+  let profile = List.hd b.W.Experiment.profiles in
+  let query = Cqp_sql.Parser.parse "select title from movie" in
+  let ps = pref_space profile query ~k:15 in
+  let cmax = 0.3 *. C.Pref_space.supreme_cost ps in
+  let algo_test algo =
+    Test.make
+      ~name:(C.Algorithm.name algo)
+      (Staged.stage (fun () -> ignore (C.Algorithm.run algo ps ~cmax)))
+  in
+  let tests =
+    [
+      Test.make ~name:"table2_vectors"
+        (Staged.stage (fun () ->
+             ignore (pref_space profile query ~k:10)));
+      Test.make ~name:"fig12b_pref_space_d_only"
+        (Staged.stage (fun () ->
+             let est = C.Estimate.create (catalog ()) query in
+             ignore
+               (C.Pref_space.build ~max_k:15 ~orders:C.Pref_space.D_only est
+                  profile)));
+      Test.make ~name:"fig12b_pref_space_all_orders"
+        (Staged.stage (fun () ->
+             let est = C.Estimate.create (catalog ()) query in
+             ignore (C.Pref_space.build ~max_k:15 est profile)));
+      algo_test C.Algorithm.C_boundaries;
+      algo_test C.Algorithm.C_maxbounds;
+      algo_test C.Algorithm.D_maxdoi;
+      algo_test C.Algorithm.D_singlemaxdoi;
+      algo_test C.Algorithm.D_heurdoi;
+      Test.make ~name:"fig15_execute_personalized"
+        (Staged.stage (fun () ->
+             let sol = C.Algorithm.run C.Algorithm.D_heurdoi ps ~cmax in
+             let space = C.Space.create ~order:C.Space.By_doi ps in
+             let paths = C.Solution.paths space sol in
+             let personalized = C.Rewrite.personalize (catalog ()) query paths in
+             ignore (Cqp_exec.Engine.execute (catalog ()) personalized)));
+    ]
+  in
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true
+        ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      let stats = analyze results in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Printf.printf "%-34s %12.2f ns/run\n%!" name est
+          | _ -> Printf.printf "%-34s (no estimate)\n%!" name)
+        stats)
+    tests
+
+(* ---------------------------------------------------------------- *)
+(* Main                                                               *)
+(* ---------------------------------------------------------------- *)
+
+let sections =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3_fig4", table3_fig4);
+    ("table4_5", table4_5);
+    ("fig6_fig8", fig6_fig8);
+    ("fig12a", fig12a);
+    ("fig12b", fig12b);
+    ("fig12cd", fig12cd);
+    ("fig13ab", fig13ab);
+    ("fig14ab", fig14ab);
+    ("fig15", fig15);
+    ("sec6_problems", sec6_problems);
+    ("fig12_problem1", fig12_problem1);
+    ("ablation_metaheuristics", ablation_metaheuristics);
+    ("ablation_merged", ablation_merged);
+    ("ablation_streaming", ablation_streaming);
+    ("pareto_front", pareto_front);
+    ("doi_distributions", doi_distributions);
+    ("scaling", scaling);
+  ]
+
+let () =
+  let only = ref "" in
+  let speclist =
+    [
+      ("--full", Arg.Unit (fun () -> mode := { !mode with full = true }),
+       " run the paper's full averaging set (20 profiles x 10 queries, K to 40)");
+      ("--seed", Arg.Int (fun s -> mode := { !mode with seed = s }), " workload seed");
+      ("--bechamel", Arg.Unit (fun () -> mode := { !mode with bechamel = true }),
+       " also run Bechamel micro-benchmarks");
+      ("--only", Arg.Set_string only,
+       " comma-separated section ids (e.g. fig12a,fig15)");
+    ]
+  in
+  Arg.parse speclist (fun _ -> ()) "CQP experiment harness";
+  if !only <> "" then
+    mode := { !mode with only = String.split_on_char ',' !only };
+  let selected =
+    match !mode.only with
+    | [] -> sections
+    | ids -> List.filter (fun (id, _) -> List.mem id ids) sections
+  in
+  Printf.printf "CQP experiment harness — %s mode\n%!"
+    (if !mode.full then "FULL (paper-scale averaging)" else "quick");
+  List.iter (fun (_, f) -> f ()) selected;
+  if !mode.bechamel then bechamel_benchmarks ();
+  Printf.printf "\ndone.\n%!"

@@ -1,0 +1,289 @@
+(* cqp — command-line driver for the CQP library.
+
+   Subcommands:
+     run       personalize and execute a query against the synthetic
+               IMDB database with a generated (or file-based) profile
+     explain   show the preference space, the decision report, and the
+               rewritten SQL without executing
+     rank      personalize, then score every answer by the preferences
+               it satisfies (Section 3's ranking by r)
+     plan      show the physical execution plan of a SQL query
+     pareto    print the doi/cost Pareto front of personalizations
+     sql       execute a plain SQL query against the synthetic database
+     profile   print a generated profile
+
+   Profiles can be loaded from a file of lines "<doi> <condition>",
+   e.g.:  0.8 director.name = 'W. Allen' *)
+
+module C = Cqp_core
+module W = Cqp_workload
+module V = Cqp_relal.Value
+open Cmdliner
+
+let catalog_of ~movies ~seed =
+  let config = { W.Imdb.default_config with W.Imdb.n_movies = movies } in
+  W.Imdb.build ~config ~seed ()
+
+let load_profile path =
+  let ic = open_in path in
+  let atoms = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then begin
+         match String.index_opt line ' ' with
+         | Some i ->
+             let doi = float_of_string (String.sub line 0 i) in
+             let cond =
+               String.sub line (i + 1) (String.length line - i - 1)
+             in
+             atoms := Cqp_prefs.Profile.parse_atom cond doi :: !atoms
+         | None -> failwith ("bad profile line: " ^ line)
+       end
+     done
+   with End_of_file -> close_in ic);
+  Cqp_prefs.Profile.of_list (List.rev !atoms)
+
+let profile_of ~file ~seed catalog =
+  match file with
+  | Some path -> load_profile path
+  | None ->
+      let rng = Cqp_util.Rng.create (seed + 1) in
+      W.Profile_gen.generate ~rng catalog
+
+let problem_of ~problem ~cmax ~dmin ~smin ~smax =
+  match problem with
+  | 1 -> C.Problem.problem1 ~smin ~smax
+  | 2 -> C.Problem.problem2 ~cmax
+  | 3 -> C.Problem.problem3 ~cmax ~smin ~smax
+  | 4 -> C.Problem.problem4 ~dmin
+  | 5 -> C.Problem.problem5 ~dmin ~smin ~smax
+  | 6 -> C.Problem.problem6 ~smin ~smax
+  | n -> failwith (Printf.sprintf "unknown CQP problem %d (use 1-6)" n)
+
+(* common options *)
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.")
+let movies =
+  Arg.(value & opt int 2000 & info [ "movies" ] ~doc:"Synthetic movie count.")
+
+let profile_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "profile" ] ~doc:"Profile file (lines: <doi> <condition>).")
+
+let query_arg =
+  Arg.(
+    value
+    & pos 0 string "select title from movie"
+    & info [] ~docv:"SQL" ~doc:"The query to personalize.")
+
+let problem_arg =
+  Arg.(value & opt int 2 & info [ "problem" ] ~doc:"CQP problem number (1-6).")
+
+let cmax_arg = Arg.(value & opt float 400. & info [ "cmax" ] ~doc:"Cost bound (ms).")
+let dmin_arg = Arg.(value & opt float 0.7 & info [ "dmin" ] ~doc:"doi lower bound.")
+let smin_arg = Arg.(value & opt float 1. & info [ "smin" ] ~doc:"Result-size lower bound.")
+let smax_arg =
+  Arg.(value & opt float 1000000. & info [ "smax" ] ~doc:"Result-size upper bound.")
+
+let max_k_arg =
+  Arg.(value & opt int 20 & info [ "k" ] ~doc:"Max preferences extracted (K).")
+
+let algo_arg =
+  Arg.(
+    value
+    & opt string "C_Boundaries"
+    & info [ "algorithm" ]
+        ~doc:"Search algorithm: C_Boundaries, C_MaxBounds, D_MaxDoi, D_SingleMaxDoi, D_HeurDoi, Exhaustive.")
+
+let with_setup f verbose seed movies profile_file query problem cmax dmin
+    smin smax max_k algo_name =
+  setup_logs verbose;
+  try
+    let catalog = catalog_of ~movies ~seed in
+    let profile = profile_of ~file:profile_file ~seed catalog in
+    let algorithm =
+      match C.Algorithm.of_name algo_name with
+      | Some a -> a
+      | None -> failwith ("unknown algorithm " ^ algo_name)
+    in
+    let problem = problem_of ~problem ~cmax ~dmin ~smin ~smax in
+    f catalog profile query problem algorithm max_k;
+    0
+  with
+  | Failure msg
+  | Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Cqp_sql.Parser.Parse_error (msg, pos) ->
+      Printf.eprintf "SQL parse error at %d: %s\n" pos msg;
+      1
+  | Cqp_sql.Analyzer.Semantic_error msg ->
+      Printf.eprintf "SQL semantic error: %s\n" msg;
+      1
+
+let run_action execute catalog profile query problem algorithm max_k =
+  let outcome =
+    C.Personalizer.run catalog profile ~sql:query ~problem ~algorithm
+      ~max_k ~execute ()
+  in
+  let sol = outcome.C.Personalizer.solution in
+  Format.printf "%s@." (C.Problem.describe problem);
+  Format.printf "preference space: K = %d@."
+    (C.Pref_space.k outcome.C.Personalizer.pref_space);
+  Format.printf "personalization: %a@." C.Solution.pp sol;
+  Format.printf "personalized SQL:@.  %s@."
+    (Cqp_sql.Printer.to_string outcome.C.Personalizer.personalized);
+  if execute then begin
+    Format.printf "results: %d rows (%.1f ms simulated I/O)@."
+      (List.length outcome.C.Personalizer.rows)
+      outcome.C.Personalizer.real_cost_ms;
+    List.iteri
+      (fun i row ->
+        if i < 25 then
+          Format.printf "  %s@."
+            (String.concat " | "
+               (List.map V.to_string (Cqp_relal.Tuple.to_list row))))
+      outcome.C.Personalizer.rows
+  end
+
+let run_cmd =
+  let doc = "Personalize a query and execute it." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const (with_setup (run_action true))
+      $ verbose $ seed $ movies $ profile_file $ query_arg $ problem_arg $ cmax_arg
+      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg)
+
+let explain_action catalog profile query problem algorithm max_k =
+  let q = Cqp_sql.Parser.parse query in
+  let ps, sol, personalized =
+    C.Personalizer.personalize_query ~algorithm ~max_k catalog profile
+      ~query:q ~problem
+  in
+  Format.printf "%a@.@." C.Pref_space.pp ps;
+  Format.printf "%a@.@." C.Report.pp (C.Report.build problem ps sol);
+  Format.printf "rewritten SQL:@.  %s@." (Cqp_sql.Printer.to_string personalized)
+
+let explain_cmd =
+  let doc = "Show the preference space and rewriting without executing." in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      const (with_setup explain_action)
+      $ verbose $ seed $ movies $ profile_file $ query_arg $ problem_arg $ cmax_arg
+      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg)
+
+let sql_action catalog _profile query _problem _algorithm _max_k =
+  let q = Cqp_sql.Parser.parse query in
+  Cqp_sql.Analyzer.check catalog q;
+  let rs = Cqp_exec.Engine.execute_rowset catalog q in
+  Format.printf "%a@." Cqp_exec.Rowset.pp rs
+
+let sql_cmd =
+  let doc = "Execute a plain SQL query against the synthetic database." in
+  Cmd.v (Cmd.info "sql" ~doc)
+    Term.(
+      const (with_setup sql_action)
+      $ verbose $ seed $ movies $ profile_file $ query_arg $ problem_arg $ cmax_arg
+      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg)
+
+let rank_action catalog profile query problem algorithm max_k =
+  let outcome =
+    C.Personalizer.run catalog profile ~sql:query ~problem ~algorithm ~max_k
+      ~execute:false ()
+  in
+  let ranked = C.Personalizer.ranked_results catalog outcome in
+  Format.printf "%s@." (C.Problem.describe problem);
+  Format.printf "personalization: %a@." C.Solution.pp
+    outcome.C.Personalizer.solution;
+  Format.printf "ranked answers (%d rows, %d block reads):@."
+    (List.length ranked.C.Ranker.ranked)
+    ranked.C.Ranker.block_reads;
+  List.iteri
+    (fun i rr ->
+      if i < 25 then
+        Format.printf "  %.4f  [%s]  %s@." rr.C.Ranker.score
+          (String.concat ","
+             (List.map
+                (fun j -> "p" ^ string_of_int (j + 1))
+                rr.C.Ranker.satisfied))
+          (String.concat " | "
+             (List.map V.to_string (Cqp_relal.Tuple.to_list rr.C.Ranker.row))))
+    ranked.C.Ranker.ranked
+
+let rank_cmd =
+  let doc = "Personalize, then rank every answer by the preferences it satisfies." in
+  Cmd.v (Cmd.info "rank" ~doc)
+    Term.(
+      const (with_setup rank_action)
+      $ verbose $ seed $ movies $ profile_file $ query_arg $ problem_arg $ cmax_arg
+      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg)
+
+let plan_action catalog _profile query _problem _algorithm _max_k =
+  let q = Cqp_sql.Parser.parse query in
+  Cqp_sql.Analyzer.check catalog q;
+  print_endline (Cqp_exec.Explain.to_string catalog q)
+
+let plan_cmd =
+  let doc = "Show the physical execution plan of a SQL query." in
+  Cmd.v (Cmd.info "plan" ~doc)
+    Term.(
+      const (with_setup plan_action)
+      $ verbose $ seed $ movies $ profile_file $ query_arg $ problem_arg $ cmax_arg
+      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg)
+
+let pareto_action catalog profile query _problem _algorithm max_k =
+  let q = Cqp_sql.Parser.parse query in
+  Cqp_sql.Analyzer.check catalog q;
+  let est = C.Estimate.create catalog q in
+  let ps = C.Pref_space.build ~max_k est profile in
+  let space = C.Space.create ~order:C.Space.By_doi ps in
+  let front =
+    if C.Pref_space.k ps <= 16 then C.Pareto.exact_front space
+    else C.Pareto.greedy_front space
+  in
+  Format.printf "doi/cost Pareto front (%d points, K = %d):@."
+    (List.length front) (C.Pref_space.k ps);
+  Format.printf "%a@." C.Pareto.pp front;
+  match C.Pareto.knee front with
+  | Some knee -> Format.printf "knee: %a@." C.Params.pp knee.C.Pareto.params
+  | None -> ()
+
+let pareto_cmd =
+  let doc = "Print the doi/cost Pareto front of personalizations." in
+  Cmd.v (Cmd.info "pareto" ~doc)
+    Term.(
+      const (with_setup pareto_action)
+      $ verbose $ seed $ movies $ profile_file $ query_arg $ problem_arg $ cmax_arg
+      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg)
+
+let profile_action _catalog profile _query _problem _algorithm _max_k =
+  Format.printf "%a@." Cqp_prefs.Profile.pp profile
+
+let profile_cmd =
+  let doc = "Print the (generated or loaded) user profile." in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const (with_setup profile_action)
+      $ verbose $ seed $ movies $ profile_file $ query_arg $ problem_arg $ cmax_arg
+      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg)
+
+let () =
+  let doc = "Constrained Query Personalization (SIGMOD 2005) toolkit" in
+  let info = Cmd.info "cqp" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            run_cmd; explain_cmd; rank_cmd; plan_cmd; pareto_cmd; sql_cmd;
+            profile_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/context_policies.ml: Cqp_core Cqp_relal Cqp_util Cqp_workload Format List

@@ -1,0 +1,1 @@
+examples/mobile_tourist.ml: Cqp_core Cqp_relal Cqp_sql Cqp_workload Format List

@@ -1,0 +1,1 @@
+examples/movie_recommendations.ml: Cqp_core Cqp_exec Cqp_relal Cqp_sql Cqp_util Cqp_workload Format List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cqp_core Cqp_prefs Cqp_relal Cqp_sql Format List

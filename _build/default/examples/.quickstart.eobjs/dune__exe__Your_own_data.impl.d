@@ -1,0 +1,1 @@
+examples/your_own_data.ml: Cqp_core Cqp_prefs Cqp_relal Cqp_sql Filename Format List

@@ -1,0 +1,1 @@
+examples/your_own_data.mli:

@@ -1,0 +1,108 @@
+(* Context-to-problem policies.
+
+   The paper leaves "mapping the search context onto the appropriate
+   CQP problem" as a policy issue (Sections 1 and 8).  The library
+   supplies that layer as Cqp_core.Policy: a device/network/intent
+   context record mapped onto a Table-1 problem whose bounds scale with
+   the query's Supreme Cost.  This example drives it across the
+   scenarios of the paper's introduction.
+
+   Run with: dune exec examples/context_policies.exe *)
+
+module C = Cqp_core
+module W = Cqp_workload
+module Policy = Cqp_core.Policy
+
+let contexts =
+  [
+    ( "Al at the office",
+      {
+        Policy.device = Policy.Laptop;
+        network = Policy.Broadband;
+        intent = Policy.Exhaustive_research;
+        requested_answers = None;
+        location = None;
+      } );
+    ( "Al browsing on hotel wifi",
+      {
+        Policy.device = Policy.Laptop;
+        network = Policy.Wifi;
+        intent = Policy.Browse;
+        requested_answers = None;
+        location = None;
+      } );
+    ( "Al walking in Pisa",
+      {
+        Policy.device = Policy.Palmtop;
+        network = Policy.Cellular;
+        intent = Policy.Browse;
+        requested_answers = Some 3;
+        location = None;
+      } );
+    ( "Al needs one quick answer",
+      {
+        Policy.device = Policy.Phone;
+        network = Policy.Cellular;
+        intent = Policy.Quick_answer;
+        requested_answers = Some 5;
+        location = None;
+      } );
+    ( "back home, desktop, no request cap",
+      {
+        Policy.device = Policy.Desktop;
+        network = Policy.Broadband;
+        intent = Policy.Quick_answer;
+        requested_answers = None;
+        location = None;
+      } );
+  ]
+
+let () =
+  let catalog = W.Imdb.build ~config:W.Imdb.small_config ~seed:8 () in
+  let rng = Cqp_util.Rng.create 15 in
+  let profile = W.Profile_gen.generate ~rng catalog in
+  let sql = "select title from movie" in
+  Format.printf "query: %s@.@." sql;
+  List.iter
+    (fun (label, context) ->
+      Format.printf "--- %s (%s) ---@." label (Policy.describe context);
+      let outcome =
+        Policy.run catalog profile ~sql ~context ~max_k:12 ()
+      in
+      let sol = outcome.C.Personalizer.solution in
+      Format.printf
+        "-> %d preferences, doi %.4f, est. cost %.1f ms, est. size %.1f, %d actual rows@.@."
+        (List.length sol.C.Solution.pref_ids)
+        sol.C.Solution.params.C.Params.doi
+        sol.C.Solution.params.C.Params.cost
+        sol.C.Solution.params.C.Params.size
+        (List.length outcome.C.Personalizer.rows))
+    contexts;
+
+  (* Section 8's location-based integration: the same tourist profile,
+     but the context carries where Al currently is — the policy injects
+     a must-have locality preference before personalizing. *)
+  Format.printf "--- location-based (Section 8): Al lands in Florence ---@.";
+  let tourist = W.Tourist.build ~seed:2025 () in
+  let here =
+    {
+      Policy.device = Policy.Phone;
+      network = Policy.Wifi;
+      intent = Policy.Browse;
+      requested_answers = Some 8;
+      location =
+        Some (Policy.at "restaurant" "city" (Cqp_relal.Value.String "florence"));
+    }
+  in
+  let outcome =
+    Policy.run tourist W.Tourist.al_profile
+      ~sql:"select name, city from restaurant" ~context:here ()
+  in
+  Format.printf "policy context: %s@." (Policy.describe here);
+  List.iteri
+    (fun i row ->
+      if i < 5 then
+        Format.printf "  %s (%s)@."
+          (Cqp_relal.Value.to_string (Cqp_relal.Tuple.get row 0))
+          (Cqp_relal.Value.to_string (Cqp_relal.Tuple.get row 1)))
+    outcome.C.Personalizer.rows

@@ -1,0 +1,69 @@
+(* Movie recommendations over the synthetic IMDB database: compare all
+   five CQP search algorithms on the same personalization task and show
+   the trade-off the paper's evaluation measures — identical (or nearly
+   identical) answer quality at very different search costs.
+
+   Run with: dune exec examples/movie_recommendations.exe *)
+
+module C = Cqp_core
+module W = Cqp_workload
+module V = Cqp_relal.Value
+
+let () =
+  let catalog = W.Imdb.build ~seed:2024 () in
+  let rng = Cqp_util.Rng.create 4242 in
+  let profile = W.Profile_gen.generate ~rng catalog in
+  let sql = "select title from movie" in
+  let query = Cqp_sql.Parser.parse sql in
+  let est = C.Estimate.create catalog query in
+  let ps = C.Pref_space.build ~max_k:20 est profile in
+  let supreme = C.Pref_space.supreme_cost ps in
+  let cmax = 0.3 *. supreme in
+  Format.printf
+    "K = %d preferences extracted; Supreme Cost = %.0f ms; cmax = %.0f ms@.@."
+    (C.Pref_space.k ps) supreme cmax;
+  Format.printf "%-16s %10s %10s %8s %10s %10s %10s@." "algorithm" "doi"
+    "cost(ms)" "|PU|" "visited" "peak KB" "time(ms)";
+  List.iter
+    (fun algo ->
+      let sol = C.Algorithm.run algo ps ~cmax in
+      let stats = sol.C.Solution.stats in
+      Format.printf "%-16s %10.6f %10.1f %8d %10d %10.1f %10.2f@."
+        (C.Algorithm.name algo)
+        sol.C.Solution.params.C.Params.doi
+        sol.C.Solution.params.C.Params.cost
+        (List.length sol.C.Solution.pref_ids)
+        stats.C.Instrument.states_visited
+        (C.Instrument.peak_kbytes stats)
+        (1000. *. stats.C.Instrument.wall_seconds))
+    (C.Algorithm.all @ [ C.Algorithm.Exhaustive ]);
+  (* Execute the winner's personalization and show the top answers,
+     ranked by how many preferences each satisfies (the engine's
+     having-count construction already intersects; for display we rank
+     by title). *)
+  Format.printf "@.Personalized answers (C_MaxBounds):@.";
+  let sol = C.Algorithm.run C.Algorithm.C_maxbounds ps ~cmax in
+  let space = C.Space.create ~order:C.Space.By_doi ps in
+  let paths = C.Solution.paths space sol in
+  let personalized = C.Rewrite.personalize catalog query paths in
+  let result = Cqp_exec.Engine.execute catalog personalized in
+  Format.printf "  %d movies satisfy all %d chosen preferences@."
+    (List.length result.Cqp_exec.Engine.rows)
+    (List.length paths);
+  List.iteri
+    (fun i row ->
+      if i < 10 then
+        Format.printf "  %s@." (V.to_string (Cqp_relal.Tuple.get row 0)))
+    result.Cqp_exec.Engine.rows;
+  (* If the full conjunction is empty, relax to the best single
+     preference so the example always shows answers. *)
+  if result.Cqp_exec.Engine.rows = [] then begin
+    match paths with
+    | best :: _ ->
+        let q1 = C.Rewrite.personalize catalog query [ best ] in
+        let r1 = Cqp_exec.Engine.execute catalog q1 in
+        Format.printf
+          "  (conjunction empty; the top preference alone matches %d movies)@."
+          (List.length r1.Cqp_exec.Engine.rows)
+    | [] -> ()
+  end

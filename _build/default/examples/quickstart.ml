@@ -1,0 +1,76 @@
+(* Quickstart: the paper's running example, end to end.
+
+   Build the Section-3 movie schema, load a few movies, state the
+   Figure-1 profile, and personalize "select title from movie" under a
+   cost budget (Problem 2).  Run with:
+
+     dune exec examples/quickstart.exe *)
+
+module V = Cqp_relal.Value
+module C = Cqp_core
+
+let catalog =
+  let cat = Cqp_relal.Catalog.create () in
+  let add name cols rows =
+    Cqp_relal.Catalog.add cat
+      (Cqp_relal.Relation.of_tuples (Cqp_relal.Schema.make name cols)
+         (List.map Cqp_relal.Tuple.make rows))
+  in
+  add "movie"
+    [ ("mid", V.Tint, 8); ("title", V.Tstring, 24); ("year", V.Tint, 8); ("did", V.Tint, 8) ]
+    [
+      [ V.Int 1; V.String "Everyone Says I Love You"; V.Int 1996; V.Int 1 ];
+      [ V.Int 2; V.String "Chicago"; V.Int 2002; V.Int 2 ];
+      [ V.Int 3; V.String "Match Point"; V.Int 2005; V.Int 1 ];
+      [ V.Int 4; V.String "Cabaret"; V.Int 1972; V.Int 3 ];
+      [ V.Int 5; V.String "Annie Hall"; V.Int 1977; V.Int 1 ];
+    ];
+  add "director"
+    [ ("did", V.Tint, 8); ("name", V.Tstring, 24) ]
+    [
+      [ V.Int 1; V.String "W. Allen" ];
+      [ V.Int 2; V.String "R. Marshall" ];
+      [ V.Int 3; V.String "B. Fosse" ];
+    ];
+  add "genre"
+    [ ("mid", V.Tint, 8); ("genre", V.Tstring, 16) ]
+    [
+      [ V.Int 1; V.String "musical" ];
+      [ V.Int 2; V.String "musical" ];
+      [ V.Int 3; V.String "drama" ];
+      [ V.Int 4; V.String "musical" ];
+      [ V.Int 5; V.String "comedy" ];
+    ];
+  cat
+
+(* The profile of Figure 1: a taste for musicals (0.5), a strong taste
+   for W. Allen (0.8), and join preferences saying how much genre and
+   director information matters for movies. *)
+let profile =
+  Cqp_prefs.Profile.of_strings
+    [
+      ("genre.genre = 'musical'", 0.5);
+      ("movie.mid = genre.mid", 0.9);
+      ("movie.did = director.did", 1.0);
+      ("director.name = 'W. Allen'", 0.8);
+    ]
+
+let () =
+  Format.printf "Profile:@.%a@." Cqp_prefs.Profile.pp profile;
+  let sql = "select title from movie" in
+  let problem = C.Problem.problem2 ~cmax:100. in
+  Format.printf "Query: %s@.%s@.@." sql (C.Problem.describe problem);
+  let outcome = C.Personalizer.run catalog profile ~sql ~problem () in
+  let sol = outcome.C.Personalizer.solution in
+  Format.printf "Preference space:@.%a@." C.Pref_space.pp
+    outcome.C.Personalizer.pref_space;
+  Format.printf "Chosen personalization: %a@.@." C.Solution.pp sol;
+  Format.printf "Personalized SQL:@.  %s@.@."
+    (Cqp_sql.Printer.to_string outcome.C.Personalizer.personalized);
+  Format.printf "Results (%d rows, %.1f ms of I/O):@."
+    (List.length outcome.C.Personalizer.rows)
+    outcome.C.Personalizer.real_cost_ms;
+  List.iter
+    (fun row ->
+      Format.printf "  %s@." (V.to_string (Cqp_relal.Tuple.get row 0)))
+    outcome.C.Personalizer.rows

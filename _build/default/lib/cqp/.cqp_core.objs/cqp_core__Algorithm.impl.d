@@ -1,0 +1,1 @@
+lib/cqp/algorithm.ml: C_boundaries C_maxbounds D_heurdoi D_maxdoi D_singlemaxdoi Exhaustive Instrument List Pref_space Solution Space String Unix

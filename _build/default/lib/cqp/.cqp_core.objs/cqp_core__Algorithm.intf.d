@@ -1,0 +1,1 @@
+lib/cqp/algorithm.mli: Pref_space Solution Space

@@ -1,0 +1,1 @@
+lib/cqp/c_boundaries.ml: Cost_phase2 Hashtbl Instrument List Rq Solution Space State

@@ -1,0 +1,1 @@
+lib/cqp/c_boundaries.mli: Solution Space State

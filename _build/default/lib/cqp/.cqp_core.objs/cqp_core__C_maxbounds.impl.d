@@ -1,0 +1,1 @@
+lib/cqp/c_maxbounds.ml: Cost_phase2 Hashtbl Instrument List Rq Solution Space State

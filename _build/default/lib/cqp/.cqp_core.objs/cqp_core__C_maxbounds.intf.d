@@ -1,0 +1,1 @@
+lib/cqp/c_maxbounds.mli: Solution Space State

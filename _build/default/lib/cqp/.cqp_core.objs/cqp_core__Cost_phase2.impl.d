@@ -1,0 +1,1 @@
+lib/cqp/cost_phase2.ml: Hashtbl Instrument List Params Pref_space Solution Space State Stdlib

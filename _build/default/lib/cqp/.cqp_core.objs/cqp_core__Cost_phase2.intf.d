@@ -1,0 +1,1 @@
+lib/cqp/cost_phase2.mli: Solution Space State

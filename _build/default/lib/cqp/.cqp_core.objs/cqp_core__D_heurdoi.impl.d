@@ -1,0 +1,1 @@
+lib/cqp/d_heurdoi.ml: Array Instrument Pref_space Solution Space State

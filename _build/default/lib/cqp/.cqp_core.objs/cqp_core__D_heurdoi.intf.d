@@ -1,0 +1,1 @@
+lib/cqp/d_heurdoi.mli: Solution Space

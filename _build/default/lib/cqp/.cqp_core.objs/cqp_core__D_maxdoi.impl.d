@@ -1,0 +1,1 @@
+lib/cqp/d_maxdoi.ml: Hashtbl Instrument List Option Pref_space Rq Solution Space State Stdlib

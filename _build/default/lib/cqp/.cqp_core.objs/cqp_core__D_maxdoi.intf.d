@@ -1,0 +1,1 @@
+lib/cqp/d_maxdoi.mli: Solution Space State

@@ -1,0 +1,1 @@
+lib/cqp/d_singlemaxdoi.ml: Hashtbl Instrument List Pref_space Rq Solution Space State

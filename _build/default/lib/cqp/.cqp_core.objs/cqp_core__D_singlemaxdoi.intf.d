@@ -1,0 +1,1 @@
+lib/cqp/d_singlemaxdoi.mli: Solution Space

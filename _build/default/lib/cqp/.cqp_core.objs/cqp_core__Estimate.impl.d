@@ -1,0 +1,1 @@
+lib/cqp/estimate.ml: Cqp_prefs Cqp_relal Cqp_sql List Option Params

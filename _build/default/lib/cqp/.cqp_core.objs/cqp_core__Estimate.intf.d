@@ -1,0 +1,1 @@
+lib/cqp/estimate.mli: Cqp_prefs Cqp_relal Cqp_sql Params

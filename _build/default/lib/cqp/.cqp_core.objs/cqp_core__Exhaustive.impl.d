@@ -1,0 +1,1 @@
+lib/cqp/exhaustive.ml: Instrument Option Params Printf Problem Solution Space

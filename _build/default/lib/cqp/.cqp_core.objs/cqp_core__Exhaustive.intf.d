@@ -1,0 +1,1 @@
+lib/cqp/exhaustive.mli: Problem Solution Space

@@ -1,0 +1,1 @@
+lib/cqp/instrument.ml: Format State

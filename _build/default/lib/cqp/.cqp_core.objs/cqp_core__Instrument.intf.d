@@ -1,0 +1,1 @@
+lib/cqp/instrument.mli: Format State

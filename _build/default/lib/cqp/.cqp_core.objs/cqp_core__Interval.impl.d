@@ -1,0 +1,1 @@
+lib/cqp/interval.ml: Array Estimate Hashtbl Instrument List Option Params Pref_space Rq Solution Space State Stdlib

@@ -1,0 +1,1 @@
+lib/cqp/interval.mli: Pref_space Solution Space State

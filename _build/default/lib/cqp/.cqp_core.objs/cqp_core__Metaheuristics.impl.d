@@ -1,0 +1,1 @@
+lib/cqp/metaheuristics.ml: Array Cqp_util List Params Solution Space

@@ -1,0 +1,1 @@
+lib/cqp/metaheuristics.mli: Cqp_util Solution Space

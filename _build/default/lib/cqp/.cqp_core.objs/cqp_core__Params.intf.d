@@ -1,0 +1,1 @@
+lib/cqp/params.mli: Format

@@ -1,0 +1,1 @@
+lib/cqp/pareto.ml: Exhaustive Format Fun List Params Printf Space State Stdlib String

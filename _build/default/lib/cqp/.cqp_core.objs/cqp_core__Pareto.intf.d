@@ -1,0 +1,1 @@
+lib/cqp/pareto.mli: Format Params Space

@@ -1,0 +1,1 @@
+lib/cqp/personalizer.ml: Algorithm Cqp_exec Cqp_relal Cqp_sql Estimate List Logs Params Pref_space Problem Ranker Rewrite Solution Solver Space

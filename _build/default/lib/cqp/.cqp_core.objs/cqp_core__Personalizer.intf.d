@@ -1,0 +1,1 @@
+lib/cqp/personalizer.mli: Algorithm Cqp_prefs Cqp_relal Cqp_sql Logs Pref_space Problem Ranker Solution

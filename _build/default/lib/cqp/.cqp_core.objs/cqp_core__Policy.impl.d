@@ -1,0 +1,1 @@
+lib/cqp/policy.ml: Cqp_prefs Cqp_relal Cqp_sql Estimate Option Personalizer Pref_space Printf Problem

@@ -1,0 +1,1 @@
+lib/cqp/policy.mli: Algorithm Cqp_prefs Cqp_relal Personalizer Problem

@@ -1,0 +1,1 @@
+lib/cqp/pref_space.ml: Array Cqp_prefs Cqp_relal Cqp_sql Estimate Format Hashtbl List Params Stdlib String

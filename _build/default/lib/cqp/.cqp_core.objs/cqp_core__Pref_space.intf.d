@@ -1,0 +1,1 @@
+lib/cqp/pref_space.mli: Cqp_prefs Estimate Format Params

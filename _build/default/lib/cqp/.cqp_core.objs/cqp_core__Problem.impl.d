@@ -1,0 +1,1 @@
+lib/cqp/problem.ml: Format Params

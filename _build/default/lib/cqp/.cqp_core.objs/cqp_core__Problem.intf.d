@@ -1,0 +1,1 @@
+lib/cqp/problem.mli: Format Params

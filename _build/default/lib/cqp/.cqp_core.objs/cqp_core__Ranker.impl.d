@@ -1,0 +1,1 @@
+lib/cqp/ranker.ml: Array Cqp_exec Cqp_prefs Cqp_relal Hashtbl List Pref_space Rewrite Solution Space Stdlib

@@ -1,0 +1,1 @@
+lib/cqp/ranker.mli: Cqp_prefs Cqp_relal Cqp_sql Solution Space

@@ -1,0 +1,1 @@
+lib/cqp/report.ml: Array Cqp_prefs Cqp_sql Estimate Format Fun List Option Params Pref_space Printf Problem Solution Space

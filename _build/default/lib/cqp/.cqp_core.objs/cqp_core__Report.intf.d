@@ -1,0 +1,1 @@
+lib/cqp/report.mli: Format Params Pref_space Problem Solution

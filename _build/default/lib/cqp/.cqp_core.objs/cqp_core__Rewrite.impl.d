@@ -1,0 +1,1 @@
+lib/cqp/rewrite.ml: Cqp_prefs Cqp_relal Cqp_sql Format Hashtbl List Option

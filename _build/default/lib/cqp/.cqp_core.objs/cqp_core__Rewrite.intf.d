@@ -1,0 +1,1 @@
+lib/cqp/rewrite.mli: Cqp_prefs Cqp_relal Cqp_sql

@@ -1,0 +1,1 @@
+lib/cqp/rq.ml: Instrument List State

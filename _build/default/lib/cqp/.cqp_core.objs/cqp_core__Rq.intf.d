@@ -1,0 +1,1 @@
+lib/cqp/rq.mli: Instrument State

@@ -1,0 +1,1 @@
+lib/cqp/solution.ml: Format Instrument List Params Pref_space Space Stdlib String

@@ -1,0 +1,1 @@
+lib/cqp/solution.mli: Cqp_prefs Format Instrument Params Space

@@ -1,0 +1,1 @@
+lib/cqp/solver.ml: Algorithm Array Estimate Fun Instrument List Option Params Pref_space Printf Problem Solution Space Stdlib

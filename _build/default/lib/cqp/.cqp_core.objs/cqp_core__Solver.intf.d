@@ -1,0 +1,1 @@
+lib/cqp/solver.mli: Algorithm Params Pref_space Problem Solution Space

@@ -1,0 +1,1 @@
+lib/cqp/space.ml: Array Estimate Instrument List Params Pref_space Stdlib

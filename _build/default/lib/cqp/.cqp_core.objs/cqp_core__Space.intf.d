@@ -1,0 +1,1 @@
+lib/cqp/space.mli: Instrument Params Pref_space State

@@ -1,0 +1,1 @@
+lib/cqp/state.ml: Format List Stdlib String Sys

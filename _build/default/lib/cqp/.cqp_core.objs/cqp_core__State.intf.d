@@ -1,0 +1,1 @@
+lib/cqp/state.mli: Format

@@ -1,0 +1,51 @@
+type t =
+  | C_boundaries
+  | C_maxbounds
+  | D_maxdoi
+  | D_singlemaxdoi
+  | D_heurdoi
+  | Exhaustive
+
+let all = [ C_boundaries; C_maxbounds; D_maxdoi; D_singlemaxdoi; D_heurdoi ]
+
+let name = function
+  | C_boundaries -> "C_Boundaries"
+  | C_maxbounds -> "C_MaxBounds"
+  | D_maxdoi -> "D_MaxDoi"
+  | D_singlemaxdoi -> "D_SingleMaxDoi"
+  | D_heurdoi -> "D_HeurDoi"
+  | Exhaustive -> "Exhaustive"
+
+let of_name s =
+  let s = String.lowercase_ascii s in
+  List.find_opt
+    (fun a -> String.lowercase_ascii (name a) = s)
+    (Exhaustive :: all)
+
+let is_exact = function
+  | C_boundaries | D_maxdoi | Exhaustive -> true
+  | C_maxbounds | D_singlemaxdoi | D_heurdoi -> false
+
+let space_order = function
+  | C_boundaries | C_maxbounds | Exhaustive -> Space.By_cost
+  | D_maxdoi | D_singlemaxdoi | D_heurdoi -> Space.By_doi
+
+let required_orders = function
+  | C_boundaries | C_maxbounds | Exhaustive -> Pref_space.All_orders
+  | D_maxdoi | D_singlemaxdoi | D_heurdoi -> Pref_space.D_only
+
+let solver = function
+  | C_boundaries -> C_boundaries.solve
+  | C_maxbounds -> C_maxbounds.solve
+  | D_maxdoi -> D_maxdoi.solve
+  | D_singlemaxdoi -> D_singlemaxdoi.solve
+  | D_heurdoi -> D_heurdoi.solve
+  | Exhaustive -> Exhaustive.solve
+
+let run t ps ~cmax =
+  let space = Space.create ~order:(space_order t) ps in
+  let start = Unix.gettimeofday () in
+  let solution = (solver t) space ~cmax in
+  let elapsed = Unix.gettimeofday () -. start in
+  solution.Solution.stats.Instrument.wall_seconds <- elapsed;
+  solution

@@ -1,0 +1,50 @@
+let find_boundaries space ~cmax =
+  let k = Space.k space in
+  if k = 0 then []
+  else begin
+    let stats = Space.stats space in
+    let rq = Rq.create stats in
+    let visited = Hashtbl.create 256 in
+    let boundaries = ref [] in
+    let mark s = Hashtbl.replace visited s () in
+    let below_boundary s =
+      List.exists (fun b -> State.dominates b s) !boundaries
+    in
+    let prune s = Hashtbl.mem visited s || below_boundary s in
+    let seed = State.singleton 0 in
+    mark seed;
+    Rq.push_tail rq seed;
+    let rec loop () =
+      match Rq.pop rq with
+      | None -> ()
+      | Some r ->
+          Instrument.visit stats;
+          if Space.cost space r <= cmax then begin
+            boundaries := r :: !boundaries;
+            Instrument.hold stats r;
+            (match State.horizontal ~k r with
+            | Some r' when not (prune r') ->
+                mark r';
+                Rq.push_tail rq r'
+            | Some _ | None -> ())
+          end
+          else
+            (* Vertical neighbors explored head-first so the current
+               group finishes before the next begins. *)
+            List.iter
+              (fun r' ->
+                if not (prune r') then begin
+                  mark r';
+                  Rq.push_head rq r'
+                end)
+              (List.rev (State.vertical ~k r));
+          loop ()
+    in
+    loop ();
+    !boundaries
+  end
+
+let solve space ~cmax =
+  let boundaries = find_boundaries space ~cmax in
+  if boundaries = [] then Solution.empty space
+  else Cost_phase2.find_max_doi space boundaries

@@ -1,0 +1,18 @@
+(** Algorithm C-BOUNDARIES (Section 5.2.1, Figure 5) — provably optimal
+    for Problem 2 (maximize doi under [cost ≤ cmax]).
+
+    Phase one (FINDBOUNDARY) walks the cost state space breadth-first
+    by group, collecting {e boundaries}: nodes that satisfy the cost
+    constraint while their Vertical predecessors do not.  Horizontal
+    neighbors of boundaries seed the next group; if a group yields no
+    boundary the search stops (Proposition 5).  Visited nodes and nodes
+    lying below an already-found boundary are pruned.  Phase two
+    ({!Cost_phase2.find_max_doi}) extracts the maximum-doi node at or
+    below the boundaries. *)
+
+val find_boundaries : Space.t -> cmax:float -> State.t list
+(** Phase one only (exposed for tests and the worked Figure 6 example).
+    The space must be cost-ordered. *)
+
+val solve : Space.t -> cmax:float -> Solution.t
+(** Both phases. *)

@@ -1,0 +1,95 @@
+let find_max_bounds space ~cmax =
+  let kk = Space.k space in
+  if kk = 0 then []
+  else begin
+    let stats = Space.stats space in
+    let visited = Hashtbl.create 256 in
+    (* Bounds are kept with their bitmasks; subset tests are single
+       [land]s.  Only maximal bounds are retained: pushing a new bound
+       evicts the bounds it contains. *)
+    let max_bounds : (int * State.t) list ref = ref [] in
+    let covered mask =
+      List.exists (fun (bm, _) -> mask land bm = mask) !max_bounds
+    in
+    let push_bound r =
+      let m = State.mask r in
+      max_bounds :=
+        (m, r)
+        :: List.filter (fun (bm, _) -> not (bm land m = bm)) !max_bounds;
+      Instrument.hold stats r
+    in
+    let prune s = Hashtbl.mem visited s || covered (State.mask s) in
+    (* Greedy saturation: repeatedly insert the most expensive absent
+       preference that keeps the state within the budget.  Formula 6
+       makes state cost additive, so neighbors are priced in O(1). *)
+    let climb r =
+      let rec go r cost_r =
+        Instrument.eval stats;
+        let rec find p =
+          if p >= kk then None
+          else if State.mem p r then find (p + 1)
+          else if cost_r +. Space.pos_cost space p <= cmax then Some p
+          else find (p + 1)
+        in
+        match find 0 with
+        | Some p -> go (State.add p r) (cost_r +. Space.pos_cost space p)
+        | None -> r
+      in
+      go r (Space.cost space r)
+    in
+    let find_max_bound seed_pos =
+      let rq = Rq.create stats in
+      let seed = State.singleton seed_pos in
+      if not (prune seed) then begin
+        Hashtbl.replace visited seed ();
+        Rq.push_head rq seed
+      end;
+      let rec loop () =
+        match Rq.pop rq with
+        | None -> ()
+        | Some r0 when covered (State.mask r0) ->
+            (* A bound found after r0 was enqueued already covers it. *)
+            loop ()
+        | Some r0 ->
+            Instrument.visit stats;
+            let r = if Space.cost space r0 <= cmax then climb r0 else r0 in
+            if (not (State.equal r r0)) && not (prune r) then push_bound r;
+            List.iter
+              (fun r' ->
+                if State.mem seed_pos r' && not (prune r') then begin
+                  Hashtbl.replace visited r' ();
+                  Rq.push_head rq r'
+                end)
+              (State.vertical ~k:kk r);
+            loop ()
+      in
+      loop ()
+    in
+    let last_size () =
+      match !max_bounds with
+      | [] -> 0
+      | (_, head) :: _ -> State.group_size head
+    in
+    let pos = ref 0 in
+    while !pos + last_size () < kk do
+      find_max_bound !pos;
+      incr pos
+    done;
+    List.map snd !max_bounds
+  end
+
+let solve space ~cmax =
+  let bounds = find_max_bounds space ~cmax in
+  if bounds = [] then begin
+    (* No multi-preference bound was found; fall back to the feasible
+       singletons, which the greedy rounds skip when they cannot grow. *)
+    let kk = Space.k space in
+    let singles =
+      List.filter
+        (fun s -> Space.cost space s <= cmax)
+        (List.init kk State.singleton)
+    in
+    if singles = [] then Solution.empty space
+    else Cost_phase2.find_max_doi space singles
+  end
+  else Cost_phase2.find_max_doi space bounds

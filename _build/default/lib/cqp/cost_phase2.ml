@@ -1,0 +1,62 @@
+let best_below space boundary =
+  let k = Space.k space in
+  let used = Hashtbl.create 8 in
+  let slot_best pos =
+    (* Smallest preference id among positions [pos, K-1] of C not yet
+       used: that preference has the best doi available to this slot. *)
+    let best = ref None in
+    for j = pos to k - 1 do
+      let id = Space.pref_id space j in
+      if not (Hashtbl.mem used id) then
+        match !best with
+        | Some b when b <= id -> ()
+        | _ -> best := Some id
+    done;
+    !best
+  in
+  (* Most constrained slot first: largest position has the fewest
+     candidate replacements. *)
+  let slots = List.rev boundary in
+  List.filter_map
+    (fun pos ->
+      match slot_best pos with
+      | Some id ->
+          Hashtbl.add used id ();
+          Some id
+      | None -> None)
+    slots
+  |> List.sort Stdlib.compare
+
+let find_max_doi space boundaries =
+  let stats = Space.stats space in
+  let ordered =
+    List.stable_sort
+      (fun a b -> Stdlib.compare (State.group_size b) (State.group_size a))
+      boundaries
+  in
+  let ps = Space.pref_space space in
+  let best = ref None in
+  let best_doi = ref 0. in
+  (try
+     let kr = ref (Space.k space) in
+     List.iter
+       (fun boundary ->
+         let g = State.group_size boundary in
+         if g < !kr then begin
+           (* Best possible doi from any group of size <= g. *)
+           let bound = Pref_space.prefix_doi ps g in
+           if !best_doi > bound then raise Exit;
+           kr := g
+         end;
+         Instrument.visit stats;
+         let ids = best_below space boundary in
+         let doi = (Space.params_of_ids space ids).Params.doi in
+         if doi > !best_doi || !best = None then begin
+           best_doi := doi;
+           best := Some ids
+         end)
+       ordered
+   with Exit -> ());
+  match !best with
+  | None -> Solution.empty space
+  | Some ids -> Solution.of_ids space ids

@@ -1,0 +1,19 @@
+(** C_FINDMAXDOI — the shared second phase of the cost-space algorithms
+    (Figure 5).
+
+    Given the boundaries found by phase one (states over the C vector),
+    search {e below} each boundary for the node of maximum doi.  A
+    position [k] of a boundary may be replaced by any position [j ≥ k]
+    (a cheaper-or-equal preference), so the best node below a boundary
+    is found greedily, most-constrained slot first, without evaluating
+    dois: since [P] is sorted by decreasing doi, the slot just takes
+    the smallest unused preference identifier available to it.
+    Boundaries are examined in decreasing group size with the
+    BestExpectedDoi early exit. *)
+
+val find_max_doi : Space.t -> State.t list -> Solution.t
+(** [find_max_doi space boundaries] — [space] must be cost-ordered. *)
+
+val best_below : Space.t -> State.t -> int list
+(** Preference ids of the maximum-doi node below one boundary (used by
+    tests). *)

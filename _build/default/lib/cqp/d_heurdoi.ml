@@ -1,0 +1,58 @@
+let solve space ~cmax =
+  let k = Space.k space in
+  let stats = Space.stats space in
+  let ps = Space.pref_space space in
+  if k = 0 then Solution.empty space
+  else begin
+    let best = ref None and best_doi = ref 0. in
+    (* Greedy saturation with O(1) neighbor pricing (additive cost). *)
+    let climb ?forbid r =
+      let rec go r cost_r =
+        Instrument.visit stats;
+        let rec find p =
+          if p >= k then None
+          else if State.mem p r || forbid = Some p then find (p + 1)
+          else if cost_r +. Space.pos_cost space p <= cmax then Some p
+          else find (p + 1)
+        in
+        match find 0 with
+        | Some p -> go (State.add p r) (cost_r +. Space.pos_cost space p)
+        | None -> r
+      in
+      go r (Space.cost space r)
+    in
+    let consider r =
+      if Space.cost space r <= cmax then begin
+        let doi = Space.doi space r in
+        if doi > !best_doi || !best = None then begin
+          best_doi := doi;
+          best := Some r
+        end
+      end
+    in
+    let round seed_pos =
+      let seed = State.singleton seed_pos in
+      if Space.cost space seed <= cmax then begin
+        let r = climb seed in
+        consider r;
+        (* Heuristic probes: drop the solution's tail elements one at a
+           time and re-climb without them. *)
+        let arr = Array.of_list r in
+        for i = Array.length arr - 1 downto 1 do
+          let prefix = Array.to_list (Array.sub arr 0 i) in
+          let alt = climb ~forbid:arr.(i) prefix in
+          consider alt
+        done
+      end
+    in
+    let pos = ref 0 in
+    let best_expected = ref (Pref_space.suffix_doi ps 0) in
+    while !pos < k && !best_doi <= !best_expected do
+      round !pos;
+      best_expected := Pref_space.suffix_doi ps !pos;
+      incr pos
+    done;
+    match !best with
+    | None -> Solution.empty space
+    | Some r -> Solution.of_ids space (Space.pref_ids space r)
+  end

@@ -1,0 +1,80 @@
+let find_optimal space ~cmax =
+  let k = Space.k space in
+  if k = 0 then []
+  else begin
+    let stats = Space.stats space in
+    let rq = Rq.create stats in
+    let visited = Hashtbl.create 256 in
+    let solutions = ref [] in
+    let prune s = Hashtbl.mem visited s in
+    let mark s = Hashtbl.replace visited s () in
+    let seed = State.singleton 0 in
+    mark seed;
+    Rq.push_tail rq seed;
+    let rec loop () =
+      match Rq.pop rq with
+      | None -> ()
+      | Some r ->
+          Instrument.visit stats;
+          let continue_from =
+            if Space.cost space r <= cmax then begin
+              (* Climb horizontally while the budget holds. *)
+              let rec climb r =
+                match State.horizontal ~k r with
+                | Some r' when Space.cost space r' <= cmax -> climb r'
+                | next -> (r, next)
+              in
+              let last_good, violator = climb r in
+              solutions := last_good :: !solutions;
+              Instrument.hold stats last_good;
+              Option.value violator ~default:last_good
+            end
+            else r
+          in
+          List.iter
+            (fun r' ->
+              if not (prune r') then begin
+                mark r';
+                Rq.push_tail rq r'
+              end)
+            (State.vertical ~k continue_from);
+          loop ()
+    in
+    loop ();
+    !solutions
+  end
+
+let solve space ~cmax =
+  let stats = Space.stats space in
+  let solutions = find_optimal space ~cmax in
+  if solutions = [] then Solution.empty space
+  else begin
+    let ps = Space.pref_space space in
+    let ordered =
+      List.stable_sort
+        (fun a b -> Stdlib.compare (State.group_size b) (State.group_size a))
+        solutions
+    in
+    let best = ref None and best_doi = ref 0. in
+    (try
+       let kr = ref (Space.k space) in
+       List.iter
+         (fun r ->
+           let g = State.group_size r in
+           if g < !kr then begin
+             let bound = Pref_space.prefix_doi ps g in
+             if !best_doi > bound then raise Exit;
+             kr := g
+           end;
+           Instrument.visit stats;
+           let doi = Space.doi space r in
+           if doi > !best_doi || !best = None then begin
+             best_doi := doi;
+             best := Some r
+           end)
+         ordered
+     with Exit -> ());
+    match !best with
+    | None -> Solution.empty space
+    | Some r -> Solution.of_ids space (Space.pref_ids space r)
+  end

@@ -1,0 +1,68 @@
+let solve space ~cmax =
+  let k = Space.k space in
+  let stats = Space.stats space in
+  let ps = Space.pref_space space in
+  if k = 0 then Solution.empty space
+  else begin
+    let visited = Hashtbl.create 256 in
+    let best = ref None and best_doi = ref 0. in
+    (* Greedy saturation with O(1) neighbor pricing (additive cost). *)
+    let climb r =
+      let rec go r cost_r =
+        let rec find p =
+          if p >= k then None
+          else if State.mem p r then find (p + 1)
+          else if cost_r +. Space.pos_cost space p <= cmax then Some p
+          else find (p + 1)
+        in
+        match find 0 with
+        | Some p -> go (State.add p r) (cost_r +. Space.pos_cost space p)
+        | None -> r
+      in
+      go r (Space.cost space r)
+    in
+    let consider r =
+      let doi = Space.doi space r in
+      if (doi > !best_doi || !best = None) && Space.cost space r <= cmax
+      then begin
+        best_doi := doi;
+        best := Some r
+      end
+    in
+    let round seed_pos =
+      let rq = Rq.create stats in
+      let seed = State.singleton seed_pos in
+      if not (Hashtbl.mem visited seed) then begin
+        Hashtbl.replace visited seed ();
+        Rq.push_head rq seed
+      end;
+      let rec loop () =
+        match Rq.pop rq with
+        | None -> ()
+        | Some r0 ->
+            Instrument.visit stats;
+            let r = if Space.cost space r0 <= cmax then climb r0 else r0 in
+            if Space.cost space r <= cmax then consider r;
+            List.iter
+              (fun r' ->
+                if State.mem seed_pos r' && not (Hashtbl.mem visited r')
+                then begin
+                  Hashtbl.replace visited r' ();
+                  Rq.push_head rq r'
+                end)
+              (State.vertical ~k r);
+            loop ()
+      in
+      loop ()
+    in
+    let pos = ref 0 in
+    let best_expected = ref (Pref_space.suffix_doi ps 0) in
+    while !pos < k && !best_doi <= !best_expected do
+      round !pos;
+      best_expected := Pref_space.suffix_doi ps !pos;
+      incr pos
+    done;
+    match !best with
+    | None -> Solution.empty space
+    | Some r -> Solution.of_ids space (Space.pref_ids space r)
+  end

@@ -1,0 +1,14 @@
+(** Algorithm D-SINGLEMAXDOI (Section 5.2.2, Figure 10) — heuristic,
+    doi-space, single-phase.
+
+    Follows the C-MAXBOUNDS idea in the doi space: every round seeds
+    the search with the next preference in decreasing-doi order,
+    greedily saturates states with Horizontal2 insertions (the
+    highest-doi preference that still fits the cost budget first), and
+    explores Vertical neighbors that retain the seed.  It keeps the
+    best solution seen and stops as soon as the best doi already
+    exceeds BestExpectedDoi, the doi of all not-yet-seeded preferences
+    combined. *)
+
+val solve : Space.t -> cmax:float -> Solution.t
+(** The space must be doi-ordered. *)

@@ -1,0 +1,69 @@
+(** Parameter estimation for personalized queries (Sections 4.3, 7.1).
+
+    An estimator is bound to a catalog and an initial query [Q] and
+    prices candidate personalized queries [Q ∧ Px] without executing
+    them:
+
+    - {b cost}: the paper's I/O-only model.  Each preference [pᵢ]
+      becomes one sub-query [qᵢ] reading Q's relations plus the
+      relations on the preference path, at [blocks(R) · b] ms per
+      relation; the personalized query costs the sum over its
+      sub-queries (Formula 6/11), group-by considered free.
+    - {b size}: a System-R-style selectivity estimate.  Each preference
+      keeps a fraction of Q's answer (terminal-selection selectivity
+      propagated through the join path under uniformity/containment);
+      the [HAVING count( * ) = L] intersection multiplies fractions
+      under independence.  This construction guarantees the paper's
+      partial order (Formula 8: more preferences, no larger size).
+    - {b doi}: Formulas 9/10 via {!Cqp_prefs.Doi}.
+
+    All three are incrementally computable, which the state-space
+    algorithms exploit. *)
+
+type t
+
+val create :
+  ?block_ms:float ->
+  ?f:Cqp_prefs.Doi.compose ->
+  ?r:Cqp_prefs.Doi.combine ->
+  Cqp_relal.Catalog.t ->
+  Cqp_sql.Ast.query ->
+  t
+(** @raise Invalid_argument when [Q] references unknown relations. *)
+
+val catalog : t -> Cqp_relal.Catalog.t
+val query : t -> Cqp_sql.Ast.query
+
+val base_cost : t -> float
+(** Estimated cost of executing [Q] itself (one scan of its relations). *)
+
+val base_size : t -> float
+(** Estimated result size of [Q]. *)
+
+val item_cost : t -> Cqp_prefs.Path.t -> float
+(** [cost(Q ∧ p)] — the cost of the single sub-query integrating [p]. *)
+
+val item_frac : t -> Cqp_prefs.Path.t -> float
+(** Fraction of Q's answer kept by the preference, in [0, 1]. *)
+
+val item_size : t -> Cqp_prefs.Path.t -> float
+(** [size(Q ∧ p) = base_size · item_frac]. *)
+
+val item_doi : t -> Cqp_prefs.Path.t -> float
+(** Composed doi of the path (Formula 9 under the configured [f⊗]). *)
+
+val combine_doi : t -> float list -> float
+(** Conjunction doi (Formula 10 under the configured [r]). *)
+
+val combine_doi_incr : t -> float -> float -> float
+
+val params_of : t -> Cqp_prefs.Path.t list -> Params.t
+(** Full estimate for [Q ∧ Px].  With an empty list this is [Q] itself
+    (doi 0, base cost, base size). *)
+
+val merged_cost : t -> Cqp_prefs.Path.t list -> float
+(** Cost of the footnote-1 merged construction
+    ({!Rewrite.personalize_merged}): [Q]'s relations are scanned once
+    and each path contributes its own joined relation instances —
+    [base_cost + Σᵢ extraᵢ] instead of the union's
+    [Σᵢ (base_cost + extraᵢ)]. *)

@@ -1,0 +1,44 @@
+let max_k = 24
+
+let iter_subsets k f =
+  if k > max_k then
+    invalid_arg
+      (Printf.sprintf "Exhaustive: K = %d exceeds the %d-bit cap" k max_k);
+  let n = 1 lsl k in
+  for mask = 0 to n - 1 do
+    let ids = ref [] in
+    for bit = k - 1 downto 0 do
+      if mask land (1 lsl bit) <> 0 then ids := bit :: !ids
+    done;
+    f !ids
+  done
+
+let solve space ~cmax =
+  let k = Space.k space in
+  let stats = Space.stats space in
+  let best = ref [] and best_doi = ref 0. in
+  iter_subsets k (fun ids ->
+      if ids <> [] then begin
+        Instrument.visit stats;
+        let p = Space.params_of_ids space ids in
+        if p.Params.cost <= cmax && p.Params.doi > !best_doi then begin
+          best_doi := p.Params.doi;
+          best := ids
+        end
+      end);
+  Solution.of_ids space !best
+
+let solve_problem space problem =
+  let k = Space.k space in
+  let stats = Space.stats space in
+  let best = ref None in
+  iter_subsets k (fun ids ->
+      Instrument.visit stats;
+      let p = Space.params_of_ids space ids in
+      if Params.satisfies problem.Problem.constraints p then begin
+        let v = Problem.objective_value problem p in
+        match !best with
+        | Some (_, bv) when not (Problem.better problem v bv) -> ()
+        | _ -> best := Some (ids, v)
+      end);
+  Option.map (fun (ids, _) -> Solution.of_ids space ids) !best

@@ -1,0 +1,19 @@
+(** Exhaustive search over all 2^K preference subsets.
+
+    The O(2^K) reference the paper's Section 5.2 mentions; used as the
+    ground-truth oracle in tests and for the generic Table-1 problems
+    at small K.  Refuses K beyond {!max_k} (the full enumeration would
+    be unreasonable — use the specialized algorithms instead). *)
+
+val max_k : int
+(** 24. *)
+
+val solve : Space.t -> cmax:float -> Solution.t
+(** Problem 2: maximize doi under [cost <= cmax].
+    @raise Invalid_argument when K exceeds {!max_k}. *)
+
+val solve_problem : Space.t -> Problem.t -> Solution.t option
+(** Any Table-1 problem; [None] when no feasible subset exists (note
+    the empty set counts as feasible only if it satisfies the
+    constraints, e.g. a [dmin > 0] rules it out).
+    @raise Invalid_argument when K exceeds {!max_k}. *)

@@ -1,0 +1,45 @@
+type t = {
+  mutable states_visited : int;
+  mutable param_evals : int;
+  mutable live_words : int;
+  mutable peak_words : int;
+  mutable wall_seconds : float;
+}
+
+let entry_overhead_words = 3
+
+let create () =
+  {
+    states_visited = 0;
+    param_evals = 0;
+    live_words = 0;
+    peak_words = 0;
+    wall_seconds = 0.;
+  }
+
+let visit t = t.states_visited <- t.states_visited + 1
+let eval t = t.param_evals <- t.param_evals + 1
+
+let hold t state =
+  t.live_words <- t.live_words + State.group_size state + entry_overhead_words;
+  if t.live_words > t.peak_words then t.peak_words <- t.live_words
+
+let release t state =
+  t.live_words <-
+    max 0 (t.live_words - State.group_size state - entry_overhead_words)
+
+let peak_bytes t = t.peak_words * 8
+let peak_kbytes t = float_of_int (peak_bytes t) /. 1024.
+
+let snapshot t =
+  {
+    states_visited = t.states_visited;
+    param_evals = t.param_evals;
+    live_words = t.live_words;
+    peak_words = t.peak_words;
+    wall_seconds = t.wall_seconds;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "visited=%d evals=%d peak=%.1fKB time=%.4fs"
+    t.states_visited t.param_evals (peak_kbytes t) t.wall_seconds

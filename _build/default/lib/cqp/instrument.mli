@@ -1,0 +1,32 @@
+(** Machine-independent instrumentation of the search algorithms.
+
+    The paper reports optimization time (Figure 12) and maximum memory
+    used (Figure 13).  Wall-clock time is machine-dependent, so we also
+    count states visited and parameter evaluations; memory is tracked
+    as a high-water mark of the integer slots held live in queues,
+    boundary lists and solution lists (each state of group size [g]
+    accounts for [g + entry_overhead_words] machine words). *)
+
+type t = {
+  mutable states_visited : int;
+  mutable param_evals : int;  (** cost/doi/size evaluations *)
+  mutable live_words : int;
+  mutable peak_words : int;
+  mutable wall_seconds : float;  (** filled in by the solver wrapper *)
+}
+
+val entry_overhead_words : int
+val create : unit -> t
+val visit : t -> unit
+val eval : t -> unit
+
+val hold : t -> State.t -> unit
+(** Record that a state is now stored (queue, boundary set, ...). *)
+
+val release : t -> State.t -> unit
+(** Record that a stored state was dropped. *)
+
+val peak_bytes : t -> int
+val peak_kbytes : t -> float
+val snapshot : t -> t
+val pp : Format.formatter -> t -> unit

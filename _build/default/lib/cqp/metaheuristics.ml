@@ -1,0 +1,154 @@
+module Rng = Cqp_util.Rng
+
+type budget = { evaluations : int }
+
+let default_budget = { evaluations = 2000 }
+
+(* States are boolean inclusion vectors over preference ids. *)
+let ids_of_bits bits =
+  let ids = ref [] in
+  Array.iteri (fun i b -> if b then ids := i :: !ids) bits;
+  List.rev !ids
+
+(* Fitness: doi when the cost budget holds, else a large penalty scaled
+   by the violation so the search is guided back to feasibility. *)
+let fitness space ~cmax bits =
+  let p = Space.params_of_ids space (ids_of_bits bits) in
+  if p.Params.cost <= cmax then p.Params.doi
+  else -.(p.Params.cost -. cmax) /. (cmax +. 1.)
+
+let best_feasible space ~cmax candidates =
+  let best = ref None and best_doi = ref 0. in
+  List.iter
+    (fun bits ->
+      let ids = ids_of_bits bits in
+      let p = Space.params_of_ids space ids in
+      if
+        p.Params.cost <= cmax
+        && (p.Params.doi > !best_doi || !best = None)
+      then begin
+        best_doi := p.Params.doi;
+        best := Some ids
+      end)
+    candidates;
+  match !best with
+  | Some ids -> Solution.of_ids space ids
+  | None -> Solution.empty space
+
+let random_bits rng k =
+  Array.init k (fun _ -> Rng.bool rng)
+
+let simulated_annealing ?(budget = default_budget)
+    ?(initial_temperature = 1.0) ?(cooling = 0.995) ~rng space ~cmax =
+  let k = Space.k space in
+  if k = 0 then Solution.empty space
+  else begin
+    let current = Array.make k false in
+    (* Start from the empty set: always feasible wrt the cost bound. *)
+    let current_fit = ref (fitness space ~cmax current) in
+    let best = ref (Array.copy current) in
+    let best_fit = ref !current_fit in
+    let temperature = ref initial_temperature in
+    for _ = 1 to budget.evaluations do
+      let flip = Rng.int rng k in
+      current.(flip) <- not current.(flip);
+      let f = fitness space ~cmax current in
+      let accept =
+        f >= !current_fit
+        || Rng.float rng 1.0 < exp ((f -. !current_fit) /. max 1e-9 !temperature)
+      in
+      if accept then begin
+        current_fit := f;
+        if f > !best_fit then begin
+          best_fit := f;
+          best := Array.copy current
+        end
+      end
+      else current.(flip) <- not current.(flip);
+      temperature := !temperature *. cooling
+    done;
+    best_feasible space ~cmax [ !best ]
+  end
+
+let genetic ?(budget = default_budget) ?(population = 24)
+    ?(mutation_rate = 0.05) ~rng space ~cmax =
+  let k = Space.k space in
+  if k = 0 then Solution.empty space
+  else begin
+    let pop =
+      Array.init population (fun i ->
+          if i = 0 then Array.make k false else random_bits rng k)
+    in
+    let fits = Array.map (fitness space ~cmax) pop in
+    let evals = ref population in
+    let tournament () =
+      let a = Rng.int rng population and b = Rng.int rng population in
+      if fits.(a) >= fits.(b) then a else b
+    in
+    let crossover a b =
+      let cut = Rng.int rng k in
+      Array.init k (fun i -> if i < cut then pop.(a).(i) else pop.(b).(i))
+    in
+    let mutate child =
+      Array.iteri
+        (fun i _ ->
+          if Rng.float rng 1.0 < mutation_rate then child.(i) <- not child.(i))
+        child
+    in
+    while !evals < budget.evaluations do
+      let child = crossover (tournament ()) (tournament ()) in
+      mutate child;
+      let f = fitness space ~cmax child in
+      incr evals;
+      (* Replace the current worst. *)
+      let worst = ref 0 in
+      Array.iteri (fun i fi -> if fi < fits.(!worst) then worst := i) fits;
+      if f > fits.(!worst) then begin
+        pop.(!worst) <- child;
+        fits.(!worst) <- f
+      end
+    done;
+    best_feasible space ~cmax (Array.to_list pop)
+  end
+
+let tabu ?(budget = default_budget) ?(tenure = 8) ~rng space ~cmax =
+  let k = Space.k space in
+  if k = 0 then Solution.empty space
+  else begin
+    ignore rng;
+    let current = Array.make k false in
+    let best = ref (Array.copy current) in
+    let best_fit = ref (fitness space ~cmax current) in
+    let tabu_until = Array.make k 0 in
+    let evals = ref 0 in
+    let iter = ref 0 in
+    while !evals < budget.evaluations do
+      incr iter;
+      (* Evaluate the whole flip neighborhood; take the best non-tabu
+         move (aspiration: a tabu move improving the global best is
+         allowed). *)
+      let best_move = ref (-1) and best_move_fit = ref neg_infinity in
+      for i = 0 to k - 1 do
+        if !evals < budget.evaluations then begin
+          current.(i) <- not current.(i);
+          let f = fitness space ~cmax current in
+          incr evals;
+          current.(i) <- not current.(i);
+          let allowed = tabu_until.(i) <= !iter || f > !best_fit in
+          if allowed && f > !best_move_fit then begin
+            best_move := i;
+            best_move_fit := f
+          end
+        end
+      done;
+      if !best_move >= 0 then begin
+        current.(!best_move) <- not current.(!best_move);
+        tabu_until.(!best_move) <- !iter + tenure;
+        if !best_move_fit > !best_fit then begin
+          best_fit := !best_move_fit;
+          best := Array.copy current
+        end
+      end
+    done;
+    best_feasible space ~cmax [ !best ]
+  end

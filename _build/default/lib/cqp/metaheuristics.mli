@@ -1,0 +1,43 @@
+(** Generic combinatorial-optimization baselines for Problem 2.
+
+    The related-work section argues that generic state-space methods —
+    simulated annealing [10], genetic algorithms [5], tabu search [4] —
+    apply to CQP but ignore its syntax-based partial orders.  These
+    implementations make that comparison concrete: they optimize the
+    same objective (doi, with infeasible states rejected) over bitset
+    states with flip neighborhoods, and are benchmarked against the
+    CQP-aware algorithms in the ablation experiment.
+
+    All are deterministic given the {!Cqp_util.Rng.t} seed. *)
+
+type budget = {
+  evaluations : int;  (** parameter-evaluation budget per run *)
+}
+
+val default_budget : budget
+
+val simulated_annealing :
+  ?budget:budget ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  rng:Cqp_util.Rng.t ->
+  Space.t ->
+  cmax:float ->
+  Solution.t
+
+val genetic :
+  ?budget:budget ->
+  ?population:int ->
+  ?mutation_rate:float ->
+  rng:Cqp_util.Rng.t ->
+  Space.t ->
+  cmax:float ->
+  Solution.t
+
+val tabu :
+  ?budget:budget ->
+  ?tenure:int ->
+  rng:Cqp_util.Rng.t ->
+  Space.t ->
+  cmax:float ->
+  Solution.t

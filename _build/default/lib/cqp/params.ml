@@ -1,0 +1,41 @@
+type t = { doi : float; cost : float; size : float }
+
+type constraints = {
+  cmax : float option;
+  dmin : float option;
+  smin : float option;
+  smax : float option;
+}
+
+let unconstrained = { cmax = None; dmin = None; smin = None; smax = None }
+let with_cmax c = { unconstrained with cmax = Some c }
+let make ?cmax ?dmin ?smin ?smax () = { cmax; dmin; smin; smax }
+
+let violates_cost c p =
+  match c.cmax with Some b -> p.cost > b | None -> false
+
+let violates_doi c p =
+  match c.dmin with Some b -> p.doi < b | None -> false
+
+let violates_size c p =
+  (match c.smin with Some b -> p.size < b | None -> false)
+  || match c.smax with Some b -> p.size > b | None -> false
+
+let satisfies c p =
+  (not (violates_cost c p))
+  && (not (violates_doi c p))
+  && not (violates_size c p)
+
+let pp ppf p =
+  Format.fprintf ppf "doi=%.4f cost=%.1fms size=%.1f" p.doi p.cost p.size
+
+let pp_bound ppf (name, op, v) =
+  match v with
+  | None -> ()
+  | Some x -> Format.fprintf ppf " %s %s %g" name op x
+
+let pp_constraints ppf c =
+  Format.fprintf ppf "{%a%a%a%a }" pp_bound
+    ("cost", "<=", c.cmax)
+    pp_bound ("doi", ">=", c.dmin) pp_bound ("size", ">=", c.smin) pp_bound
+    ("size", "<=", c.smax)

@@ -1,0 +1,129 @@
+type point = { pref_ids : int list; params : Params.t }
+
+let dominates a b =
+  a.params.Params.doi >= b.params.Params.doi
+  && a.params.Params.cost <= b.params.Params.cost
+  && (a.params.Params.doi > b.params.Params.doi
+     || a.params.Params.cost < b.params.Params.cost)
+
+let is_front points =
+  List.for_all
+    (fun a -> not (List.exists (fun b -> dominates b a) points))
+    points
+
+(* Keep the non-dominated subset of candidates sorted by cost: scan in
+   increasing cost and keep a point only when it strictly improves the
+   best doi seen so far. *)
+let skyline candidates =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match Stdlib.compare a.params.Params.cost b.params.Params.cost with
+        | 0 -> Stdlib.compare b.params.Params.doi a.params.Params.doi
+        | c -> c)
+      candidates
+  in
+  let best_doi = ref neg_infinity in
+  List.filter
+    (fun p ->
+      if p.params.Params.doi > !best_doi then begin
+        best_doi := p.params.Params.doi;
+        true
+      end
+      else false)
+    sorted
+
+let feasible constraints (p : Params.t) =
+  match constraints with
+  | None -> true
+  | Some c ->
+      (* Only the size interval filters candidates here: doi and cost
+         are the objectives themselves. *)
+      not (Params.violates_size c p)
+
+let exact_front ?constraints space =
+  let k = Space.k space in
+  if k > Exhaustive.max_k then
+    invalid_arg
+      (Printf.sprintf "Pareto.exact_front: K = %d exceeds %d" k
+         Exhaustive.max_k);
+  let candidates = ref [] in
+  let consider ids =
+    let params = Space.params_of_ids space ids in
+    if feasible constraints params then
+      candidates := { pref_ids = ids; params } :: !candidates
+  in
+  consider [];
+  List.iter consider (State.all_states ~k);
+  skyline !candidates
+
+let greedy_front ?constraints space =
+  let k = Space.k space in
+  let chain = ref [] in
+  let current = ref [] in
+  let consider ids =
+    let params = Space.params_of_ids space ids in
+    if feasible constraints params then
+      chain := { pref_ids = ids; params } :: !chain
+  in
+  consider [];
+  let remaining = ref (List.init k Fun.id) in
+  for _ = 1 to k do
+    match !remaining with
+    | [] -> ()
+    | _ ->
+        let base = Space.params_of_ids space !current in
+        let scored =
+          List.map
+            (fun id ->
+              let params = Space.params_of_ids space (id :: !current) in
+              let gain = params.Params.doi -. base.Params.doi in
+              let price = max 1e-9 (params.Params.cost -. base.Params.cost) in
+              (id, gain /. price))
+            !remaining
+        in
+        let best_id, _ =
+          List.fold_left
+            (fun (bi, bs) (i, s) -> if s > bs then (i, s) else (bi, bs))
+            (List.hd scored) (List.tl scored)
+        in
+        current := List.sort compare (best_id :: !current);
+        remaining := List.filter (fun id -> id <> best_id) !remaining;
+        consider !current
+  done;
+  skyline !chain
+
+let knee points =
+  match skyline points with
+  | [] -> None
+  | [ p ] -> Some p
+  | front ->
+      let doi_of p = p.params.Params.doi and cost_of p = p.params.Params.cost in
+      let min_c = List.fold_left (fun m p -> min m (cost_of p)) infinity front in
+      let max_c = List.fold_left (fun m p -> max m (cost_of p)) 0. front in
+      let min_d = List.fold_left (fun m p -> min m (doi_of p)) infinity front in
+      let max_d = List.fold_left (fun m p -> max m (doi_of p)) 0. front in
+      let span_c = max 1e-9 (max_c -. min_c) in
+      let span_d = max 1e-9 (max_d -. min_d) in
+      (* Maximize normalized doi minus normalized cost: the point with
+         the best trade-off relative to the front's extremes. *)
+      let score p =
+        ((doi_of p -. min_d) /. span_d) -. ((cost_of p -. min_c) /. span_c)
+      in
+      List.fold_left
+        (fun best p ->
+          match best with
+          | Some b when score b >= score p -> best
+          | _ -> Some p)
+        None front
+
+let pp ppf points =
+  Format.pp_open_vbox ppf 0;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "{%s} %a@ "
+        (String.concat ","
+           (List.map (fun i -> "p" ^ string_of_int (i + 1)) p.pref_ids))
+        Params.pp p.params)
+    points;
+  Format.pp_close_box ppf ()

@@ -1,0 +1,42 @@
+(** Multi-objective CQP (the paper's Section 8 future work: "studying
+    query personalization as a multi-objective constrained optimization
+    problem, where more than one query parameter may be optimized
+    simultaneously").
+
+    Instead of optimizing one parameter under bounds on the others,
+    compute the {e Pareto front} over (doi ↑, cost ↓): the
+    personalizations not dominated by any other.  A point dominates
+    another when its doi is no smaller and its cost no larger, strictly
+    better in at least one.  Presented with the front, a
+    context-mapping policy can pick a point without committing to a
+    single Table-1 problem in advance.
+
+    Size constraints, when given, filter candidates before the
+    dominance pass. *)
+
+type point = { pref_ids : int list; params : Params.t }
+
+val exact_front :
+  ?constraints:Params.constraints -> Space.t -> point list
+(** The exact front by exhaustive enumeration, increasing cost (and
+    therefore increasing doi).  Exponential in K: refuses K beyond
+    {!Exhaustive.max_k}. *)
+
+val greedy_front :
+  ?constraints:Params.constraints -> Space.t -> point list
+(** An approximate front in O(K²): the chain of personalizations built
+    by repeatedly adding the preference with the best marginal
+    doi-per-cost ratio.  Every returned point is feasible and mutually
+    non-dominated; at most K+1 points. *)
+
+val dominates : point -> point -> bool
+val is_front : point list -> bool
+(** All points mutually non-dominated (for tests). *)
+
+val knee : point list -> point option
+(** The "knee" of a front: the point maximizing the doi gain per unit
+    cost relative to the front's extremes — a reasonable default choice
+    for a policy with no other information.  [None] on an empty
+    front. *)
+
+val pp : Format.formatter -> point list -> unit

@@ -1,0 +1,74 @@
+let log_src = Logs.Src.create "cqp.personalizer" ~doc:"CQP pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type outcome = {
+  original : Cqp_sql.Ast.query;
+  pref_space : Pref_space.t;
+  solution : Solution.t;
+  personalized : Cqp_sql.Ast.query;
+  rows : Cqp_relal.Tuple.t list;
+  real_cost_ms : float;
+}
+
+let personalize_query ?(algorithm = Algorithm.C_boundaries) ?max_k catalog
+    profile ~query ~problem =
+  Cqp_sql.Analyzer.check catalog query;
+  Log.debug (fun m ->
+      m "personalizing %S under %s"
+        (Cqp_sql.Printer.to_string query)
+        (Problem.describe problem));
+  let estimate = Estimate.create catalog query in
+  let ps =
+    Pref_space.build ~constraints:problem.Problem.constraints ?max_k
+      ~orders:(Algorithm.required_orders algorithm)
+      estimate profile
+  in
+  Log.debug (fun m ->
+      m "preference space: K = %d, supreme cost %.1f ms" (Pref_space.k ps)
+        (Pref_space.supreme_cost ps));
+  let solution =
+    match Solver.solve ~algorithm ps problem with
+    | Some sol ->
+        Log.debug (fun m ->
+            m "%s selected %d preferences (%a)" (Algorithm.name algorithm)
+              (List.length sol.Solution.pref_ids)
+              Params.pp sol.Solution.params);
+        sol
+    | None ->
+        (* Infeasible: fall back to the unpersonalized query. *)
+        Log.info (fun m ->
+            m "no feasible personalization for %s; running the query as-is"
+              (Problem.describe problem));
+        Solution.empty (Space.create ~order:Space.By_doi ps)
+  in
+  let space = Space.create ~order:Space.By_doi ps in
+  let paths = Solution.paths space solution in
+  (* dedup:true — exact intersection semantics even when a preference
+     path has a fan-out join (the paper's plain construction drops
+     tuples matched more than once by a branch; see Rewrite). *)
+  let personalized = Rewrite.personalize ~dedup:true catalog query paths in
+  (ps, solution, personalized)
+
+let ranked_results ?mode catalog outcome =
+  let space =
+    Space.create ~order:Space.By_doi outcome.pref_space
+  in
+  Ranker.rank_solution ?mode catalog outcome.original space outcome.solution
+
+let run ?algorithm ?max_k ?(execute = true) catalog profile ~sql ~problem ()
+    =
+  let query = Cqp_sql.Parser.parse sql in
+  let ps, solution, personalized =
+    personalize_query ?algorithm ?max_k catalog profile ~query ~problem
+  in
+  let rows, real_cost_ms =
+    if execute then begin
+      let result = Cqp_exec.Engine.execute catalog personalized in
+      ( result.Cqp_exec.Engine.rows,
+        float_of_int result.Cqp_exec.Engine.block_reads
+        *. Cqp_exec.Io.default_block_ms )
+    end
+    else ([], 0.)
+  in
+  { original = query; pref_space = ps; solution; personalized; rows; real_cost_ms }

@@ -1,0 +1,66 @@
+(** The Preference Space module (Section 4.4, Figure 3).
+
+    Given a query [Q] and a profile [U], extracts the set [P] of atomic
+    and implicit selection preferences related to [Q] — those whose
+    personalization-graph paths attach to a relation of [Q] — by a
+    best-first traversal in decreasing order of doi, pruning candidates
+    that can never satisfy the CQP constraints.
+
+    The output carries the paper's three pointer vectors over [P]:
+    - [D]: positions in decreasing doi (the identity, since the
+      traversal emits preferences in that order);
+    - [C]: positions ordering [cost(Q ∧ p)] decreasing;
+    - [S]: positions ordering [size(Q ∧ p)] increasing.
+
+    Vector entries are 0-based indices into [items]. *)
+
+type item = {
+  path : Cqp_prefs.Path.t;
+  doi : float;  (** composed doi of the path *)
+  cost : float;  (** cost(Q ∧ p) *)
+  size : float;  (** size(Q ∧ p) *)
+}
+
+type t = {
+  estimate : Estimate.t;
+  items : item array;  (** P, in decreasing doi *)
+  d : int array;
+  c : int array;
+  s : int array;
+}
+
+type orders = D_only | All_orders
+
+val build :
+  ?constraints:Params.constraints ->
+  ?max_k:int ->
+  ?max_path_length:int ->
+  ?orders:orders ->
+  Estimate.t ->
+  Cqp_prefs.Profile.t ->
+  t
+(** Run the traversal.  [max_k] truncates to the top-K preferences by
+    doi (the experiments' K parameter); [max_path_length] bounds
+    implicit-preference length (default: number of catalog relations);
+    [orders = D_only] skips building [C] and [S] (the cheaper variant
+    timed as D_PrefSelTime in Figure 12(b)). *)
+
+val k : t -> int
+(** Cardinality of [P]. *)
+
+val supreme_cost : t -> float
+(** Cost of the query integrating all K preferences — the paper's
+    "Supreme Cost", the 100% point of the cmax sweeps. *)
+
+val supreme_doi : t -> float
+(** doi of the all-preferences conjunction (the best possible doi). *)
+
+val prefix_doi : t -> int -> float
+(** [prefix_doi t g]: doi of the top-[g] preferences by doi — the
+    BestExpectedDoi bound for groups of size [g]. *)
+
+val suffix_doi : t -> int -> float
+(** [suffix_doi t k]: doi of preferences [k..K-1] (0-based) combined —
+    the BestExpectedDoi bound used by single-phase algorithms. *)
+
+val pp : Format.formatter -> t -> unit

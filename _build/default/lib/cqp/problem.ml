@@ -1,0 +1,62 @@
+type objective = Maximize_doi | Minimize_cost
+
+type t = {
+  number : int;
+  objective : objective;
+  constraints : Params.constraints;
+}
+
+let problem1 ~smin ~smax =
+  {
+    number = 1;
+    objective = Maximize_doi;
+    constraints = Params.make ~smin ~smax ();
+  }
+
+let problem2 ~cmax =
+  { number = 2; objective = Maximize_doi; constraints = Params.make ~cmax () }
+
+let problem3 ~cmax ~smin ~smax =
+  {
+    number = 3;
+    objective = Maximize_doi;
+    constraints = Params.make ~cmax ~smin ~smax ();
+  }
+
+let problem4 ~dmin =
+  { number = 4; objective = Minimize_cost; constraints = Params.make ~dmin () }
+
+let problem5 ~dmin ~smin ~smax =
+  {
+    number = 5;
+    objective = Minimize_cost;
+    constraints = Params.make ~dmin ~smin ~smax ();
+  }
+
+let problem6 ~smin ~smax =
+  {
+    number = 6;
+    objective = Minimize_cost;
+    constraints = Params.make ~smin ~smax ();
+  }
+
+let describe t =
+  let obj =
+    match t.objective with
+    | Maximize_doi -> "maximize doi"
+    | Minimize_cost -> "minimize cost"
+  in
+  Format.asprintf "Problem %d: %s subject to%a" t.number obj
+    Params.pp_constraints t.constraints
+
+let better t a b =
+  match t.objective with
+  | Maximize_doi -> a > b
+  | Minimize_cost -> a < b
+
+let objective_value t (p : Params.t) =
+  match t.objective with
+  | Maximize_doi -> p.Params.doi
+  | Minimize_cost -> p.Params.cost
+
+let pp ppf t = Format.pp_print_string ppf (describe t)

@@ -1,0 +1,39 @@
+(** The CQP problem family (Table 1 of the paper).
+
+    Each problem optimizes one query parameter while the others satisfy
+    range constraints:
+
+    {v
+    #   objective        cost           doi          size
+    1   MAX doi          -              -            smin <= size <= smax
+    2   MAX doi          cost <= cmax   -            -
+    3   MAX doi          cost <= cmax   -            smin <= size <= smax
+    4   MIN cost         -              doi >= dmin  -
+    5   MIN cost         -              doi >= dmin  smin <= size <= smax
+    6   MIN cost         -              -            smin <= size <= smax
+    v} *)
+
+type objective = Maximize_doi | Minimize_cost
+
+type t = {
+  number : int;  (** 1..6, the paper's numbering *)
+  objective : objective;
+  constraints : Params.constraints;
+}
+
+val problem1 : smin:float -> smax:float -> t
+val problem2 : cmax:float -> t
+val problem3 : cmax:float -> smin:float -> smax:float -> t
+val problem4 : dmin:float -> t
+val problem5 : dmin:float -> smin:float -> smax:float -> t
+val problem6 : smin:float -> smax:float -> t
+
+val describe : t -> string
+(** e.g. ["Problem 2: maximize doi subject to cost <= 400"]. *)
+
+val better : t -> float -> float -> bool
+(** [better p a b]: is objective value [a] strictly better than [b]
+    under the problem's optimization direction? *)
+
+val objective_value : t -> Params.t -> float
+val pp : Format.formatter -> t -> unit

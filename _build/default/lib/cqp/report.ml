@@ -1,0 +1,109 @@
+type chosen = {
+  pref_id : int;
+  condition : string;
+  doi : float;
+  cost : float;
+  kept_fraction : float;
+}
+
+type rejected = {
+  r_pref_id : int;
+  r_condition : string;
+  r_doi : float;
+  reason : string;
+}
+
+type t = {
+  problem : string;
+  chosen : chosen list;
+  rejected : rejected list;
+  totals : Params.t;
+}
+
+let condition_of ps id =
+  Cqp_sql.Printer.predicate_to_string
+    (Cqp_prefs.Path.condition ps.Pref_space.items.(id).Pref_space.path)
+
+let build (problem : Problem.t) ps (solution : Solution.t) =
+  let space = Space.create ~order:Space.By_doi ps in
+  let base_size = Estimate.base_size ps.Pref_space.estimate in
+  let item id = ps.Pref_space.items.(id) in
+  let chosen =
+    List.map
+      (fun id ->
+        let it = item id in
+        {
+          pref_id = id;
+          condition = condition_of ps id;
+          doi = it.Pref_space.doi;
+          cost = it.Pref_space.cost;
+          kept_fraction =
+            (if base_size > 0. then it.Pref_space.size /. base_size else 0.);
+        })
+      solution.Solution.pref_ids
+  in
+  let constraints = problem.Problem.constraints in
+  let rejected =
+    List.init (Pref_space.k ps) Fun.id
+    |> List.filter (fun id -> not (List.mem id solution.Solution.pref_ids))
+    |> List.map (fun id ->
+           let it = item id in
+           let with_it =
+             Space.params_of_ids space (id :: solution.Solution.pref_ids)
+           in
+           let reason =
+             if Params.violates_cost constraints with_it then
+               Printf.sprintf
+                 "adding it would exceed the cost budget (%.0f > %.0f ms)"
+                 with_it.Params.cost
+                 (Option.value constraints.Params.cmax ~default:infinity)
+             else if Params.violates_size constraints with_it then
+               Printf.sprintf
+                 "adding it would leave the result size out of bounds (%.1f)"
+                 with_it.Params.size
+             else
+               match problem.Problem.objective with
+               | Problem.Minimize_cost ->
+                   Printf.sprintf
+                     "not needed: the constraints already hold and it costs %.0f ms"
+                     it.Pref_space.cost
+               | Problem.Maximize_doi ->
+                   (* Feasible but unchosen under doi maximization: a
+                      cheaper combination achieved at least as much. *)
+                   Printf.sprintf
+                     "a combination without it reaches doi %.4f within the bounds"
+                     solution.Solution.params.Params.doi
+           in
+           { r_pref_id = id; r_condition = condition_of ps id;
+             r_doi = it.Pref_space.doi; reason })
+  in
+  {
+    problem = Problem.describe problem;
+    chosen;
+    rejected;
+    totals = solution.Solution.params;
+  }
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  Format.fprintf ppf "%s@ " t.problem;
+  Format.fprintf ppf "chosen (%d):@ " (List.length t.chosen);
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  + p%d  doi %.3f, %.0f ms, keeps %.1f%%: %s@ "
+        (c.pref_id + 1) c.doi c.cost
+        (100. *. c.kept_fraction)
+        c.condition)
+    t.chosen;
+  if t.rejected <> [] then begin
+    Format.fprintf ppf "left out (%d):@ " (List.length t.rejected);
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "  - p%d  doi %.3f: %s@       %s@ "
+          (r.r_pref_id + 1) r.r_doi r.r_condition r.reason)
+      t.rejected
+  end;
+  Format.fprintf ppf "overall: %a" Params.pp t.totals;
+  Format.pp_close_box ppf ()
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,37 @@
+(** Human-readable personalization reports.
+
+    Turns a search outcome into an explanation a user (or a developer
+    debugging a profile) can read: which preferences were chosen, what
+    each contributes to interest/cost/size, which high-interest
+    preferences were left out and what would happen if they were
+    forced in.  Built entirely from the outcome's preference space and
+    solution — no re-execution. *)
+
+type chosen = {
+  pref_id : int;
+  condition : string;  (** the preference's SQL condition *)
+  doi : float;
+  cost : float;  (** cost of its sub-query, ms *)
+  kept_fraction : float;  (** share of Q's answer it keeps *)
+}
+
+type rejected = {
+  r_pref_id : int;
+  r_condition : string;
+  r_doi : float;
+  reason : string;
+      (** e.g. "adding it would exceed the cost budget (431 > 400 ms)" *)
+}
+
+type t = {
+  problem : string;
+  chosen : chosen list;  (** in decreasing doi *)
+  rejected : rejected list;
+      (** unchosen preferences, best doi first, with the binding
+          constraint each would violate (or a no-improvement note) *)
+  totals : Params.t;
+}
+
+val build : Problem.t -> Pref_space.t -> Solution.t -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,155 @@
+module Ast = Cqp_sql.Ast
+module Path = Cqp_prefs.Path
+module Profile = Cqp_prefs.Profile
+
+exception Rewrite_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Rewrite_error m)) fmt
+
+let block_of = function
+  | Ast.Select b -> b
+  | Ast.Union_all _ -> fail "initial query must be a single SELECT block"
+
+let base_tables b =
+  List.map
+    (function
+      | Ast.Table (name, alias) -> (name, Option.value alias ~default:name)
+      | Ast.Subquery _ -> fail "initial query must range over base tables")
+    b.Ast.from
+
+(* Fresh alias for a path relation, avoiding every name already in
+   scope. *)
+let fresh_alias taken rel =
+  let rec try_n n =
+    let candidate = if n = 0 then rel ^ "_p" else rel ^ "_p" ^ string_of_int n in
+    if List.mem candidate taken then try_n (n + 1) else candidate
+  in
+  try_n 0
+
+let subquery_block catalog b path =
+  ignore catalog;
+  let tables = base_tables b in
+  let anchor = Path.anchor path in
+  let anchor_alias =
+    match List.assoc_opt anchor tables with
+    | Some alias -> alias
+    | None -> (
+        (* The anchor may be referenced under an alias only: accept a
+           FROM item whose table name matches. *)
+        match List.find_opt (fun (name, _) -> name = anchor) tables with
+        | Some (_, alias) -> alias
+        | None -> fail "anchor relation %s not in the query" anchor)
+  in
+  let taken = ref (List.map snd tables @ List.map fst tables) in
+  (* Map each path relation to the alias its conditions should use. *)
+  let alias_map = Hashtbl.create 8 in
+  Hashtbl.add alias_map anchor anchor_alias;
+  let extra_rels =
+    match Path.relations path with [] -> [] | _anchor :: rest -> rest
+  in
+  let new_tables =
+    List.map
+      (fun rel ->
+        let alias = fresh_alias !taken rel in
+        taken := alias :: !taken;
+        Hashtbl.replace alias_map rel alias;
+        Ast.Table (rel, Some alias))
+      extra_rels
+  in
+  let alias_of rel =
+    match Hashtbl.find_opt alias_map rel with
+    | Some a -> a
+    | None -> fail "internal: no alias for path relation %s" rel
+  in
+  let join_pred (j : Profile.join) =
+    Ast.Cmp
+      ( Ast.Eq,
+        Ast.Col (Some (alias_of j.j_from_rel), j.j_from_attr),
+        Ast.Col (Some (alias_of j.j_to_rel), j.j_to_attr) )
+  in
+  let sel = path.Path.sel in
+  let sel_pred =
+    Ast.Cmp
+      ( sel.Profile.s_op,
+        Ast.Col (Some (alias_of sel.Profile.s_rel), sel.Profile.s_attr),
+        Ast.Lit sel.Profile.s_value )
+  in
+  let pred = Ast.conj (List.map join_pred path.Path.joins @ [ sel_pred ]) in
+  {
+    b with
+    Ast.from = b.Ast.from @ new_tables;
+    where = Ast.conj_opt b.Ast.where pred;
+  }
+
+let subquery_of catalog q path =
+  Ast.Select (subquery_block catalog (block_of q) path)
+
+(* Output column names of the initial query, needed for the wrapper's
+   SELECT/GROUP BY. *)
+let output_names catalog q =
+  match Cqp_sql.Analyzer.output_schema catalog q with
+  | schema -> List.map fst schema
+  | exception Cqp_sql.Analyzer.Semantic_error msg ->
+      fail "initial query is not well-formed: %s" msg
+
+let personalize ?(dedup = false) catalog q paths =
+  match paths with
+  | [] -> q
+  | [ p ] -> subquery_of catalog q p
+  | _ ->
+      let b = block_of q in
+      let names = output_names catalog q in
+      if List.exists (fun n -> n = "literal") names then
+        fail "initial query output columns must be named";
+      (* Sub-queries: the plain SPJ part of Q extended per preference
+         (ordering and limiting move to the wrapper). *)
+      let inner_block =
+        { b with Ast.order_by = []; limit = None; distinct = dedup }
+      in
+      let subqueries =
+        List.map
+          (fun p -> Ast.Select (subquery_block catalog inner_block p))
+          paths
+      in
+      let union = Ast.Union_all subqueries in
+      let cols = List.map (fun n -> Ast.Col (None, n)) names in
+      let items = List.map (fun c -> Ast.Item (c, None)) cols in
+      Ast.Select
+        {
+          Ast.distinct = false;
+          items;
+          from = [ Ast.Subquery (union, "qp") ];
+          where = None;
+          group_by = cols;
+          having =
+            Some
+              (Ast.Cmp
+                 ( Ast.Eq,
+                   Ast.Count_star,
+                   Ast.Lit (Cqp_relal.Value.Int (List.length paths)) ));
+          order_by =
+            (* Ordering keys now refer to the wrapper's output columns:
+               strip qualifiers; keys that are not output columns cannot
+               survive the union and are dropped. *)
+            List.filter_map
+              (fun (e, dir) ->
+                match e with
+                | Ast.Col (_, name) when List.mem name names ->
+                    Some (Ast.Col (None, name), dir)
+                | _ -> None)
+              b.Ast.order_by;
+          limit = b.Ast.limit;
+        }
+
+let personalize_merged catalog q paths =
+  match paths with
+  | [] -> q
+  | _ ->
+      let b = block_of q in
+      (* Chain the per-preference extensions onto one block; fresh
+         aliases accumulate because each call sees the previous call's
+         additions in the FROM list. *)
+      let merged =
+        List.fold_left (fun blk p -> subquery_block catalog blk p) b paths
+      in
+      Ast.Select { merged with Ast.distinct = true }

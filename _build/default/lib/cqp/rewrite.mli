@@ -1,0 +1,56 @@
+(** Personalized Query Construction (Section 4.2).
+
+    Given the initial query [Q] and the preference set [PU] selected by
+    the search, build the final SQL:
+
+    - one sub-query per preference, obtained by adding the preference
+      path's relations to Q's FROM clause (under fresh aliases) and its
+      join/selection conditions to the WHERE clause;
+    - the final query as the UNION ALL of the sub-queries wrapped in
+      [GROUP BY <output columns> HAVING count( * ) = L], which keeps
+      exactly the tuples satisfying {e all} L preferences.
+
+    [Q] must be a single SELECT block over base tables with named
+    output columns (the shape query personalization applies to). *)
+
+exception Rewrite_error of string
+
+val subquery_of :
+  Cqp_relal.Catalog.t ->
+  Cqp_sql.Ast.query ->
+  Cqp_prefs.Path.t ->
+  Cqp_sql.Ast.query
+(** [Q ∧ p] for a single preference.
+    @raise Rewrite_error when [Q] has the wrong shape or the path's
+    anchor relation does not appear in [Q]. *)
+
+val personalize :
+  ?dedup:bool ->
+  Cqp_relal.Catalog.t ->
+  Cqp_sql.Ast.query ->
+  Cqp_prefs.Path.t list ->
+  Cqp_sql.Ast.query
+(** The full construction; with an empty list returns [Q] unchanged,
+    with one preference returns the single sub-query (no wrapper
+    needed).  ORDER BY / LIMIT / DISTINCT of [Q] move to the wrapper.
+
+    [dedup] (default false, the paper's exact construction) makes every
+    sub-query DISTINCT.  The paper's [HAVING count( * ) = L] test
+    implicitly assumes each sub-query yields a tuple at most once; a
+    preference path with a fan-out join (one movie, two matching genre
+    rows) breaks that assumption and silently drops the tuple —
+    [dedup:true] restores exact intersection semantics. *)
+
+val personalize_merged :
+  Cqp_relal.Catalog.t ->
+  Cqp_sql.Ast.query ->
+  Cqp_prefs.Path.t list ->
+  Cqp_sql.Ast.query
+(** The paper's footnote-1 optimization, implemented in its most
+    general form: all preferences merged into one conjunctive
+    sub-query, each path keeping its own fresh relation instances (so
+    two genre preferences match {e different} genre rows of the same
+    movie, exactly as the UNION construction does).  Returns the same
+    bag of tuples as {!personalize} up to duplicates — the merged form
+    is wrapped in SELECT DISTINCT to align the two — while scanning
+    [Q]'s relations once instead of [L] times. *)

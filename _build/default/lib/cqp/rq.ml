@@ -1,0 +1,34 @@
+type t = {
+  mutable front : State.t list;
+  mutable back : State.t list;  (** reversed *)
+  mutable size : int;
+  stats : Instrument.t;
+}
+
+let create stats = { front = []; back = []; size = 0; stats }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let push_head t s =
+  t.front <- s :: t.front;
+  t.size <- t.size + 1;
+  Instrument.hold t.stats s
+
+let push_tail t s =
+  t.back <- s :: t.back;
+  t.size <- t.size + 1;
+  Instrument.hold t.stats s
+
+let pop t =
+  (match t.front with
+  | [] ->
+      t.front <- List.rev t.back;
+      t.back <- []
+  | _ -> ());
+  match t.front with
+  | [] -> None
+  | s :: rest ->
+      t.front <- rest;
+      t.size <- t.size - 1;
+      Instrument.release t.stats s;
+      Some s

@@ -1,0 +1,17 @@
+(** The algorithms' work queue RQ: a deque of states supporting
+    insertion at both ends (Vertical neighbors go to the head so a
+    group is finished before the next one starts; Horizontal neighbors
+    go to the tail).  Holding/releasing is reported to the given
+    instrumentation so queue residency contributes to the memory
+    high-water mark. *)
+
+type t
+
+val create : Instrument.t -> t
+val is_empty : t -> bool
+val length : t -> int
+val push_head : t -> State.t -> unit
+val push_tail : t -> State.t -> unit
+
+val pop : t -> State.t option
+(** Remove and return the head. *)

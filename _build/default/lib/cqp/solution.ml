@@ -1,0 +1,26 @@
+type t = { pref_ids : int list; params : Params.t; stats : Instrument.t }
+
+let empty space =
+  {
+    pref_ids = [];
+    params = Space.params_of_ids space [];
+    stats = Instrument.snapshot (Space.stats space);
+  }
+
+let of_ids space ids =
+  let ids = List.sort_uniq Stdlib.compare ids in
+  {
+    pref_ids = ids;
+    params = Space.params_of_ids space ids;
+    stats = Instrument.snapshot (Space.stats space);
+  }
+
+let paths space t =
+  List.map
+    (fun id -> (Space.item space id).Pref_space.path)
+    t.pref_ids
+
+let pp ppf t =
+  Format.fprintf ppf "PU = {%s} %a"
+    (String.concat ", " (List.map (fun i -> "p" ^ string_of_int (i + 1)) t.pref_ids))
+    Params.pp t.params

@@ -1,0 +1,20 @@
+(** The result of a CQP search: the preference subset [PU] to integrate
+    into the query, its estimated parameters, and the search's
+    instrumentation snapshot. *)
+
+type t = {
+  pref_ids : int list;
+      (** sorted indices into [Pref_space.items]; empty when no
+          feasible personalization exists (the query runs as-is) *)
+  params : Params.t;
+  stats : Instrument.t;
+}
+
+val empty : Space.t -> t
+(** The no-personalization solution for a space. *)
+
+val of_ids : Space.t -> int list -> t
+val paths : Space.t -> t -> Cqp_prefs.Path.t list
+(** The preference paths selected (for query rewriting). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,322 @@
+(* Branch-and-bound for the cost-minimization problems (4, 5, 6).
+
+   Preferences are considered in increasing cost order; the search adds
+   or skips each in turn.  Pruning:
+   - bound: current cost already >= best known feasible cost;
+   - doi infeasibility: even combining every remaining preference
+     cannot reach dmin;
+   - size infeasibility: the current size is already below smin (sizes
+     only shrink as preferences are added). *)
+let min_cost_bnb space (constraints : Params.constraints) =
+  let k = Space.k space in
+  let stats = Space.stats space in
+  let by_cost =
+    List.init k (fun id -> id)
+    |> List.sort
+         (fun a b ->
+           Stdlib.compare
+             (Space.item space a).Pref_space.cost
+             (Space.item space b).Pref_space.cost)
+    |> Array.of_list
+  in
+  let item id = Space.item space id in
+  (* suffix_doi_bound.(i): noisy-or doi of items by_cost.(i..) — an upper
+     bound on what the remaining choices can still contribute. *)
+  let ps = Space.pref_space space in
+  let suffix_doi_bound = Array.make (k + 1) 0. in
+  for i = k - 1 downto 0 do
+    suffix_doi_bound.(i) <-
+      Estimate.combine_doi_incr ps.Pref_space.estimate
+        suffix_doi_bound.(i + 1)
+        (item by_cost.(i)).Pref_space.doi
+  done;
+  let best = ref None in
+  let best_cost = ref infinity in
+  let feasible p = Params.satisfies constraints p in
+  (* A node budget bounds the worst case (deep dmin targets): past it,
+     the search stops expanding and the greedy completion below covers
+     feasibility.
+
+     Note on costs: each item's cost already includes scanning Q's
+     relations (it prices one whole sub-query, Formula 6), so the
+     accumulated cost of a non-empty set is simply the sum of item
+     costs; only the empty set is priced as Q itself (base cost). *)
+  let budget = ref 2_000_000 in
+  let rec go i chosen (params : Params.t) =
+    Instrument.visit stats;
+    decr budget;
+    if params.Params.cost < !best_cost then begin
+      if feasible params then begin
+        best := Some (List.rev chosen);
+        best_cost := params.Params.cost
+      end;
+      (* Once feasible, deeper nodes only add cost: stop this branch.
+         (doi grows and size shrinks with additions, but both are
+         already within bounds and cost strictly increases.) *)
+      if i < k && (not (feasible params)) && !budget > 0 then begin
+        let remaining_possible =
+          (* Could the constraints still be met further down? *)
+          (match constraints.Params.dmin with
+          | Some dmin ->
+              Estimate.combine_doi_incr ps.Pref_space.estimate
+                params.Params.doi suffix_doi_bound.(i)
+              >= dmin
+          | None -> true)
+          &&
+          match constraints.Params.smin with
+          | Some smin -> params.Params.size >= smin
+          | None -> true
+        in
+        if remaining_possible then begin
+          let id = by_cost.(i) in
+          let it = item id in
+          let with_params =
+            {
+              Params.doi =
+                Estimate.combine_doi_incr ps.Pref_space.estimate
+                  params.Params.doi it.Pref_space.doi;
+              cost =
+                (if chosen = [] then it.Pref_space.cost
+                 else params.Params.cost +. it.Pref_space.cost);
+              size =
+                (if Estimate.base_size ps.Pref_space.estimate > 0. then
+                   params.Params.size *. it.Pref_space.size
+                   /. Estimate.base_size ps.Pref_space.estimate
+                 else 0.);
+            }
+          in
+          (* Branch skipping the item first (cheaper stays cheaper). *)
+          go (i + 1) chosen params;
+          go (i + 1) (id :: chosen) with_params
+        end
+      end
+    end
+  in
+  go 0 [] (Space.params_of_ids space []);
+  (if !best = None && !budget <= 0 then begin
+     (* Budget ran out before any feasible node: greedy completion,
+        cheapest preferences first. *)
+     let rec greedy i acc =
+       if i >= k then None
+       else begin
+         let acc = by_cost.(i) :: acc in
+         if feasible (Space.params_of_ids space acc) then Some acc
+         else greedy (i + 1) acc
+       end
+     in
+     match greedy 0 [] with
+     | Some ids -> best := Some ids
+     | None -> ()
+   end);
+  Option.map (Solution.of_ids space) !best
+
+(* Branch-and-bound for the doi-maximization problems with size
+   intervals (1, 3).  Items are taken in decreasing doi order (the D
+   order: identity on preference ids); pruning:
+   - optimistic bound: current doi noisy-or'ed with every remaining doi
+     cannot beat the best feasible doi found;
+   - monotone infeasibility: cost above cmax or size below smin only
+     worsen as preferences are added;
+   - size above smax is repaired by adding, so it never prunes. *)
+let max_doi_bnb space (constraints : Params.constraints) =
+  let k = Space.k space in
+  let stats = Space.stats space in
+  let ps = Space.pref_space space in
+  let item id = Space.item space id in
+  let suffix_doi = Array.make (k + 1) 0. in
+  for i = k - 1 downto 0 do
+    suffix_doi.(i) <-
+      Estimate.combine_doi_incr ps.Pref_space.estimate suffix_doi.(i + 1)
+        (item i).Pref_space.doi
+  done;
+  let best = ref None in
+  let best_doi = ref neg_infinity in
+  let best_cost = ref infinity in
+  let feasible p = Params.satisfies constraints p in
+  let budget = ref 2_000_000 in
+  let record ids (params : Params.t) =
+    if
+      params.Params.doi > !best_doi +. 1e-15
+      || (params.Params.doi >= !best_doi -. 1e-15
+         && params.Params.cost < !best_cost)
+      || !best = None
+    then begin
+      best := Some ids;
+      best_doi := params.Params.doi;
+      best_cost := params.Params.cost
+    end
+  in
+  let rec go i chosen (params : Params.t) =
+    Instrument.visit stats;
+    decr budget;
+    if feasible params then record (List.rev chosen) params;
+    if i < k && !budget > 0 then begin
+      let optimistic =
+        Estimate.combine_doi_incr ps.Pref_space.estimate params.Params.doi
+          suffix_doi.(i)
+      in
+      let still_viable =
+        optimistic > !best_doi +. 1e-15
+        || (!best = None && optimistic >= !best_doi)
+      in
+      let monotone_ok =
+        (match constraints.Params.cmax with
+        | Some cmax -> params.Params.cost <= cmax
+        | None -> true)
+        &&
+        match constraints.Params.smin with
+        | Some smin -> params.Params.size >= smin
+        | None -> true
+      in
+      if still_viable && monotone_ok then begin
+        let it = item i in
+        (* As in min_cost_bnb: item costs each price a full sub-query,
+           so a non-empty set costs the plain sum; the empty set is Q
+           itself. *)
+        let with_params =
+          {
+            Params.doi =
+              Estimate.combine_doi_incr ps.Pref_space.estimate
+                params.Params.doi it.Pref_space.doi;
+            cost =
+              (if chosen = [] then it.Pref_space.cost
+               else params.Params.cost +. it.Pref_space.cost);
+            size =
+              (if Estimate.base_size ps.Pref_space.estimate > 0. then
+                 params.Params.size *. it.Pref_space.size
+                 /. Estimate.base_size ps.Pref_space.estimate
+               else 0.);
+          }
+        in
+        (* Include-first: high-doi sets are reached early, making the
+           optimistic bound effective. *)
+        go (i + 1) (i :: chosen) with_params;
+        go (i + 1) chosen params
+      end
+    end
+  in
+  go 0 [] (Space.params_of_ids space []);
+  Option.map (Solution.of_ids space) !best
+
+(* Greedy repair towards a size interval: add the preference that costs
+   least while [size > smax] (more conjuncts shrink the answer), drop
+   the lowest-doi one while [size < smin]. *)
+let repair_size space (constraints : Params.constraints) ids =
+  let k = Space.k space in
+  let params ids = Space.params_of_ids space ids in
+  let rec grow ids =
+    let p = params ids in
+    match constraints.Params.smax with
+    | Some smax when p.Params.size > smax -> (
+        let candidates =
+          List.filter (fun id -> not (List.mem id ids)) (List.init k Fun.id)
+          |> List.sort
+               (fun a b ->
+                 Stdlib.compare
+                   (Space.item space a).Pref_space.cost
+                   (Space.item space b).Pref_space.cost)
+        in
+        let viable =
+          List.find_opt
+            (fun id ->
+              let p' = params (id :: ids) in
+              (not (Params.violates_cost constraints p'))
+              && not
+                   (match constraints.Params.smin with
+                   | Some smin -> p'.Params.size < smin
+                   | None -> false))
+            candidates
+        in
+        match viable with
+        | Some id -> grow (id :: ids)
+        | None -> ids)
+    | _ -> ids
+  in
+  let rec shed ids =
+    let p = params ids in
+    match constraints.Params.smin with
+    | Some smin when p.Params.size < smin -> (
+        match
+          List.sort
+            (fun a b ->
+              Stdlib.compare
+                (Space.item space a).Pref_space.doi
+                (Space.item space b).Pref_space.doi)
+            ids
+        with
+        | lowest :: _ -> shed (List.filter (fun id -> id <> lowest) ids)
+        | [] -> ids)
+    | _ -> ids
+  in
+  shed (grow ids)
+
+(* A Problem-2-shaped view of a size-constrained problem: per-item cost
+   becomes -log frac so that "size >= smin" is "Σ cost' <= cmax'". *)
+let log_size_space ps =
+  let open Pref_space in
+  let base = Estimate.base_size ps.estimate in
+  let items =
+    Array.map
+      (fun it ->
+        let frac = if base > 0. then it.size /. base else 0. in
+        let cost = if frac <= 0. then 1e9 else -.log frac in
+        { it with cost })
+      ps.items
+  in
+  let c = Array.init (Array.length items) (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      match Stdlib.compare items.(j).cost items.(i).cost with
+      | 0 -> Stdlib.compare i j
+      | cmp -> cmp)
+    c;
+  { ps with items; c }
+
+let log_size_pref_space = log_size_space
+let run_doi_max algorithm ps ~cmax = Algorithm.run algorithm ps ~cmax
+
+let solve ?(algorithm = Algorithm.C_boundaries) ps (problem : Problem.t) =
+  let constraints = problem.Problem.constraints in
+  let check_feasible space (sol : Solution.t) =
+    if Params.satisfies constraints sol.Solution.params then Some sol
+    else begin
+      (* Try repairing the size interval; re-check afterwards. *)
+      let ids = repair_size space constraints sol.Solution.pref_ids in
+      let sol' = Solution.of_ids space ids in
+      if Params.satisfies constraints sol'.Solution.params then Some sol'
+      else None
+    end
+  in
+  match problem.Problem.number with
+  | 2 -> (
+      match constraints.Params.cmax with
+      | None -> invalid_arg "Solver.solve: Problem 2 requires cmax"
+      | Some cmax ->
+          let sol = run_doi_max algorithm ps ~cmax in
+          let space = Space.create ~order:Space.By_doi ps in
+          check_feasible space sol)
+  | 1 when constraints.Params.smax = None -> (
+      (* Pure lower size bound: the exact log-space reduction lets the
+         chosen Section-5 algorithm do the work. *)
+      match constraints.Params.smin with
+      | None -> invalid_arg "Solver.solve: Problem 1 requires smin"
+      | Some smin ->
+          let base = Estimate.base_size ps.Pref_space.estimate in
+          if base < smin then None
+          else begin
+            let cmax' = log (base /. smin) in
+            let ps' = log_size_space ps in
+            let sol = run_doi_max algorithm ps' ~cmax:cmax' in
+            let space = Space.create ~order:Space.By_doi ps in
+            check_feasible space
+              (Solution.of_ids space sol.Solution.pref_ids)
+          end)
+  | 1 | 3 ->
+      if problem.Problem.number = 3 && constraints.Params.cmax = None then
+        invalid_arg "Solver.solve: Problem 3 requires cmax";
+      let space = Space.create ~order:Space.By_doi ps in
+      max_doi_bnb space constraints
+  | 4 | 5 | 6 ->
+      let space = Space.create ~order:Space.By_doi ps in
+      min_cost_bnb space constraints
+  | n -> invalid_arg (Printf.sprintf "Solver.solve: unknown problem %d" n)

@@ -1,0 +1,55 @@
+(** Solving every CQP problem of Table 1 (Section 6).
+
+    The paper observes that all six problems share the same state
+    spaces and partial orders, so the Section-5 algorithms apply after
+    re-orienting the Horizontal/Vertical transitions.  This module
+    realizes that observation:
+
+    - {b Problem 2} dispatches directly to the chosen algorithm.
+      When no [smax] is involved, {b Problem 1} reduces exactly to the
+      same shape: since [size(Q ∧ Px) = size(Q) · Π fracᵢ], the lower
+      size bound [size ≥ smin] is the additive constraint
+      [Σ (−log fracᵢ) ≤ log(size(Q)/smin)] — a cost bound on a space
+      whose per-item cost is [−log frac] (the paper's "reverse the
+      transition directions on the S vector", in additive form).
+    - {b Problems 1 and 3} with a full size interval (and Problem 3's
+      cost bound) use an exact doi-maximizing branch-and-bound: items
+      in decreasing doi order, pruning on the noisy-or optimistic bound
+      and on monotone infeasibility (cost over budget, size under
+      [smin] — both only worsen as preferences are added).
+    - {b Problems 4–6} (cost minimization) use an exact
+      branch-and-bound in cost order with doi- and size-feasibility
+      pruning.
+
+    All six problems are therefore solved exactly (up to the 2M-node
+    budget that guards pathological instances, after which a greedy
+    completion keeps the answer feasible). *)
+
+val solve :
+  ?algorithm:Algorithm.t ->
+  Pref_space.t ->
+  Problem.t ->
+  Solution.t option
+(** [None] when no subset of [P] (including the empty one) satisfies
+    the constraints.  The default algorithm is [C_boundaries] (exact).
+    @raise Invalid_argument on an unknown problem number outside 1–6. *)
+
+val min_cost_bnb :
+  Space.t -> Params.constraints -> Solution.t option
+(** The Problems-4/6 branch-and-bound, exposed for tests: minimal-cost
+    subset satisfying the constraints. *)
+
+val log_size_pref_space : Pref_space.t -> Pref_space.t
+(** The Problem-1 reduction's transformed preference space: per-item
+    cost replaced by the additive size resource [−log frac], C re-sorted
+    accordingly.  A cost bound [cmax' = log (base_size /. smin)] on this
+    space is exactly the size floor on the original — so every Section-5
+    algorithm runs unchanged on Problem 1 (used by the harness to
+    reproduce the paper's "similar results were obtained for the other
+    CQP problems"). *)
+
+val max_doi_bnb :
+  Space.t -> Params.constraints -> Solution.t option
+(** The Problems-1/3 branch-and-bound, exposed for tests: maximal-doi
+    subset satisfying the constraints (ties broken towards lower
+    cost). *)

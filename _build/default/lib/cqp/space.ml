@@ -1,0 +1,94 @@
+type order = By_cost | By_doi | By_size
+
+type t = {
+  order : order;
+  ps : Pref_space.t;
+  positions : int array;  (** position -> preference id *)
+  item_cost : float array;  (** by preference id *)
+  item_doi : float array;
+  item_frac : float array;
+  base_cost : float;
+  base_size : float;
+  stats : Instrument.t;
+}
+
+let create ?(order = By_cost) ps =
+  let open Pref_space in
+  let positions =
+    match order with
+    | By_doi -> Array.copy ps.d
+    | By_cost ->
+        if Array.length ps.c <> Array.length ps.items then
+          invalid_arg "Space.create: C vector not built (use All_orders)";
+        Array.copy ps.c
+    | By_size ->
+        if Array.length ps.s <> Array.length ps.items then
+          invalid_arg "Space.create: S vector not built (use All_orders)";
+        Array.copy ps.s
+  in
+  {
+    order;
+    ps;
+    positions;
+    item_cost = Array.map (fun it -> it.cost) ps.items;
+    item_doi = Array.map (fun it -> it.doi) ps.items;
+    item_frac =
+      Array.map
+        (fun it ->
+          if Estimate.base_size ps.estimate > 0. then
+            it.size /. Estimate.base_size ps.estimate
+          else 0.)
+        ps.items;
+    base_cost = Estimate.base_cost ps.estimate;
+    base_size = Estimate.base_size ps.estimate;
+    stats = Instrument.create ();
+  }
+
+let order t = t.order
+let k t = Array.length t.positions
+let pref_space t = t.ps
+let stats t = t.stats
+let pref_id t pos = t.positions.(pos)
+let pos_cost t pos = t.item_cost.(t.positions.(pos))
+
+let pref_ids t state =
+  List.sort Stdlib.compare (List.map (fun pos -> t.positions.(pos)) state)
+
+let cost_of_ids t ids =
+  List.fold_left (fun acc id -> acc +. t.item_cost.(id)) 0. ids
+
+let doi_of_ids t ids =
+  List.fold_left
+    (fun acc id ->
+      Estimate.combine_doi_incr t.ps.Pref_space.estimate acc t.item_doi.(id))
+    0. ids
+
+let size_of_ids t ids =
+  List.fold_left (fun acc id -> acc *. t.item_frac.(id)) t.base_size ids
+
+let cost t state =
+  Instrument.eval t.stats;
+  cost_of_ids t (List.map (fun pos -> t.positions.(pos)) state)
+
+let doi t state =
+  Instrument.eval t.stats;
+  doi_of_ids t (List.map (fun pos -> t.positions.(pos)) state)
+
+let size t state =
+  Instrument.eval t.stats;
+  size_of_ids t (List.map (fun pos -> t.positions.(pos)) state)
+
+let params_of_ids t ids =
+  Instrument.eval t.stats;
+  if ids = [] then
+    { Params.doi = 0.; cost = t.base_cost; size = t.base_size }
+  else
+    {
+      Params.doi = doi_of_ids t ids;
+      cost = cost_of_ids t ids;
+      size = size_of_ids t ids;
+    }
+
+let params t state = params_of_ids t (List.map (fun pos -> t.positions.(pos)) state)
+
+let item t id = t.ps.Pref_space.items.(id)

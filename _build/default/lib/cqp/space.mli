@@ -1,0 +1,48 @@
+(** A search space: the preference set [P] viewed through one of its
+    order vectors, with memoizable parameter evaluation and
+    instrumentation.
+
+    Algorithms manipulate states of {e positions}; the space translates
+    positions to preference identifiers (indices into
+    [Pref_space.items], which is the D order) and evaluates the three
+    query parameters of any state incrementally from per-item values. *)
+
+type order = By_cost | By_doi | By_size
+
+type t
+
+val create : ?order:order -> Pref_space.t -> t
+(** Default order is [By_cost].  [By_cost]/[By_size] require the C/S
+    vectors ([Pref_space.build] with [All_orders]).
+    @raise Invalid_argument when the needed vector is missing. *)
+
+val order : t -> order
+val k : t -> int
+val pref_space : t -> Pref_space.t
+val stats : t -> Instrument.t
+
+val pref_id : t -> int -> int
+(** Preference identifier at a position of the order vector. *)
+
+val pos_cost : t -> int -> float
+(** [cost(Q ∧ p)] of the single preference at a position — the
+    increment a Horizontal2 insertion adds to a state's cost
+    (Formula 6 makes state cost additive, so greedy climbs use this
+    for O(1) neighbor pricing). *)
+
+val pref_ids : t -> State.t -> int list
+(** Sorted preference identifiers of a state. *)
+
+val cost : t -> State.t -> float
+(** Estimated cost of [Q ∧ Px] for the state (counts one parameter
+    evaluation). *)
+
+val doi : t -> State.t -> float
+val size : t -> State.t -> float
+val params : t -> State.t -> Params.t
+
+val params_of_ids : t -> int list -> Params.t
+(** Parameters of a set given directly as preference identifiers. *)
+
+val item : t -> int -> Pref_space.item
+(** Item by {e preference id} (not position). *)

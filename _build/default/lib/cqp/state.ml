@@ -1,0 +1,63 @@
+type t = int list
+
+let singleton p = [ p ]
+let group_size = List.length
+let mem = List.mem
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let rec add p = function
+  | [] -> [ p ]
+  | x :: _ as l when p < x -> p :: l
+  | x :: _ when p = x -> invalid_arg "State.add: position already present"
+  | x :: rest -> x :: add p rest
+
+let max_pos t = List.fold_left max (-1) t
+
+let horizontal ~k t =
+  let i = max_pos t in
+  if i + 1 >= k then None else Some (t @ [ i + 1 ])
+
+let vertical ~k t =
+  List.filter_map
+    (fun p ->
+      if p + 1 < k && not (mem (p + 1) t) then
+        Some (add (p + 1) (List.filter (fun x -> x <> p) t))
+      else None)
+    t
+
+let horizontal2 ~k t =
+  let rec go p =
+    if p >= k then []
+    else if mem p t then go (p + 1)
+    else add p t :: go (p + 1)
+  in
+  go 0
+
+let dominates a b =
+  List.length a = List.length b && List.for_all2 (fun x y -> x <= y) a b
+
+let subset a b = List.for_all (fun x -> mem x b) a
+
+let mask t =
+  List.fold_left
+    (fun acc p ->
+      assert (p < Sys.int_size - 1);
+      acc lor (1 lsl p))
+    0 t
+
+let to_string t =
+  "{"
+  ^ String.concat "," (List.map (fun p -> string_of_int (p + 1)) t)
+  ^ "}"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let all_states ~k =
+  let rec subsets p =
+    if p = k then [ [] ]
+    else
+      let rest = subsets (p + 1) in
+      List.map (fun s -> p :: s) rest @ rest
+  in
+  List.filter (fun s -> s <> []) (subsets 0)

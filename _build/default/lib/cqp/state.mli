@@ -1,0 +1,61 @@
+(** States and transitions of the CQP search space (Section 5.1).
+
+    A state is a non-empty subset of the preference set [P], represented
+    as a strictly increasing list of 0-based {e positions} into one of
+    the order vectors (C for cost-based spaces, D for doi-based ones,
+    S for size-based ones).  Nodes with the same number of positions
+    form a {e group} (Definition 1).
+
+    Transitions are purely syntactic (Observation 1):
+    - [horizontal] inserts the successor of the state's largest
+      position — towards the next group;
+    - [vertical] replaces one position with its successor — within the
+      same group;
+    - [horizontal2] inserts {e any} absent position (the C-MAXBOUNDS /
+      D-HEURDOI variant), neighbors returned in position order, which
+      is decreasing cost on the C vector and decreasing doi on D. *)
+
+type t = int list
+
+val singleton : int -> t
+val group_size : t -> int
+val mem : int -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val add : int -> t -> t
+(** Insert a position keeping the strictly-increasing invariant.
+    @raise Invalid_argument if already present. *)
+
+val horizontal : k:int -> t -> t option
+(** [Horizontal(Cx) = Cx ∪ {c_(i+1)}] where [i] is the largest position
+    of [Cx]; [None] at the last position.  [k] is the size of [P]. *)
+
+val vertical : k:int -> t -> t list
+(** All states obtained by replacing one position [p] with [p + 1]
+    (when [p + 1 < k] and not already present), in order of the
+    replaced position — i.e. most-expensive-replacement first on a
+    cost-ordered vector, which is the paper's decreasing-cost order. *)
+
+val horizontal2 : k:int -> t -> t list
+(** All single-position insertions, smallest position first. *)
+
+val dominates : t -> t -> bool
+(** [dominates a b]: same group and componentwise [a.(i) <= b.(i)] —
+    exactly "[b] is reachable from [a] by Vertical transitions", the
+    test used to prune nodes lying below a known boundary. *)
+
+val subset : t -> t -> bool
+
+(** Bitmask encoding (position [p] → bit [p]); usable while [k] fits a
+    native int (the library caps K far below 62).  [subset a b] is
+    [mask a land mask b = mask a]. *)
+val mask : t -> int
+val to_string : t -> string
+(** 1-based, like the paper's figures: [c1c3] prints as ["{1,3}"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val all_states : k:int -> t list
+(** Every non-empty subset, for exhaustive search and tests (use only
+    for small [k]). *)

@@ -1,0 +1,1 @@
+lib/exec/cursor.ml: Array Cqp_relal Cqp_sql Either Engine Eval Hashtbl Io List Option Rowset

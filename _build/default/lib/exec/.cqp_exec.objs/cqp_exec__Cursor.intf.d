@@ -1,0 +1,1 @@
+lib/exec/cursor.mli: Cqp_relal Cqp_sql Io

@@ -1,0 +1,1 @@
+lib/exec/engine.ml: Array Cqp_relal Cqp_sql Either Eval Format Hashtbl Io List Option Rowset

@@ -1,0 +1,1 @@
+lib/exec/engine.mli: Cqp_relal Cqp_sql Io Rowset

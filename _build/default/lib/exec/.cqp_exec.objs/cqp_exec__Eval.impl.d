@@ -1,0 +1,1 @@
+lib/exec/eval.ml: Array Cqp_relal Cqp_sql List Rowset String

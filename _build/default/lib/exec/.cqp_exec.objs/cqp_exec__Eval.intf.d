@@ -1,0 +1,1 @@
+lib/exec/eval.mli: Cqp_relal Cqp_sql Rowset

@@ -1,0 +1,1 @@
+lib/exec/explain.ml: Cqp_relal Cqp_sql Either Engine Format List Option Rowset String

@@ -1,0 +1,1 @@
+lib/exec/explain.mli: Cqp_relal Cqp_sql Format

@@ -1,0 +1,1 @@
+lib/exec/io.ml: Cqp_relal Format

@@ -1,0 +1,1 @@
+lib/exec/io.mli: Cqp_relal Format

@@ -1,0 +1,1 @@
+lib/exec/rowset.ml: Array Cqp_relal Format List Option Printf String

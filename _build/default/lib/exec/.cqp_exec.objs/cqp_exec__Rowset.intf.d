@@ -1,0 +1,1 @@
+lib/exec/rowset.mli: Cqp_relal Format

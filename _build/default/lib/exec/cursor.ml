@@ -1,0 +1,349 @@
+open Cqp_sql.Ast
+module Value = Cqp_relal.Value
+module Tuple = Cqp_relal.Tuple
+module Relation = Cqp_relal.Relation
+module Catalog = Cqp_relal.Catalog
+
+(* A stream is a header (for column resolution) plus a pull function. *)
+type stream = { cols : Rowset.col list; pull : unit -> Tuple.t option }
+type t = { stream : stream; io : Io.t }
+
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let header_rowset s = Rowset.make s.cols []
+
+(* --- leaf: block-at-a-time scan, charging I/O lazily ------------------ *)
+
+let scan io catalog name alias : stream =
+  match Catalog.find catalog name with
+  | None -> raise (Engine.Runtime_error ("unknown relation " ^ name))
+  | Some rel ->
+      let schema = Relation.schema rel in
+      let qualifier = Option.value alias ~default:name in
+      let cols =
+        List.map
+          (fun a -> Rowset.col ~qualifier a.Cqp_relal.Schema.attr_name)
+          schema.Cqp_relal.Schema.attrs
+      in
+      let n_blocks = Relation.blocks rel in
+      let block = ref 0 in
+      let buffer = ref [||] in
+      let pos = ref 0 in
+      let rec pull () =
+        if !pos < Array.length !buffer then begin
+          let t = !buffer.(!pos) in
+          incr pos;
+          Some t
+        end
+        else if !block < n_blocks then begin
+          Io.charge_blocks io 1;
+          buffer := Relation.get_block rel !block;
+          incr block;
+          pos := 0;
+          pull ()
+        end
+        else None
+      in
+      { cols; pull }
+
+(* --- unary operators ---------------------------------------------------- *)
+
+let filter p (s : stream) : stream =
+  let rs = header_rowset s in
+  let rec pull () =
+    match s.pull () with
+    | None -> None
+    | Some row -> if Eval.predicate rs row p then Some row else pull ()
+  in
+  { cols = s.cols; pull }
+
+let project exprs out_cols (s : stream) : stream =
+  let rs = header_rowset s in
+  let pull () =
+    match s.pull () with
+    | None -> None
+    | Some row ->
+        Some
+          (Array.of_list (List.map (fun e -> Eval.scalar rs row e) exprs))
+  in
+  { cols = out_cols; pull }
+
+let limit n (s : stream) : stream =
+  let remaining = ref n in
+  let pull () =
+    if !remaining <= 0 then None
+    else
+      match s.pull () with
+      | None -> None
+      | some ->
+          decr remaining;
+          some
+  in
+  { cols = s.cols; pull }
+
+(* --- binary operators ---------------------------------------------------- *)
+
+(* Hash join: the right (build) side is drained eagerly; the left side
+   streams.  NULL keys never match. *)
+let hash_join keys (left : stream) (right : stream) : stream =
+  let cols = left.cols @ right.cols in
+  let left_idxs = List.map fst keys and right_idxs = List.map snd keys in
+  let table = Tuple_tbl.create 64 in
+  let rec build () =
+    match right.pull () with
+    | None -> ()
+    | Some row ->
+        let key = Array.of_list (List.map (fun i -> row.(i)) right_idxs) in
+        if not (Array.exists Value.is_null key) then
+          Tuple_tbl.add table key row;
+        build ()
+  in
+  build ();
+  let pending = ref [] in
+  let rec pull () =
+    match !pending with
+    | row :: rest ->
+        pending := rest;
+        Some row
+    | [] -> (
+        match left.pull () with
+        | None -> None
+        | Some lrow ->
+            let key =
+              Array.of_list (List.map (fun i -> lrow.(i)) left_idxs)
+            in
+            if Array.exists Value.is_null key then pull ()
+            else begin
+              pending :=
+                List.rev_map
+                  (fun rrow -> Tuple.concat lrow rrow)
+                  (Tuple_tbl.find_all table key);
+              pull ()
+            end)
+  in
+  { cols; pull }
+
+let cartesian (left : stream) (right : stream) : stream =
+  let cols = left.cols @ right.cols in
+  (* Materialize the right side once; iterate per left row. *)
+  let rows = ref [] in
+  let rec drain () =
+    match right.pull () with
+    | None -> ()
+    | Some r ->
+        rows := r :: !rows;
+        drain ()
+  in
+  drain ();
+  let right_rows = Array.of_list (List.rev !rows) in
+  let current = ref None in
+  let idx = ref 0 in
+  let rec pull () =
+    match !current with
+    | Some lrow when !idx < Array.length right_rows ->
+        let row = Tuple.concat lrow right_rows.(!idx) in
+        incr idx;
+        Some row
+    | _ -> (
+        match left.pull () with
+        | None -> None
+        | Some lrow ->
+            current := Some lrow;
+            idx := 0;
+            if Array.length right_rows = 0 then None else pull ())
+  in
+  { cols; pull }
+
+let concat (streams : stream list) : stream =
+  match streams with
+  | [] -> { cols = []; pull = (fun () -> None) }
+  | first :: _ ->
+      let remaining = ref streams in
+      let rec pull () =
+        match !remaining with
+        | [] -> None
+        | s :: rest -> (
+            match s.pull () with
+            | Some row -> Some row
+            | None ->
+                remaining := rest;
+                pull ())
+      in
+      { cols = first.cols; pull }
+
+let of_rows cols rows : stream =
+  let remaining = ref rows in
+  let pull () =
+    match !remaining with
+    | [] -> None
+    | row :: rest ->
+        remaining := rest;
+        Some row
+  in
+  { cols; pull }
+
+(* --- planner (mirrors Engine's classification) --------------------------- *)
+
+let resolves_in rs p =
+  let rec expr_cols = function
+    | Col (q, n) -> [ (q, n) ]
+    | Lit _ | Count_star -> []
+    | Count e | Min e | Max e | Sum e | Avg e -> expr_cols e
+  in
+  let rec pred_cols = function
+    | True -> []
+    | Cmp (_, l, r) -> expr_cols l @ expr_cols r
+    | And (a, b) | Or (a, b) -> pred_cols a @ pred_cols b
+    | Not p -> pred_cols p
+    | In_list (e, _) | Like (e, _) | Is_null e | Is_not_null e -> expr_cols e
+  in
+  List.for_all
+    (fun (q, n) ->
+      match Rowset.find_col rs q n with
+      | (_ : int) -> true
+      | exception Rowset.Column_error _ -> false)
+    (pred_cols p)
+
+let join_key_of a b = function
+  | Cmp (Eq, Col (ql, nl), Col (qr, nr)) -> (
+      let find rs q n =
+        match Rowset.find_col rs q n with
+        | i -> Some i
+        | exception Rowset.Column_error _ -> None
+      in
+      match find a ql nl, find b qr nr with
+      | Some i, Some j -> Some (i, j)
+      | _ -> (
+          match find a qr nr, find b ql nl with
+          | Some i, Some j -> Some (i, j)
+          | _ -> None))
+  | _ -> None
+
+let is_blocking (b : select_block) =
+  b.group_by <> [] || b.having <> None || b.distinct
+  || b.order_by <> []
+  || List.exists
+       (function
+         | Star -> false
+         | Item (e, _) -> Cqp_sql.Analyzer.has_aggregate e)
+       b.items
+
+let rec stream_of_query io catalog q : stream =
+  match q with
+  | Union_all qs -> concat (List.map (stream_of_query io catalog) qs)
+  | Select b when is_blocking b ->
+      (* Blocking operators need full input anyway: delegate to the
+         materializing engine and stream its result. *)
+      let rs = Engine.execute_rowset ~io catalog (Select b) in
+      of_rows rs.Rowset.cols rs.Rowset.rows
+  | Select b ->
+      let sources =
+        List.map
+          (function
+            | Table (name, alias) -> scan io catalog name alias
+            | Subquery (sub, alias) ->
+                let s = stream_of_query io catalog sub in
+                {
+                  s with
+                  cols =
+                    List.map
+                      (fun c -> Rowset.col ~qualifier:alias c.Rowset.name)
+                      s.cols;
+                })
+          b.from
+      in
+      let conjuncts =
+        match b.where with None -> [] | Some p -> predicate_conjuncts p
+      in
+      let remaining = ref conjuncts in
+      let sources =
+        List.map
+          (fun s ->
+            let mine, rest =
+              List.partition (fun p -> resolves_in (header_rowset s) p) !remaining
+            in
+            remaining := rest;
+            List.fold_left (fun s p -> filter p s) s mine)
+          sources
+      in
+      let joined =
+        match sources with
+        | [] -> raise (Engine.Runtime_error "empty FROM")
+        | first :: rest ->
+            List.fold_left
+              (fun acc s ->
+                let acc_rs = header_rowset acc and s_rs = header_rowset s in
+                let keys, others =
+                  List.partition_map
+                    (fun p ->
+                      match join_key_of acc_rs s_rs p with
+                      | Some key -> Either.Left key
+                      | None -> Either.Right p)
+                    !remaining
+                in
+                remaining := others;
+                let joined =
+                  if keys = [] then cartesian acc s else hash_join keys acc s
+                in
+                let mine, rest' =
+                  List.partition
+                    (fun p -> resolves_in (header_rowset joined) p)
+                    !remaining
+                in
+                remaining := rest';
+                List.fold_left (fun s p -> filter p s) joined mine)
+              first rest
+      in
+      let filtered = List.fold_left (fun s p -> filter p s) joined !remaining in
+      let exprs =
+        List.concat_map
+          (function
+            | Star ->
+                List.map
+                  (fun c -> Col (c.Rowset.qualifier, c.Rowset.name))
+                  filtered.cols
+            | Item (e, _) -> [ e ])
+          b.items
+      in
+      let names =
+        List.concat_map
+          (function
+            | Star -> List.map (fun c -> c.Rowset.name) filtered.cols
+            | Item (Col (_, name), None) -> [ name ]
+            | Item (_, Some alias) -> [ alias ]
+            | Item (_, None) -> [ "expr" ])
+          b.items
+      in
+      let projected =
+        project exprs (List.map (fun n -> Rowset.col n) names) filtered
+      in
+      (match b.limit with Some n -> limit n projected | None -> projected)
+
+let open_query ?io catalog q =
+  let io = match io with Some io -> io | None -> Io.create () in
+  { stream = stream_of_query io catalog q; io }
+
+let next t = t.stream.pull ()
+
+let to_list t =
+  let rec go acc =
+    match next t with None -> List.rev acc | Some row -> go (row :: acc)
+  in
+  go []
+
+let block_reads t = Io.block_reads t.io
+
+let take t n =
+  let rec go acc n =
+    if n <= 0 then List.rev acc
+    else
+      match next t with
+      | None -> List.rev acc
+      | Some row -> go (row :: acc) (n - 1)
+  in
+  go [] n

@@ -1,0 +1,36 @@
+(** Streaming (volcano-style) execution.
+
+    {!Engine} materializes every operator's output, which matches the
+    paper's cost model (all relations of a sub-query are scanned in
+    full).  This module provides the classical pull-based alternative:
+    operators expose a [next] interface, blocks are charged {e as they
+    are read}, and a LIMIT (or an abandoned cursor) stops upstream
+    scans early — so [select ... limit k] can cost far fewer block
+    reads than a full scan.
+
+    The planner mirrors {!Engine}'s rules (pushdown, left-deep hash
+    joins with the build side materialized, cartesian fallback) for the
+    SPJ + UNION ALL fragment; queries needing aggregation, DISTINCT or
+    ORDER BY are inherently blocking and are delegated to {!Engine}
+    internally (their cost equals the materialized cost anyway). *)
+
+type t
+
+val open_query :
+  ?io:Io.t -> Cqp_relal.Catalog.t -> Cqp_sql.Ast.query -> t
+(** Build a cursor tree; no blocks are charged until rows are pulled
+    (except for hash-join build sides and blocking sub-plans).
+    @raise Engine.Runtime_error on unknown relations. *)
+
+val next : t -> Cqp_relal.Tuple.t option
+(** Pull the next output row; [None] at end of stream. *)
+
+val to_list : t -> Cqp_relal.Tuple.t list
+(** Drain the cursor. *)
+
+val block_reads : t -> int
+(** Blocks charged so far by this cursor tree. *)
+
+val take : t -> int -> Cqp_relal.Tuple.t list
+(** Pull at most [n] rows and stop — upstream scans beyond the needed
+    blocks are never performed. *)

@@ -1,0 +1,483 @@
+open Cqp_sql.Ast
+module Value = Cqp_relal.Value
+module Tuple = Cqp_relal.Tuple
+module Schema = Cqp_relal.Schema
+module Relation = Cqp_relal.Relation
+module Catalog = Cqp_relal.Catalog
+
+exception Runtime_error of string
+
+type result = {
+  schema : (string * Value.ty) list;
+  rows : Tuple.t list;
+  block_reads : int;
+}
+
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Runtime_error msg)) fmt
+
+(* --- source loading ------------------------------------------------- *)
+
+let scan_table io catalog name alias : Rowset.t =
+  match Catalog.find catalog name with
+  | None -> fail "unknown relation %s" name
+  | Some rel ->
+      Io.charge_scan io rel;
+      let schema = Relation.schema rel in
+      let qualifier = Option.value alias ~default:name in
+      let cols =
+        List.map
+          (fun a -> Rowset.col ~qualifier a.Schema.attr_name)
+          schema.Schema.attrs
+      in
+      Rowset.make cols (Relation.to_list rel)
+
+let requalify alias (rs : Rowset.t) : Rowset.t =
+  let cols =
+    List.map (fun c -> Rowset.col ~qualifier:alias c.Rowset.name) rs.Rowset.cols
+  in
+  Rowset.make cols rs.Rowset.rows
+
+(* --- predicate classification --------------------------------------- *)
+
+let rec expr_cols = function
+  | Col (q, n) -> [ (q, n) ]
+  | Lit _ -> []
+  | Count_star -> []
+  | Count e | Min e | Max e | Sum e | Avg e -> expr_cols e
+
+let rec pred_cols = function
+  | True -> []
+  | Cmp (_, l, r) -> expr_cols l @ expr_cols r
+  | And (a, b) | Or (a, b) -> pred_cols a @ pred_cols b
+  | Not p -> pred_cols p
+  | In_list (e, _) | Like (e, _) | Is_null e | Is_not_null e -> expr_cols e
+
+let resolves_in rs cols =
+  List.for_all
+    (fun (q, n) ->
+      match Rowset.find_col rs q n with
+      | (_ : int) -> true
+      | exception Rowset.Column_error _ -> false)
+    cols
+
+let pred_resolves_in rs p = resolves_in rs (pred_cols p)
+
+(* --- physical operators --------------------------------------------- *)
+
+let filter rs p =
+  Rowset.make rs.Rowset.cols
+    (List.filter (fun row -> Eval.predicate rs row p) rs.Rowset.rows)
+
+let cartesian a b =
+  let cols = Rowset.product_cols a b in
+  let rows =
+    List.concat_map
+      (fun ra -> List.map (fun rb -> Tuple.concat ra rb) b.Rowset.rows)
+      a.Rowset.rows
+  in
+  Rowset.make cols rows
+
+(* Hash join on the given equi-key column index pairs
+   [(left_idx, right_idx)].  NULL keys never match. *)
+let hash_join a b keys =
+  let cols = Rowset.product_cols a b in
+  let key_of row idxs = Array.of_list (List.map (fun i -> row.(i)) idxs) in
+  let left_idxs = List.map fst keys and right_idxs = List.map snd keys in
+  let table = Tuple_tbl.create (max 16 (Rowset.cardinality b)) in
+  List.iter
+    (fun rb ->
+      let k = key_of rb right_idxs in
+      if not (Array.exists Value.is_null k) then
+        Tuple_tbl.add table k rb)
+    b.Rowset.rows;
+  let rows =
+    List.concat_map
+      (fun ra ->
+        let k = key_of ra left_idxs in
+        if Array.exists Value.is_null k then []
+        else
+          List.rev_map
+            (fun rb -> Tuple.concat ra rb)
+            (Tuple_tbl.find_all table k))
+      a.Rowset.rows
+  in
+  Rowset.make cols rows
+
+(* Split an equality conjunct into join keys between [a] and [b], if it
+   is one. *)
+let join_key_of a b = function
+  | Cmp (Eq, Col (ql, nl), Col (qr, nr)) -> (
+      let in_a q n =
+        match Rowset.find_col a q n with
+        | i -> Some i
+        | exception Rowset.Column_error _ -> None
+      in
+      let in_b q n =
+        match Rowset.find_col b q n with
+        | i -> Some i
+        | exception Rowset.Column_error _ -> None
+      in
+      match in_a ql nl, in_b qr nr with
+      | Some i, Some j -> Some (i, j)
+      | _ -> (
+          match in_a qr nr, in_b ql nl with
+          | Some i, Some j -> Some (i, j)
+          | _ -> None))
+  | _ -> None
+
+(* --- aggregation ----------------------------------------------------- *)
+
+let numeric_fold name f init rows eval_arg =
+  let acc = ref init and seen = ref false in
+  List.iter
+    (fun row ->
+      match Value.to_float (eval_arg row) with
+      | Some x ->
+          acc := f !acc x;
+          seen := true
+      | None -> ())
+    rows;
+  if !seen then Some !acc
+  else begin
+    ignore name;
+    None
+  end
+
+(* Evaluate an expression in group context: [rows] are the group
+   members, [rep] a representative row for aggregate-free parts. *)
+let rec eval_group rs rows rep e =
+  match e with
+  | Col _ | Lit _ -> Eval.scalar rs rep e
+  | Count_star -> Value.Int (List.length rows)
+  | Count arg ->
+      let n =
+        List.length
+          (List.filter
+             (fun row -> not (Value.is_null (eval_group rs rows row arg)))
+             rows)
+      in
+      Value.Int n
+  | Sum arg -> (
+      match
+        numeric_fold "sum" ( +. ) 0. rows (fun row ->
+            eval_group rs rows row arg)
+      with
+      | Some s -> Value.Float s
+      | None -> Value.Null)
+  | Avg arg -> (
+      let vals =
+        List.filter_map
+          (fun row -> Value.to_float (eval_group rs rows row arg))
+          rows
+      in
+      match vals with
+      | [] -> Value.Null
+      | _ ->
+          Value.Float
+            (List.fold_left ( +. ) 0. vals /. float_of_int (List.length vals)))
+  | Min arg ->
+      List.fold_left
+        (fun best row ->
+          let v = eval_group rs rows row arg in
+          if Value.is_null v then best
+          else
+            match best with
+            | Value.Null -> v
+            | b -> if Value.compare v b < 0 then v else b)
+        Value.Null rows
+  | Max arg ->
+      List.fold_left
+        (fun best row ->
+          let v = eval_group rs rows row arg in
+          if Value.is_null v then best
+          else
+            match best with
+            | Value.Null -> v
+            | b -> if Value.compare v b > 0 then v else b)
+        Value.Null rows
+
+let eval_group_pred rs rows rep p =
+  let rec go = function
+    | True -> Some true
+    | Cmp (op, l, r) ->
+        Eval.compare_values op (eval_group rs rows rep l)
+          (eval_group rs rows rep r)
+    | And (a, b) -> (
+        match go a, go b with
+        | Some false, _ | _, Some false -> Some false
+        | Some true, Some true -> Some true
+        | _ -> None)
+    | Or (a, b) -> (
+        match go a, go b with
+        | Some true, _ | _, Some true -> Some true
+        | Some false, Some false -> Some false
+        | _ -> None)
+    | Not q -> Option.map not (go q)
+    | In_list (e, vs) ->
+        let v = eval_group rs rows rep e in
+        if Value.is_null v then None
+        else Some (List.exists (fun x -> Value.equal v x) vs)
+    | Like (e, pat) -> (
+        match eval_group rs rows rep e with
+        | Value.Null -> None
+        | v -> Some (Eval.like_match ~pattern:pat (Value.to_string v)))
+    | Is_null e -> Some (Value.is_null (eval_group rs rows rep e))
+    | Is_not_null e ->
+        Some (not (Value.is_null (eval_group rs rows rep e)))
+  in
+  go p = Some true
+
+(* --- the block pipeline ---------------------------------------------- *)
+
+let rec exec_query io catalog q : Rowset.t =
+  match q with
+  | Select b -> exec_block io catalog b
+  | Union_all [] -> fail "empty UNION"
+  | Union_all (first :: rest) ->
+      List.fold_left
+        (fun acc sub -> Rowset.append acc (exec_query io catalog sub))
+        (exec_query io catalog first)
+        rest
+
+and exec_block io catalog b : Rowset.t =
+  (* 1. Load sources. *)
+  let sources =
+    List.map
+      (function
+        | Table (name, alias) -> scan_table io catalog name alias
+        | Subquery (q, alias) -> requalify alias (exec_query io catalog q))
+      b.from
+  in
+  let conjuncts =
+    match b.where with None -> [] | Some p -> predicate_conjuncts p
+  in
+  (* 2. Selection pushdown: apply single-source conjuncts first. *)
+  let remaining = ref conjuncts in
+  let sources =
+    List.map
+      (fun rs ->
+        let mine, rest =
+          List.partition (fun p -> pred_resolves_in rs p) !remaining
+        in
+        remaining := rest;
+        List.fold_left filter rs mine)
+      sources
+  in
+  (* 3. Left-deep join: prefer hash joins on available equi-conjuncts. *)
+  let joined =
+    match sources with
+    | [] -> fail "empty FROM"
+    | first :: rest ->
+        List.fold_left
+          (fun acc rs ->
+            let keys, others =
+              List.partition_map
+                (fun p ->
+                  match join_key_of acc rs p with
+                  | Some key -> Either.Left (key, p)
+                  | None -> Either.Right p)
+                !remaining
+            in
+            remaining := others;
+            let joined =
+              if keys = [] then cartesian acc rs
+              else hash_join acc rs (List.map fst keys)
+            in
+            (* Conjuncts newly resolvable on the joined result. *)
+            let mine, rest =
+              List.partition (fun p -> pred_resolves_in joined p) !remaining
+            in
+            remaining := rest;
+            List.fold_left filter joined mine)
+          first rest
+  in
+  (* 4. Residual filters (anything left must resolve now). *)
+  let filtered = List.fold_left filter joined !remaining in
+  (* 5. Projection / aggregation.  Each output row is paired with its
+     ORDER BY key values, evaluated while the pre-projection context is
+     still available (SQL permits ordering by non-output columns). *)
+  let out_exprs, out_cols = output_exprs filtered b.items in
+  let out_rs_empty = Rowset.make out_cols [] in
+  let order_keys_of out_row eval_in_context =
+    List.map
+      (fun (e, _) ->
+        match Eval.scalar out_rs_empty out_row e with
+        | v -> v
+        | exception Eval.Eval_error _ -> (
+            match eval_in_context e with
+            | v -> v
+            | exception Eval.Eval_error _ -> Value.Null))
+      b.order_by
+  in
+  let needs_group =
+    b.group_by <> [] || List.exists Cqp_sql.Analyzer.has_aggregate out_exprs
+  in
+  let projected =
+    if needs_group then begin
+      let groups = Tuple_tbl.create 64 in
+      let order = ref [] in
+      List.iter
+        (fun row ->
+          let key =
+            Array.of_list
+              (List.map (fun e -> Eval.scalar filtered row e) b.group_by)
+          in
+          match Tuple_tbl.find_opt groups key with
+          | Some rows_ref -> rows_ref := row :: !rows_ref
+          | None ->
+              Tuple_tbl.add groups key (ref [ row ]);
+              order := key :: !order)
+        filtered.Rowset.rows;
+      let keys =
+        if b.group_by = [] then
+          (* implicit single group, even over an empty input *)
+          if Tuple_tbl.length groups = 0 then [ [||] ] else [ [||] ]
+        else List.rev !order
+      in
+      let group_rows key =
+        if b.group_by = [] then filtered.Rowset.rows
+        else
+          match Tuple_tbl.find_opt groups key with
+          | Some r -> List.rev !r
+          | None -> []
+      in
+      let rows =
+        List.filter_map
+          (fun key ->
+            let rows = group_rows key in
+            let rep =
+              match rows with
+              | r :: _ -> r
+              | [] -> Array.make (Rowset.arity filtered) Value.Null
+            in
+            let keep =
+              match b.having with
+              | None -> true
+              | Some p -> eval_group_pred filtered rows rep p
+            in
+            if keep then begin
+              let out_row =
+                Array.of_list
+                  (List.map (fun e -> eval_group filtered rows rep e) out_exprs)
+              in
+              Some
+                (out_row, order_keys_of out_row (eval_group filtered rows rep))
+            end
+            else None)
+          keys
+      in
+      rows
+    end
+    else
+      List.map
+        (fun row ->
+          let out_row =
+            Array.of_list
+              (List.map (fun e -> Eval.scalar filtered row e) out_exprs)
+          in
+          (out_row, order_keys_of out_row (Eval.scalar filtered row)))
+        filtered.Rowset.rows
+  in
+  (* 6. DISTINCT (on output rows only, keeping the first occurrence). *)
+  let deduped =
+    if not b.distinct then projected
+    else begin
+      let seen = Tuple_tbl.create 64 in
+      List.filter
+        (fun (row, _) ->
+          if Tuple_tbl.mem seen row then false
+          else begin
+            Tuple_tbl.add seen row ();
+            true
+          end)
+        projected
+    end
+  in
+  (* 7. ORDER BY on the precomputed keys. *)
+  let ordered =
+    if b.order_by = [] then deduped
+    else begin
+      let dirs = List.map snd b.order_by in
+      let cmp (_, k1) (_, k2) =
+        let rec go dirs k1 k2 =
+          match dirs, k1, k2 with
+          | dir :: dirs, v1 :: k1, v2 :: k2 ->
+              let c = Value.compare v1 v2 in
+              let c = match dir with Asc -> c | Desc -> -c in
+              if c <> 0 then c else go dirs k1 k2
+          | _ -> 0
+        in
+        go dirs k1 k2
+      in
+      List.stable_sort cmp deduped
+    end
+  in
+  (* 8. LIMIT. *)
+  let limited =
+    match b.limit with
+    | None -> ordered
+    | Some k ->
+        let rec take n = function
+          | x :: rest when n > 0 -> x :: take (n - 1) rest
+          | _ -> []
+        in
+        take k ordered
+  in
+  Rowset.make out_cols (List.map fst limited)
+
+and output_exprs rs items =
+  let exprs =
+    List.concat_map
+      (function
+        | Star ->
+            List.map
+              (fun c -> Col (c.Rowset.qualifier, c.Rowset.name))
+              rs.Rowset.cols
+        | Item (e, _) -> [ e ])
+      items
+  in
+  let names =
+    List.concat_map
+      (function
+        | Star -> List.map (fun c -> c.Rowset.name) rs.Rowset.cols
+        | Item (Col (_, name), None) -> [ name ]
+        | Item (Count_star, None) | Item (Count _, None) -> [ "count" ]
+        | Item (Min _, None) -> [ "min" ]
+        | Item (Max _, None) -> [ "max" ]
+        | Item (Sum _, None) -> [ "sum" ]
+        | Item (Avg _, None) -> [ "avg" ]
+        | Item (Lit _, None) -> [ "literal" ]
+        | Item (_, Some alias) -> [ alias ])
+      items
+  in
+  (exprs, List.map (fun n -> Rowset.col n) names)
+
+(* --- public API ------------------------------------------------------ *)
+
+let execute_rowset ?io catalog q =
+  let io = match io with Some io -> io | None -> Io.create () in
+  exec_query io catalog q
+
+let execute ?io catalog q =
+  let counter = Io.create () in
+  let rs = exec_query counter catalog q in
+  (match io with
+  | Some outer -> Io.charge_blocks outer (Io.block_reads counter)
+  | None -> ());
+  let schema =
+    try Cqp_sql.Analyzer.output_schema catalog q
+    with Cqp_sql.Analyzer.Semantic_error _ ->
+      List.map (fun c -> (c.Rowset.name, Value.Tnull)) rs.Rowset.cols
+  in
+  { schema; rows = rs.Rowset.rows; block_reads = Io.block_reads counter }
+
+let real_cost_ms ?(block_ms = Io.default_block_ms) catalog q =
+  let r = execute catalog q in
+  float_of_int r.block_reads *. block_ms

@@ -1,0 +1,40 @@
+(** Query execution.
+
+    A rule-based planner turns the SQL AST into a left-deep pipeline of
+    materialized physical operators: base-table scan (charging block
+    I/O), selection pushdown, hash equi-join (cartesian product as a
+    fallback), residual filters, hash aggregation with HAVING, DISTINCT,
+    ORDER BY, LIMIT, and bag UNION ALL.
+
+    Every base relation touched by a (sub-)query is scanned exactly
+    once, matching the paper's cost assumptions, so
+    [Io.block_reads] after execution is the "real" execution cost that
+    Figure 15 compares against the estimator. *)
+
+exception Runtime_error of string
+
+type result = {
+  schema : (string * Cqp_relal.Value.ty) list;
+  rows : Cqp_relal.Tuple.t list;
+  block_reads : int;  (** blocks charged while executing this query *)
+}
+
+val execute :
+  ?io:Io.t -> Cqp_relal.Catalog.t -> Cqp_sql.Ast.query -> result
+(** Run the query.  When [io] is given, block charges accumulate into it
+    as well as into the result.
+    @raise Runtime_error on unknown relations and other runtime faults
+    (semantic errors surface as
+    {!Cqp_sql.Analyzer.Semantic_error} if you {!Cqp_sql.Analyzer.check}
+    first, which callers are expected to do). *)
+
+val execute_rowset :
+  ?io:Io.t -> Cqp_relal.Catalog.t -> Cqp_sql.Ast.query -> Rowset.t
+(** Like {!execute} but returning the raw rowset with qualified column
+    headers (used by tests and the CLI table printer). *)
+
+val real_cost_ms :
+  ?block_ms:float -> Cqp_relal.Catalog.t -> Cqp_sql.Ast.query -> float
+(** Execute and report the simulated I/O time in milliseconds:
+    [block_reads * block_ms] (default [block_ms] is
+    {!Io.default_block_ms}). *)

@@ -1,0 +1,84 @@
+open Cqp_sql.Ast
+module Value = Cqp_relal.Value
+
+exception Eval_error of string
+
+let scalar rs row e =
+  let go = function
+    | Col (q, name) -> (
+        try row.(Rowset.find_col rs q name)
+        with Rowset.Column_error msg -> raise (Eval_error msg))
+    | Lit v -> v
+    | Count_star | Count _ | Min _ | Max _ | Sum _ | Avg _ ->
+        raise (Eval_error "aggregate in row context")
+  in
+  go e
+
+let like_match ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  (* Classical two-pointer wildcard matcher ('%' = '*', '_' = '?'). *)
+  let rec go pi si star_pi star_si =
+    if si = ns then
+      let rec only_pct pi =
+        pi = np || (pattern.[pi] = '%' && only_pct (pi + 1))
+      in
+      only_pct pi
+    else if pi < np && pattern.[pi] = '%' then go (pi + 1) si pi si
+    else if pi < np && (pattern.[pi] = '_' || pattern.[pi] = s.[si]) then
+      go (pi + 1) (si + 1) star_pi star_si
+    else if star_pi >= 0 then go (star_pi + 1) (star_si + 1) star_pi (star_si + 1)
+    else false
+  in
+  go 0 0 (-1) (-1)
+
+let compare_values op a b =
+  if Value.is_null a || Value.is_null b then None
+  else
+    let c = Value.compare a b in
+    Some
+      (match op with
+      | Eq -> c = 0
+      | Neq -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0)
+
+(* Kleene connectives over [bool option]. *)
+let kand a b =
+  match a, b with
+  | Some false, _ | _, Some false -> Some false
+  | Some true, Some true -> Some true
+  | _ -> None
+
+let kor a b =
+  match a, b with
+  | Some true, _ | _, Some true -> Some true
+  | Some false, Some false -> Some false
+  | _ -> None
+
+let knot = function
+  | Some b -> Some (not b)
+  | None -> None
+
+let predicate rs row p =
+  let rec go = function
+    | True -> Some true
+    | Cmp (op, l, r) -> compare_values op (scalar rs row l) (scalar rs row r)
+    | And (a, b) -> kand (go a) (go b)
+    | Or (a, b) -> kor (go a) (go b)
+    | Not q -> knot (go q)
+    | In_list (e, vs) ->
+        let v = scalar rs row e in
+        if Value.is_null v then None
+        else if List.exists (fun x -> Value.equal v x) vs then Some true
+        else if List.exists Value.is_null vs then None
+        else Some false
+    | Like (e, pat) -> (
+        match scalar rs row e with
+        | Value.Null -> None
+        | v -> Some (like_match ~pattern:pat (Value.to_string v)))
+    | Is_null e -> Some (Value.is_null (scalar rs row e))
+    | Is_not_null e -> Some (not (Value.is_null (scalar rs row e)))
+  in
+  go p = Some true

@@ -1,0 +1,25 @@
+(** Row-level expression and predicate evaluation.
+
+    Predicates follow SQL three-valued logic internally; the outcome is
+    collapsed at the top (a WHERE/HAVING keeps a row only when the
+    predicate is definitely true). *)
+
+exception Eval_error of string
+
+val scalar :
+  Rowset.t -> Cqp_relal.Tuple.t -> Cqp_sql.Ast.expr -> Cqp_relal.Value.t
+(** Evaluate an aggregate-free expression on one row.
+    @raise Eval_error on aggregates or unresolvable columns. *)
+
+val predicate : Rowset.t -> Cqp_relal.Tuple.t -> Cqp_sql.Ast.predicate -> bool
+(** Three-valued evaluation collapsed to [true]/[not true]. *)
+
+val like_match : pattern:string -> string -> bool
+(** SQL LIKE: [%] matches any sequence, [_] any single character. *)
+
+val compare_values :
+  Cqp_sql.Ast.binop ->
+  Cqp_relal.Value.t ->
+  Cqp_relal.Value.t ->
+  bool option
+(** [None] when either side is NULL (unknown). *)

@@ -1,0 +1,232 @@
+open Cqp_sql.Ast
+module Catalog = Cqp_relal.Catalog
+module Relation = Cqp_relal.Relation
+module Printer = Cqp_sql.Printer
+
+type source_plan = {
+  label : string;
+  relation : string option;
+  cardinality : int;
+  blocks : int;
+  pushed_down : string list;
+}
+
+type join_step = {
+  with_source : string;
+  method_ : [ `Hash of string list | `Cartesian ];
+  post_filters : string list;
+}
+
+type block_plan = {
+  sources : source_plan list;
+  joins : join_step list;
+  residual : string list;
+  aggregate : bool;
+  distinct : bool;
+  order_by : bool;
+  limit : int option;
+  estimated_blocks : int;
+}
+
+type t = Plan_select of block_plan | Plan_union of t list
+
+(* Header-only rowsets let us reuse the exact resolution rules the
+   executor applies, without touching data. *)
+let header_of_source catalog = function
+  | Table (name, alias) -> (
+      match Catalog.find catalog name with
+      | None -> raise (Engine.Runtime_error ("unknown relation " ^ name))
+      | Some rel ->
+          let schema = Relation.schema rel in
+          let qualifier = Option.value alias ~default:name in
+          let cols =
+            List.map
+              (fun a -> Rowset.col ~qualifier a.Cqp_relal.Schema.attr_name)
+              schema.Cqp_relal.Schema.attrs
+          in
+          ( Rowset.make cols [],
+            {
+              label = qualifier;
+              relation = Some name;
+              cardinality = Relation.cardinality rel;
+              blocks = Relation.blocks rel;
+              pushed_down = [];
+            } ))
+  | Subquery (q, alias) ->
+      let schema =
+        try Cqp_sql.Analyzer.output_schema catalog q
+        with Cqp_sql.Analyzer.Semantic_error msg ->
+          raise (Engine.Runtime_error msg)
+      in
+      let cols =
+        List.map (fun (name, _) -> Rowset.col ~qualifier:alias name) schema
+      in
+      ( Rowset.make cols [],
+        {
+          label = alias;
+          relation = None;
+          cardinality = 0;
+          blocks = 0;
+          pushed_down = [];
+        } )
+
+let rec expr_cols = function
+  | Col (q, n) -> [ (q, n) ]
+  | Lit _ | Count_star -> []
+  | Count e | Min e | Max e | Sum e | Avg e -> expr_cols e
+
+let rec pred_cols = function
+  | True -> []
+  | Cmp (_, l, r) -> expr_cols l @ expr_cols r
+  | And (a, b) | Or (a, b) -> pred_cols a @ pred_cols b
+  | Not p -> pred_cols p
+  | In_list (e, _) | Like (e, _) | Is_null e | Is_not_null e -> expr_cols e
+
+let resolves_in rs p =
+  List.for_all
+    (fun (q, n) ->
+      match Rowset.find_col rs q n with
+      | (_ : int) -> true
+      | exception Rowset.Column_error _ -> false)
+    (pred_cols p)
+
+let join_key_label a b = function
+  | Cmp (Eq, Col (ql, nl), Col (qr, nr)) as p ->
+      let in_ rs q n =
+        match Rowset.find_col rs q n with
+        | (_ : int) -> true
+        | exception Rowset.Column_error _ -> false
+      in
+      if
+        (in_ a ql nl && in_ b qr nr) || (in_ a qr nr && in_ b ql nl)
+      then Some (Printer.predicate_to_string p)
+      else None
+  | _ -> None
+
+let rec plan_of catalog q : t =
+  match q with
+  | Union_all qs -> Plan_union (List.map (plan_of catalog) qs)
+  | Select b ->
+      let loaded = List.map (header_of_source catalog) b.from in
+      let conjuncts =
+        match b.where with None -> [] | Some p -> predicate_conjuncts p
+      in
+      let remaining = ref conjuncts in
+      (* Pushdown pass, mirroring Engine.exec_block step 2. *)
+      let sources =
+        List.map
+          (fun (rs, plan) ->
+            let mine, rest =
+              List.partition (fun p -> resolves_in rs p) !remaining
+            in
+            remaining := rest;
+            ( rs,
+              {
+                plan with
+                pushed_down = List.map Printer.predicate_to_string mine;
+              } ))
+          loaded
+      in
+      (* Left-deep join pass, mirroring step 3. *)
+      let joins = ref [] in
+      (match sources with
+      | [] -> raise (Engine.Runtime_error "empty FROM")
+      | (first_rs, _) :: rest ->
+          let acc = ref first_rs in
+          List.iter
+            (fun (rs, plan) ->
+              let keys, others =
+                List.partition_map
+                  (fun p ->
+                    match join_key_label !acc rs p with
+                    | Some label -> Either.Left label
+                    | None -> Either.Right p)
+                  !remaining
+              in
+              remaining := others;
+              let joined =
+                Rowset.make (Rowset.product_cols !acc rs) []
+              in
+              let mine, rest' =
+                List.partition (fun p -> resolves_in joined p) !remaining
+              in
+              remaining := rest';
+              joins :=
+                {
+                  with_source = plan.label;
+                  method_ = (if keys = [] then `Cartesian else `Hash keys);
+                  post_filters = List.map Printer.predicate_to_string mine;
+                }
+                :: !joins;
+              acc := joined)
+            rest);
+      let estimated_blocks =
+        List.fold_left (fun acc (_, p) -> acc + p.blocks) 0 sources
+      in
+      Plan_select
+        {
+          sources = List.map snd sources;
+          joins = List.rev !joins;
+          residual = List.map Printer.predicate_to_string !remaining;
+          aggregate =
+            b.group_by <> []
+            || List.exists
+                 (function
+                   | Star -> false
+                   | Item (e, _) -> Cqp_sql.Analyzer.has_aggregate e)
+                 b.items;
+          distinct = b.distinct;
+          order_by = b.order_by <> [];
+          limit = b.limit;
+          estimated_blocks;
+        }
+
+let explain = plan_of
+
+let rec pp ppf = function
+  | Plan_union plans ->
+      Format.fprintf ppf "@[<v>union all of %d branches:@ " (List.length plans);
+      List.iteri
+        (fun i sub -> Format.fprintf ppf "branch %d:@   @[<v>%a@]@ " (i + 1) pp sub)
+        plans;
+      Format.fprintf ppf "@]"
+  | Plan_select p ->
+      Format.pp_open_vbox ppf 0;
+      List.iter
+        (fun s ->
+          Format.fprintf ppf "scan %s%s (%d tuples, %d blocks)%s@ " s.label
+            (match s.relation with
+            | Some r when r <> s.label -> " [" ^ r ^ "]"
+            | _ -> "")
+            s.cardinality s.blocks
+            (match s.pushed_down with
+            | [] -> ""
+            | fs -> "  filter: " ^ String.concat " and " fs))
+        p.sources;
+      List.iter
+        (fun j ->
+          (match j.method_ with
+          | `Hash keys ->
+              Format.fprintf ppf "hash join with %s on %s@ " j.with_source
+                (String.concat ", " keys)
+          | `Cartesian ->
+              Format.fprintf ppf "cartesian product with %s@ " j.with_source);
+          match j.post_filters with
+          | [] -> ()
+          | fs ->
+              Format.fprintf ppf "  then filter: %s@ "
+                (String.concat " and " fs))
+        p.joins;
+      if p.residual <> [] then
+        Format.fprintf ppf "residual filter: %s@ "
+          (String.concat " and " p.residual);
+      if p.aggregate then Format.fprintf ppf "hash aggregate@ ";
+      if p.distinct then Format.fprintf ppf "distinct@ ";
+      if p.order_by then Format.fprintf ppf "sort@ ";
+      (match p.limit with
+      | Some n -> Format.fprintf ppf "limit %d@ " n
+      | None -> ());
+      Format.fprintf ppf "estimated scan cost: %d blocks" p.estimated_blocks;
+      Format.pp_close_box ppf ()
+
+let to_string catalog q = Format.asprintf "%a" pp (explain catalog q)

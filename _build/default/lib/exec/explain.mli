@@ -1,0 +1,44 @@
+(** Physical-plan explanation.
+
+    Describes, without executing, the pipeline the engine builds for a
+    query: which base relations are scanned (cardinality and block
+    cost), which WHERE conjuncts are pushed down to which source, which
+    become hash-join keys at which join step, which remain as residual
+    filters, and the post-join stages (aggregation, distinct, order,
+    limit).  The classification mirrors {!Engine}'s planner rules, so
+    the output is what actually runs. *)
+
+type source_plan = {
+  label : string;  (** alias (or relation name) *)
+  relation : string option;  (** [None] for derived tables *)
+  cardinality : int;
+  blocks : int;
+  pushed_down : string list;  (** conjuncts filtered at the scan *)
+}
+
+type join_step = {
+  with_source : string;
+  method_ : [ `Hash of string list | `Cartesian ];
+  post_filters : string list;
+}
+
+type block_plan = {
+  sources : source_plan list;
+  joins : join_step list;
+  residual : string list;
+  aggregate : bool;
+  distinct : bool;
+  order_by : bool;
+  limit : int option;
+  estimated_blocks : int;  (** total scan cost in blocks *)
+}
+
+type t = Plan_select of block_plan | Plan_union of t list
+
+val explain : Cqp_relal.Catalog.t -> Cqp_sql.Ast.query -> t
+(** @raise Engine.Runtime_error on unknown relations. *)
+
+val to_string : Cqp_relal.Catalog.t -> Cqp_sql.Ast.query -> string
+(** Rendered plan, one stage per line. *)
+
+val pp : Format.formatter -> t -> unit

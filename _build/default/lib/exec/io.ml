@@ -1,0 +1,13 @@
+type t = { mutable block_reads : int }
+
+let default_block_ms = 1.0
+let create () = { block_reads = 0 }
+let reset t = t.block_reads <- 0
+let charge_blocks t n = t.block_reads <- t.block_reads + n
+let charge_scan t rel = charge_blocks t (Cqp_relal.Relation.blocks rel)
+let block_reads t = t.block_reads
+
+let cost_ms ?(block_ms = default_block_ms) t =
+  float_of_int t.block_reads *. block_ms
+
+let pp ppf t = Format.fprintf ppf "%d block reads" t.block_reads

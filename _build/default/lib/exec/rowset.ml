@@ -1,0 +1,81 @@
+type col = { qualifier : string option; name : string }
+type t = { cols : col list; rows : Cqp_relal.Tuple.t list }
+
+exception Column_error of string
+
+let col ?qualifier name =
+  {
+    qualifier = Option.map String.lowercase_ascii qualifier;
+    name = String.lowercase_ascii name;
+  }
+
+let make cols rows = { cols; rows }
+let arity t = List.length t.cols
+let cardinality t = List.length t.rows
+
+let find_col t qualifier name =
+  let name = String.lowercase_ascii name in
+  let qualifier = Option.map String.lowercase_ascii qualifier in
+  let matches c =
+    c.name = name
+    &&
+    match qualifier with None -> true | Some q -> c.qualifier = Some q
+  in
+  let hits =
+    List.concat (List.mapi (fun i c -> if matches c then [ i ] else []) t.cols)
+  in
+  match hits with
+  | [ i ] -> i
+  | [] ->
+      raise
+        (Column_error
+           (Printf.sprintf "unknown column %s%s"
+              (match qualifier with Some q -> q ^ "." | None -> "")
+              name))
+  | _ ->
+      raise
+        (Column_error (Printf.sprintf "ambiguous column reference %s" name))
+
+let append a b =
+  if arity a <> arity b then
+    raise (Column_error "append: arity mismatch between union branches");
+  { cols = a.cols; rows = a.rows @ b.rows }
+
+let product_cols a b = a.cols @ b.cols
+
+let pp ppf t =
+  let header =
+    List.map
+      (fun c ->
+        match c.qualifier with
+        | Some q -> q ^ "." ^ c.name
+        | None -> c.name)
+      t.cols
+  in
+  let cells =
+    List.map
+      (fun row -> List.map Cqp_relal.Value.to_string (Array.to_list row))
+      t.rows
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w r -> max w (String.length (List.nth r i)))
+          (String.length h) cells)
+      header
+  in
+  let line parts =
+    Format.fprintf ppf "| %s |@ "
+      (String.concat " | "
+         (List.map2
+            (fun s w -> s ^ String.make (w - String.length s) ' ')
+            parts widths))
+  in
+  Format.pp_open_vbox ppf 0;
+  line header;
+  Format.fprintf ppf "|%s|@ "
+    (String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths));
+  List.iter line cells;
+  Format.fprintf ppf "(%d rows)" (List.length t.rows);
+  Format.pp_close_box ppf ()

@@ -1,0 +1,30 @@
+(** Intermediate results flowing between physical operators.
+
+    A rowset is a materialized bag of rows with a column header that
+    records, for every column, the FROM-binding alias it came from (if
+    any) and its name.  Column lookup mirrors SQL scoping: a qualified
+    reference matches alias + name; an unqualified one must match a
+    unique name. *)
+
+type col = { qualifier : string option; name : string }
+type t = { cols : col list; rows : Cqp_relal.Tuple.t list }
+
+exception Column_error of string
+
+val col : ?qualifier:string -> string -> col
+val make : col list -> Cqp_relal.Tuple.t list -> t
+val arity : t -> int
+val cardinality : t -> int
+
+val find_col : t -> string option -> string -> int
+(** Index of the referenced column.
+    @raise Column_error when missing or ambiguous. *)
+
+val append : t -> t -> t
+(** Bag union; headers must agree in arity (the first header wins). *)
+
+val product_cols : t -> t -> col list
+(** Header of a join/product of the two rowsets. *)
+
+val pp : Format.formatter -> t -> unit
+(** Tabular rendering of header and rows (for examples and the CLI). *)

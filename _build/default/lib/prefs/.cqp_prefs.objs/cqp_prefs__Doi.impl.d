@@ -1,0 +1,1 @@
+lib/prefs/doi.ml: List

@@ -1,0 +1,1 @@
+lib/prefs/path.ml: Cqp_relal Cqp_sql Doi Format List Printf Profile Stdlib String

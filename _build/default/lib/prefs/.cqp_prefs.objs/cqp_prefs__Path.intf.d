@@ -1,0 +1,1 @@
+lib/prefs/path.mli: Cqp_sql Doi Format Profile

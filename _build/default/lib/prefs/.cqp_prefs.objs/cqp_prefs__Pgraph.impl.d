@@ -1,0 +1,1 @@
+lib/prefs/pgraph.ml: Cqp_relal Format List Path Profile String

@@ -1,0 +1,1 @@
+lib/prefs/pgraph.mli: Cqp_relal Format Path Profile

@@ -1,0 +1,1 @@
+lib/prefs/profile.ml: Cqp_relal Cqp_sql Doi Format List String

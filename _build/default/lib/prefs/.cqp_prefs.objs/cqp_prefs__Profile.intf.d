@@ -1,0 +1,1 @@
+lib/prefs/profile.mli: Cqp_relal Cqp_sql Format

@@ -1,0 +1,20 @@
+type compose = Product | Min_compose
+type combine = Noisy_or | Max_combine
+
+exception Invalid_doi of float
+
+let check d = if d < 0. || d > 1. then raise (Invalid_doi d) else d
+
+let compose_incr ?(f = Product) acc d =
+  match f with Product -> acc *. d | Min_compose -> min acc d
+
+let compose ?(f = Product) dois =
+  List.fold_left (compose_incr ~f) 1. (List.map check dois)
+
+let combine_incr ?(r = Noisy_or) acc d =
+  match r with
+  | Noisy_or -> 1. -. ((1. -. acc) *. (1. -. d))
+  | Max_combine -> max acc d
+
+let combine ?(r = Noisy_or) dois =
+  List.fold_left (combine_incr ~r) 0. (List.map check dois)

@@ -1,0 +1,1 @@
+lib/relal/catalog.ml: Format Hashtbl List Relation Schema Stats String

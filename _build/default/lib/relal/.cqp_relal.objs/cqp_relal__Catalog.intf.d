@@ -1,0 +1,1 @@
+lib/relal/catalog.mli: Format Relation Stats

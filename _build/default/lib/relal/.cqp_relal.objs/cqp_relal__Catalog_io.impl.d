@@ -1,0 +1,1 @@
+lib/relal/catalog_io.ml: Catalog Csv Filename List Printf Relation Schema String Sys Value

@@ -1,0 +1,1 @@
+lib/relal/catalog_io.mli: Catalog Relation Schema

@@ -1,0 +1,1 @@
+lib/relal/csv.ml: Buffer Format List Relation Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relal/csv.mli: Relation Schema

@@ -1,0 +1,1 @@
+lib/relal/relation.ml: Array Format List Printf Schema Tuple

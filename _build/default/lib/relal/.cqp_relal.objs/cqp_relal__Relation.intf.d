@@ -1,0 +1,1 @@
+lib/relal/relation.mli: Format Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relal/schema.ml: Format Hashtbl List String Value

@@ -1,0 +1,1 @@
+lib/relal/stats.ml: Array Format Hashtbl List Relation Schema Stdlib String Value

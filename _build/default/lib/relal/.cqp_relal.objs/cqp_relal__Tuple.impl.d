@@ -1,0 +1,1 @@
+lib/relal/tuple.ml: Array Format List Stdlib String Value

@@ -1,0 +1,1 @@
+lib/relal/tuple.mli: Format Value

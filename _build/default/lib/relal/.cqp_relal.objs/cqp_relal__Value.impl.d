@@ -1,0 +1,1 @@
+lib/relal/value.ml: Buffer Format Hashtbl Printf Stdlib String

@@ -1,0 +1,96 @@
+exception Manifest_error of string
+
+let magic = "cqp-catalog 1"
+
+let ty_to_string = function
+  | Value.Tint -> "int"
+  | Value.Tfloat -> "float"
+  | Value.Tstring -> "string"
+  | Value.Tbool -> "bool"
+  | Value.Tnull -> "null"
+
+let ty_of_string = function
+  | "int" -> Value.Tint
+  | "float" -> Value.Tfloat
+  | "string" -> Value.Tstring
+  | "bool" -> Value.Tbool
+  | "null" -> Value.Tnull
+  | s -> raise (Manifest_error ("unknown type " ^ s))
+
+let manifest_line rel =
+  let schema = Relation.schema rel in
+  String.concat "|"
+    (schema.Schema.rel_name
+     :: string_of_int (Relation.block_size rel)
+     :: List.map
+          (fun a ->
+            Printf.sprintf "%s:%s:%d" a.Schema.attr_name
+              (ty_to_string a.Schema.attr_ty)
+              a.Schema.attr_width)
+          schema.Schema.attrs)
+
+let parse_manifest_line line =
+  match String.split_on_char '|' line with
+  | name :: block_size :: attrs when attrs <> [] ->
+      let block_size =
+        match int_of_string_opt block_size with
+        | Some b when b > 0 -> b
+        | _ -> raise (Manifest_error ("bad block size in: " ^ line))
+      in
+      let cols =
+        List.map
+          (fun spec ->
+            match String.split_on_char ':' spec with
+            | [ attr; ty; width ] -> (
+                match int_of_string_opt width with
+                | Some w when w > 0 -> (attr, ty_of_string ty, w)
+                | _ ->
+                    raise (Manifest_error ("bad attribute width: " ^ spec)))
+            | _ -> raise (Manifest_error ("bad attribute spec: " ^ spec)))
+          attrs
+      in
+      (Schema.make name cols, block_size)
+  | _ -> raise (Manifest_error ("bad manifest line: " ^ line))
+
+let save catalog dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let names = Catalog.names catalog in
+  let oc = open_out (Filename.concat dir "schema.manifest") in
+  output_string oc (magic ^ "\n");
+  List.iter
+    (fun name ->
+      let rel = Catalog.get catalog name in
+      output_string oc (manifest_line rel ^ "\n");
+      Csv.save_file rel (Filename.concat dir (name ^ ".csv")))
+    names;
+  close_out oc
+
+let load dir =
+  let path = Filename.concat dir "schema.manifest" in
+  if not (Sys.file_exists path) then
+    raise (Manifest_error ("no manifest at " ^ path));
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let catalog = Catalog.create () in
+  (match List.rev !lines with
+  | header :: rest when String.trim header = magic ->
+      List.iter
+        (fun line ->
+          if String.trim line <> "" then begin
+            let schema, block_size = parse_manifest_line line in
+            let rel =
+              Csv.load_file ~block_size schema
+                (Filename.concat dir (schema.Schema.rel_name ^ ".csv"))
+            in
+            Catalog.add catalog rel
+          end)
+        rest
+  | header :: _ ->
+      raise (Manifest_error ("unexpected manifest header: " ^ header))
+  | [] -> raise (Manifest_error "empty manifest"));
+  catalog

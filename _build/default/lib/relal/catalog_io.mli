@@ -1,0 +1,27 @@
+(** Catalog persistence: save/load a whole catalog as a directory of
+    CSV files plus a schema manifest.
+
+    Layout:
+    {v
+    <dir>/schema.manifest     one line per relation:
+                              name|block_size|attr:ty:width|attr:ty:width|...
+    <dir>/<relation>.csv      the data, with a header row
+    v}
+
+    The manifest format is line-oriented and versioned by its first
+    line ([cqp-catalog 1]). *)
+
+exception Manifest_error of string
+
+val save : Catalog.t -> string -> unit
+(** Write every relation of the catalog under the directory (created if
+    missing). *)
+
+val load : string -> Catalog.t
+(** Rebuild a catalog from a saved directory.
+    @raise Manifest_error on a missing/ill-formed manifest.
+    @raise Csv.Csv_error on bad data files. *)
+
+val manifest_line : Relation.t -> string
+val parse_manifest_line : string -> Schema.t * int
+(** [schema, block_size]. @raise Manifest_error on bad syntax. *)

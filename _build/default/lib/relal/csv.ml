@@ -1,0 +1,176 @@
+exception Csv_error of string * int
+
+let fail line fmt = Format.kasprintf (fun m -> raise (Csv_error (m, line))) fmt
+
+let parse_line_at line_no s =
+  let n = String.length s in
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let rec plain i =
+    if i >= n then flush ()
+    else
+      match s.[i] with
+      | ',' ->
+          flush ();
+          plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then fail line_no "unterminated quoted field"
+    else
+      match s.[i] with
+      | '"' when i + 1 < n && s.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> after_quote (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  and after_quote i =
+    if i >= n then flush ()
+    else
+      match s.[i] with
+      | ',' ->
+          flush ();
+          plain (i + 1)
+      | c -> fail line_no "unexpected %C after closing quote" c
+  in
+  plain 0;
+  List.rev !fields
+
+let parse_line s = parse_line_at 0 s
+
+let needs_quoting field =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') field
+
+let format_field field =
+  if needs_quoting field then begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else field
+
+let format_line fields = String.concat "," (List.map format_field fields)
+
+let cell_of_string line_no (attr : Schema.attribute) raw =
+  match attr.Schema.attr_ty with
+  | Value.Tstring -> Value.String raw
+  | Value.Tnull -> if raw = "" then Value.Null else Value.String raw
+  | Value.Tint -> (
+      if raw = "" then Value.Null
+      else
+        match int_of_string_opt (String.trim raw) with
+        | Some i -> Value.Int i
+        | None -> fail line_no "column %s: %S is not an int" attr.Schema.attr_name raw)
+  | Value.Tfloat -> (
+      if raw = "" then Value.Null
+      else
+        match float_of_string_opt (String.trim raw) with
+        | Some f -> Value.Float f
+        | None ->
+            fail line_no "column %s: %S is not a float" attr.Schema.attr_name raw)
+  | Value.Tbool -> (
+      if raw = "" then Value.Null
+      else
+        match String.lowercase_ascii (String.trim raw) with
+        | "true" | "1" -> Value.Bool true
+        | "false" | "0" -> Value.Bool false
+        | _ ->
+            fail line_no "column %s: %S is not a bool" attr.Schema.attr_name raw)
+
+(* Split a document into records; a naive newline split is wrong for
+   quoted fields containing newlines, so track quote parity. *)
+let records_of_string doc =
+  let records = ref [] in
+  let buf = Buffer.create 64 in
+  let in_quotes = ref false in
+  let flush () =
+    records := Buffer.contents buf :: !records;
+    Buffer.clear buf
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' ->
+          in_quotes := not !in_quotes;
+          Buffer.add_char buf c
+      | '\n' when not !in_quotes -> flush ()
+      | '\r' when not !in_quotes -> ()
+      | c -> Buffer.add_char buf c)
+    doc;
+  if Buffer.length buf > 0 then flush ();
+  List.rev !records
+
+let load_string ?block_size ?(header = true) schema doc =
+  let records = records_of_string doc in
+  let attrs = schema.Schema.attrs in
+  let expect_arity = List.length attrs in
+  let records, start_line =
+    match records with
+    | first :: rest when header ->
+        let names = List.map String.lowercase_ascii (parse_line_at 1 first) in
+        let expected = Schema.attr_names schema in
+        if List.map String.trim names <> expected then
+          fail 1 "header mismatch: expected %s"
+            (String.concat "," expected);
+        (rest, 2)
+    | records -> (records, 1)
+  in
+  let rel = Relation.create ?block_size schema in
+  List.iteri
+    (fun i record ->
+      let line_no = start_line + i in
+      if String.trim record <> "" then begin
+        let fields = parse_line_at line_no record in
+        if List.length fields <> expect_arity then
+          fail line_no "expected %d fields, got %d" expect_arity
+            (List.length fields);
+        let cells = List.map2 (cell_of_string line_no) attrs fields in
+        Relation.insert rel (Tuple.make cells)
+      end)
+    records;
+  rel
+
+let load_file ?block_size ?header schema path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let doc = really_input_string ic len in
+  close_in ic;
+  load_string ?block_size ?header schema doc
+
+let cell_to_string = function
+  | Value.Null -> ""
+  | v -> Value.to_string v
+
+let to_string ?(header = true) rel =
+  let buf = Buffer.create 1024 in
+  let schema = Relation.schema rel in
+  if header then begin
+    Buffer.add_string buf (format_line (Schema.attr_names schema));
+    Buffer.add_char buf '\n'
+  end;
+  Relation.iter
+    (fun t ->
+      Buffer.add_string buf
+        (format_line (List.map cell_to_string (Tuple.to_list t)));
+      Buffer.add_char buf '\n')
+    rel;
+  Buffer.contents buf
+
+let save_file ?header rel path =
+  let oc = open_out_bin path in
+  output_string oc (to_string ?header rel);
+  close_out oc

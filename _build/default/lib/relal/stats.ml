@@ -1,0 +1,199 @@
+type column_stats = {
+  n_values : int;
+  n_distinct : int;
+  min_v : Value.t option;
+  max_v : Value.t option;
+  mcv : (Value.t * int) list;
+  histogram : Value.t array;
+  rest_count : int;
+  rest_distinct : int;
+}
+
+type t = {
+  rel_card : int;
+  rel_blocks : int;
+  columns : (string * column_stats) list;
+}
+
+let mcv_limit = 16
+let histogram_buckets = 32
+let default_eq_selectivity = 0.1
+
+let analyze_column values =
+  let freq = Hashtbl.create 256 in
+  let n_values = ref 0 in
+  let min_v = ref None and max_v = ref None in
+  List.iter
+    (fun v ->
+      if not (Value.is_null v) then begin
+        incr n_values;
+        (match Hashtbl.find_opt freq v with
+        | Some c -> Hashtbl.replace freq v (c + 1)
+        | None -> Hashtbl.add freq v 1);
+        (match !min_v with
+        | Some m when Value.compare v m >= 0 -> ()
+        | _ -> min_v := Some v);
+        match !max_v with
+        | Some m when Value.compare v m <= 0 -> ()
+        | _ -> max_v := Some v
+      end)
+    values;
+  let by_freq =
+    Hashtbl.fold (fun v c acc -> (v, c) :: acc) freq []
+    |> List.sort (fun (v1, c1) (v2, c2) ->
+           match Stdlib.compare c2 c1 with
+           | 0 -> Value.compare v1 v2
+           | c -> c)
+  in
+  let n_distinct = List.length by_freq in
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  let mcv = take mcv_limit by_freq in
+  let is_mcv v = List.exists (fun (m, _) -> Value.equal m v) mcv in
+  let rest =
+    List.filter (fun v -> (not (Value.is_null v)) && not (is_mcv v)) values
+    |> List.sort Value.compare
+  in
+  let rest_count = List.length rest in
+  let rest_distinct = max 0 (n_distinct - List.length mcv) in
+  let histogram =
+    if rest_count = 0 then [||]
+    else begin
+      let arr = Array.of_list rest in
+      let buckets = min histogram_buckets rest_count in
+      Array.init buckets (fun i ->
+          arr.(min (rest_count - 1) (((i + 1) * rest_count / buckets) - 1)))
+    end
+  in
+  {
+    n_values = !n_values;
+    n_distinct;
+    min_v = !min_v;
+    max_v = !max_v;
+    mcv;
+    histogram;
+    rest_count;
+    rest_distinct;
+  }
+
+let analyze rel =
+  let schema = Relation.schema rel in
+  let columns =
+    List.mapi
+      (fun i attr ->
+        (attr.Schema.attr_name, analyze_column (Relation.column rel i)))
+      schema.Schema.attrs
+  in
+  {
+    rel_card = Relation.cardinality rel;
+    rel_blocks = Relation.blocks rel;
+    columns;
+  }
+
+let column t name = List.assoc_opt (String.lowercase_ascii name) t.columns
+
+let eq_selectivity t name v =
+  match column t name with
+  | None -> default_eq_selectivity
+  | Some cs ->
+      if cs.n_values = 0 then 0.
+      else begin
+        let total = float_of_int t.rel_card in
+        match List.find_opt (fun (m, _) -> Value.equal m v) cs.mcv with
+        | Some (_, c) -> float_of_int c /. total
+        | None ->
+            if cs.rest_distinct > 0 then
+              float_of_int cs.rest_count
+              /. float_of_int cs.rest_distinct
+              /. total
+            else if cs.n_distinct > 0 then 1. /. float_of_int cs.n_distinct
+            else default_eq_selectivity
+      end
+
+let fraction_below cs v =
+  (* Fraction of non-null, non-MCV values <= v, via the histogram. *)
+  let n = Array.length cs.histogram in
+  if n = 0 then 0.
+  else begin
+    let below = ref 0 in
+    Array.iter
+      (fun bound -> if Value.compare bound v <= 0 then incr below)
+      cs.histogram;
+    float_of_int !below /. float_of_int n
+  end
+
+let range_selectivity t name ?lo ?hi () =
+  match column t name with
+  | None -> default_eq_selectivity
+  | Some cs ->
+      if cs.n_values = 0 then 0.
+      else begin
+        let total = float_of_int t.rel_card in
+        let interp () =
+          (* Try numeric interpolation on [min, max]. *)
+          match cs.min_v, cs.max_v with
+          | Some mn, Some mx -> (
+              match Value.to_float mn, Value.to_float mx with
+              | Some fmn, Some fmx when fmx > fmn ->
+                  let flo =
+                    match lo with
+                    | None -> fmn
+                    | Some v -> (
+                        match Value.to_float v with
+                        | Some f -> max fmn f
+                        | None -> fmn)
+                  in
+                  let fhi =
+                    match hi with
+                    | None -> fmx
+                    | Some v -> (
+                        match Value.to_float v with
+                        | Some f -> min fmx f
+                        | None -> fmx)
+                  in
+                  if fhi < flo then Some 0.
+                  else Some ((fhi -. flo) /. (fmx -. fmn))
+              | _ -> None)
+          | _ -> None
+        in
+        let hist () =
+          let above_lo =
+            match lo with None -> 1. | Some v -> 1. -. fraction_below cs v
+          in
+          let below_hi =
+            match hi with None -> 1. | Some v -> fraction_below cs v
+          in
+          max 0. (above_lo +. below_hi -. 1.)
+        in
+        let frac = match interp () with Some f -> f | None -> hist () in
+        let in_mcv =
+          List.fold_left
+            (fun acc (v, c) ->
+              let ge_lo =
+                match lo with None -> true | Some l -> Value.compare v l >= 0
+              in
+              let le_hi =
+                match hi with None -> true | Some h -> Value.compare v h <= 0
+              in
+              if ge_lo && le_hi then acc + c else acc)
+            0 cs.mcv
+        in
+        let est =
+          ((frac *. float_of_int cs.rest_count) +. float_of_int in_mcv)
+          /. total
+        in
+        min 1. (max 0. est)
+      end
+
+let distinct t name =
+  match column t name with None -> 0 | Some cs -> cs.n_distinct
+
+let pp ppf t =
+  Format.fprintf ppf "card=%d blocks=%d" t.rel_card t.rel_blocks;
+  List.iter
+    (fun (name, cs) ->
+      Format.fprintf ppf "@ %s: n=%d distinct=%d" name cs.n_values
+        cs.n_distinct)
+    t.columns

@@ -1,0 +1,30 @@
+type t = Value.t array
+
+let make vs = Array.of_list vs
+let arity = Array.length
+let get t i = t.(i)
+let project t idxs = Array.of_list (List.map (fun i -> t.(i)) idxs)
+let concat = Array.append
+
+let compare a b =
+  let n = Array.length a and m = Array.length b in
+  if n <> m then Stdlib.compare n m
+  else
+    let rec loop i =
+      if i = n then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let equal a b = compare a b = 0
+
+let hash t =
+  Array.fold_left (fun acc v -> (acc * 1000003) lxor Value.hash v) 17 t
+
+let to_list = Array.to_list
+
+let pp ppf t =
+  Format.fprintf ppf "(%s)"
+    (String.concat ", " (List.map Value.to_string (to_list t)))

@@ -1,0 +1,16 @@
+(** Tuples: immutable value arrays positionally matching a schema. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+val arity : t -> int
+val get : t -> int -> Value.t
+val project : t -> int list -> t
+(** [project t idxs] keeps the cells at positions [idxs], in order. *)
+
+val concat : t -> t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val to_list : t -> Value.t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sqlkit/analyzer.ml: Ast Cqp_relal Format Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/sqlkit/analyzer.mli: Ast Cqp_relal

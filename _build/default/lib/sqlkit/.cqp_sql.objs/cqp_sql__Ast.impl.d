@@ -1,0 +1,1 @@
+lib/sqlkit/ast.ml: Cqp_relal List

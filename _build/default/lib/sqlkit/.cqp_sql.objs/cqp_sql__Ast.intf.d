@@ -1,0 +1,1 @@
+lib/sqlkit/ast.mli: Cqp_relal

@@ -1,0 +1,1 @@
+lib/sqlkit/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/sqlkit/parser.ml: Ast Cqp_relal Lexer List Printf

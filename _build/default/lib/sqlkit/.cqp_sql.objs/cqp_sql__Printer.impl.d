@@ -1,0 +1,1 @@
+lib/sqlkit/printer.ml: Ast Buffer Cqp_relal Format List String

@@ -1,0 +1,1 @@
+lib/sqlkit/printer.mli: Ast Format

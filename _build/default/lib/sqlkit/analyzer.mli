@@ -1,0 +1,49 @@
+(** Semantic analysis: name resolution and type checking against a
+    catalog.
+
+    The analyzer validates a query before planning and computes its
+    output schema.  It enforces the classical rules for the supported
+    subset: tables must exist, FROM aliases must be unique, column
+    references must resolve unambiguously, compared expressions must
+    have compatible types, aggregates may only appear in SELECT/HAVING/
+    ORDER BY, and with GROUP BY every non-aggregated output expression
+    must be a grouping expression.  UNION ALL branches must agree in
+    arity and column types. *)
+
+exception Semantic_error of string
+
+type binding = {
+  alias : string;  (** the name a column qualifier matches *)
+  source : source;
+  columns : (string * Cqp_relal.Value.ty) list;  (** in schema order *)
+}
+
+and source =
+  | Base of string  (** base relation name in the catalog *)
+  | Derived of Ast.query
+
+type env = binding list
+
+val block_env : Cqp_relal.Catalog.t -> Ast.select_block -> env
+(** Bindings introduced by a block's FROM clause, in order.
+    @raise Semantic_error on unknown tables or duplicate aliases. *)
+
+val resolve : env -> string option -> string -> int * int * Cqp_relal.Value.ty
+(** [resolve env qualifier column] returns
+    [(binding_index, column_index, type)].
+    @raise Semantic_error when unresolvable or ambiguous. *)
+
+val expr_ty : env -> Ast.expr -> Cqp_relal.Value.ty
+(** Result type of an expression; aggregates over numerics are numeric,
+    [count] is [Tint].
+    @raise Semantic_error on unresolvable columns. *)
+
+val check_predicate : env -> Ast.predicate -> unit
+val check : Cqp_relal.Catalog.t -> Ast.query -> unit
+
+val output_schema :
+  Cqp_relal.Catalog.t -> Ast.query -> (string * Cqp_relal.Value.ty) list
+(** Column names and types produced by the query, with [Star]
+    expansion.  Runs the full {!check}. *)
+
+val has_aggregate : Ast.expr -> bool

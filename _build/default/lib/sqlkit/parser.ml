@@ -1,0 +1,317 @@
+open Ast
+
+exception Parse_error of string * int
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let peek st =
+  match st.toks with [] -> (Lexer.Eof, 0) | (t, p) :: _ -> (t, p)
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let error st msg =
+  let _, pos = peek st in
+  raise (Parse_error (msg, pos))
+
+let expect_kw st kw =
+  match peek st with
+  | Lexer.Kw k, _ when k = kw -> advance st
+  | _ -> error st (Printf.sprintf "expected %s" kw)
+
+let expect_punct st p =
+  match peek st with
+  | Lexer.Punct q, _ when q = p -> advance st
+  | _ -> error st (Printf.sprintf "expected %s" p)
+
+let accept_kw st kw =
+  match peek st with
+  | Lexer.Kw k, _ when k = kw ->
+      advance st;
+      true
+  | _ -> false
+
+let accept_punct st p =
+  match peek st with
+  | Lexer.Punct q, _ when q = p ->
+      advance st;
+      true
+  | _ -> false
+
+let ident st =
+  match next st with
+  | Lexer.Ident name, _ -> name
+  | _, pos -> raise (Parse_error ("expected identifier", pos))
+
+let literal_of_token st =
+  match next st with
+  | Lexer.Int_lit i, _ -> Cqp_relal.Value.Int i
+  | Lexer.Float_lit f, _ -> Cqp_relal.Value.Float f
+  | Lexer.String_lit s, _ -> Cqp_relal.Value.String s
+  | Lexer.Kw "NULL", _ -> Cqp_relal.Value.Null
+  | Lexer.Kw "TRUE", _ -> Cqp_relal.Value.Bool true
+  | Lexer.Kw "FALSE", _ -> Cqp_relal.Value.Bool false
+  | _, pos -> raise (Parse_error ("expected literal", pos))
+
+(* All parsers live in one recursive nest: predicates may contain
+   parenthesized sub-predicates and FROM items may contain sub-queries. *)
+let rec parse_expr st : expr =
+  match peek st with
+  | Lexer.Kw "COUNT", _ ->
+      advance st;
+      expect_punct st "(";
+      if accept_punct st "*" then begin
+        expect_punct st ")";
+        Count_star
+      end
+      else begin
+        let e = parse_expr st in
+        expect_punct st ")";
+        Count e
+      end
+  | Lexer.Kw (("MIN" | "MAX" | "SUM" | "AVG") as agg), _ ->
+      advance st;
+      expect_punct st "(";
+      let e = parse_expr st in
+      expect_punct st ")";
+      (match agg with
+      | "MIN" -> Min e
+      | "MAX" -> Max e
+      | "SUM" -> Sum e
+      | _ -> Avg e)
+  | Lexer.Ident name, _ ->
+      advance st;
+      if accept_punct st "." then
+        let col = ident st in
+        Col (Some name, col)
+      else Col (None, name)
+  | (Lexer.Int_lit _ | Lexer.Float_lit _ | Lexer.String_lit _), _ ->
+      Lit (literal_of_token st)
+  | Lexer.Kw ("NULL" | "TRUE" | "FALSE"), _ -> Lit (literal_of_token st)
+  | _, pos -> raise (Parse_error ("expected expression", pos))
+
+and parse_comparison st : predicate =
+  if accept_kw st "NOT" then Not (parse_comparison st)
+  else if accept_punct st "(" then begin
+    let p = parse_or st in
+    expect_punct st ")";
+    p
+  end
+  else begin
+    let lhs = parse_expr st in
+    match peek st with
+    | Lexer.Punct "=", _ ->
+        advance st;
+        Cmp (Eq, lhs, parse_expr st)
+    | Lexer.Punct ("<>" | "!="), _ ->
+        advance st;
+        Cmp (Neq, lhs, parse_expr st)
+    | Lexer.Punct "<", _ ->
+        advance st;
+        Cmp (Lt, lhs, parse_expr st)
+    | Lexer.Punct "<=", _ ->
+        advance st;
+        Cmp (Le, lhs, parse_expr st)
+    | Lexer.Punct ">", _ ->
+        advance st;
+        Cmp (Gt, lhs, parse_expr st)
+    | Lexer.Punct ">=", _ ->
+        advance st;
+        Cmp (Ge, lhs, parse_expr st)
+    | Lexer.Kw "IN", _ ->
+        advance st;
+        expect_punct st "(";
+        let rec values acc =
+          let v = literal_of_token st in
+          if accept_punct st "," then values (v :: acc)
+          else List.rev (v :: acc)
+        in
+        let vs = values [] in
+        expect_punct st ")";
+        In_list (lhs, vs)
+    | Lexer.Kw "LIKE", _ -> (
+        advance st;
+        match next st with
+        | Lexer.String_lit pat, _ -> Like (lhs, pat)
+        | _, pos -> raise (Parse_error ("expected LIKE pattern", pos)))
+    | Lexer.Kw "IS", _ ->
+        advance st;
+        if accept_kw st "NOT" then begin
+          expect_kw st "NULL";
+          Is_not_null lhs
+        end
+        else begin
+          expect_kw st "NULL";
+          Is_null lhs
+        end
+    | Lexer.Kw "BETWEEN", _ ->
+        (* Sugar: [x BETWEEN a AND b] parses to [x >= a and x <= b]. *)
+        advance st;
+        let lo = parse_expr st in
+        expect_kw st "AND";
+        let hi = parse_expr st in
+        And (Cmp (Ge, lhs, lo), Cmp (Le, lhs, hi))
+    | Lexer.Kw "NOT", _ -> (
+        advance st;
+        match peek st with
+        | Lexer.Kw "LIKE", _ -> (
+            advance st;
+            match next st with
+            | Lexer.String_lit pat, _ -> Not (Like (lhs, pat))
+            | _, pos -> raise (Parse_error ("expected LIKE pattern", pos)))
+        | Lexer.Kw "IN", _ ->
+            advance st;
+            expect_punct st "(";
+            let rec values acc =
+              let v = literal_of_token st in
+              if accept_punct st "," then values (v :: acc)
+              else List.rev (v :: acc)
+            in
+            let vs = values [] in
+            expect_punct st ")";
+            Not (In_list (lhs, vs))
+        | Lexer.Kw "BETWEEN", _ ->
+            advance st;
+            let lo = parse_expr st in
+            expect_kw st "AND";
+            let hi = parse_expr st in
+            Not (And (Cmp (Ge, lhs, lo), Cmp (Le, lhs, hi)))
+        | _, pos ->
+            raise (Parse_error ("expected LIKE, IN or BETWEEN after NOT", pos))
+        )
+    | _, pos -> raise (Parse_error ("expected comparison operator", pos))
+  end
+
+and parse_and st =
+  let lhs = parse_comparison st in
+  if accept_kw st "AND" then And (lhs, parse_and st) else lhs
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept_kw st "OR" then Or (lhs, parse_or st) else lhs
+
+and parse_select_item st =
+  if accept_punct st "*" then Star
+  else begin
+    let e = parse_expr st in
+    if accept_kw st "AS" then Item (e, Some (ident st))
+    else
+      match peek st with
+      | Lexer.Ident alias, _ ->
+          advance st;
+          Item (e, Some alias)
+      | _ -> Item (e, None)
+  end
+
+and parse_from_item st =
+  if accept_punct st "(" then begin
+    let q = parse_query st in
+    expect_punct st ")";
+    let alias =
+      if accept_kw st "AS" then ident st
+      else
+        match peek st with
+        | Lexer.Ident a, _ ->
+            advance st;
+            a
+        | _, pos ->
+            raise (Parse_error ("derived table requires an alias", pos))
+    in
+    Subquery (q, alias)
+  end
+  else begin
+    let name = ident st in
+    if accept_kw st "AS" then Table (name, Some (ident st))
+    else
+      match peek st with
+      | Lexer.Ident alias, _ ->
+          advance st;
+          Table (name, Some alias)
+      | _ -> Table (name, None)
+  end
+
+and parse_select st =
+  expect_kw st "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  let rec items acc =
+    let item = parse_select_item st in
+    if accept_punct st "," then items (item :: acc)
+    else List.rev (item :: acc)
+  in
+  let items = items [] in
+  expect_kw st "FROM";
+  let rec sources acc =
+    let src = parse_from_item st in
+    if accept_punct st "," then sources (src :: acc)
+    else List.rev (src :: acc)
+  in
+  let from = sources [] in
+  let where = if accept_kw st "WHERE" then Some (parse_or st) else None in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      let rec exprs acc =
+        let e = parse_expr st in
+        if accept_punct st "," then exprs (e :: acc)
+        else List.rev (e :: acc)
+      in
+      exprs []
+    end
+    else []
+  in
+  let having = if accept_kw st "HAVING" then Some (parse_or st) else None in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let rec keys acc =
+        let e = parse_expr st in
+        let dir =
+          if accept_kw st "DESC" then Desc
+          else begin
+            ignore (accept_kw st "ASC");
+            Asc
+          end
+        in
+        if accept_punct st "," then keys ((e, dir) :: acc)
+        else List.rev ((e, dir) :: acc)
+      in
+      keys []
+    end
+    else []
+  in
+  let limit =
+    if accept_kw st "LIMIT" then
+      match next st with
+      | Lexer.Int_lit i, _ -> Some i
+      | _, pos -> raise (Parse_error ("expected integer after LIMIT", pos))
+    else None
+  in
+  Select { distinct; items; from; where; group_by; having; order_by; limit }
+
+and parse_query st =
+  let first = parse_select st in
+  let rec unions acc =
+    if accept_kw st "UNION" then begin
+      expect_kw st "ALL";
+      let nxt = parse_select st in
+      unions (nxt :: acc)
+    end
+    else List.rev acc
+  in
+  match unions [ first ] with [ q ] -> q | qs -> Union_all qs
+
+let with_input input f =
+  let st = { toks = Lexer.tokenize input } in
+  let result = f st in
+  (match peek st with
+  | Lexer.Eof, _ -> ()
+  | _, pos -> raise (Parse_error ("trailing input", pos)));
+  result
+
+let parse input = with_input input parse_query
+let parse_predicate input = with_input input parse_or

@@ -1,0 +1,26 @@
+(** Recursive-descent parser for the CQP SQL subset.
+
+    Grammar (informal):
+    {v
+    query      ::= select { UNION ALL select }
+    select     ::= SELECT [DISTINCT] items FROM from
+                   [WHERE pred] [GROUP BY exprs] [HAVING pred]
+                   [ORDER BY expr [ASC|DESC] {, ...}] [LIMIT int]
+    items      ::= * | item {, item}
+    item       ::= expr [[AS] ident]
+    from       ::= source {, source}
+    source     ::= ident [ident] | ( query ) ident
+    pred       ::= or-chain of AND/NOT/comparison/IN/LIKE/IS NULL
+    expr       ::= column | literal | COUNT( * ) | COUNT|MIN|MAX|SUM|AVG(expr)
+    v} *)
+
+exception Parse_error of string * int  (** message, byte position *)
+
+val parse : string -> Ast.query
+(** Parse a full query.
+    @raise Parse_error on syntax errors (including trailing input).
+    @raise Lexer.Lex_error on lexical errors. *)
+
+val parse_predicate : string -> Ast.predicate
+(** Parse a standalone predicate (used for preference conditions such as
+    ["genre.genre = 'musical'"]). *)

@@ -1,0 +1,151 @@
+open Ast
+
+let binop_to_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec expr_to_string = function
+  | Col (None, name) -> name
+  | Col (Some q, name) -> q ^ "." ^ name
+  | Lit v -> Cqp_relal.Value.to_sql v
+  | Count_star -> "count(*)"
+  | Count e -> "count(" ^ expr_to_string e ^ ")"
+  | Min e -> "min(" ^ expr_to_string e ^ ")"
+  | Max e -> "max(" ^ expr_to_string e ^ ")"
+  | Sum e -> "sum(" ^ expr_to_string e ^ ")"
+  | Avg e -> "avg(" ^ expr_to_string e ^ ")"
+
+(* Precedence: Or < And < Not < atoms.  Parenthesize a child whose
+   precedence is strictly lower than the context's; the parser
+   right-nests chains of the same connective, so a left child at the
+   same precedence is parenthesized too (keeps print/parse a structural
+   round-trip). *)
+let rec pred_to_string ~ctx p =
+  let atom s level = if level < ctx then "(" ^ s ^ ")" else s in
+  match p with
+  | True -> "true"
+  | Or (a, b) ->
+      atom (pred_to_string ~ctx:1 a ^ " or " ^ pred_to_string ~ctx:0 b) 0
+  | And (a, b) ->
+      atom (pred_to_string ~ctx:2 a ^ " and " ^ pred_to_string ~ctx:1 b) 1
+  | Not q -> "not " ^ pred_to_string ~ctx:2 q
+  | Cmp (op, l, r) ->
+      expr_to_string l ^ " " ^ binop_to_string op ^ " " ^ expr_to_string r
+  | In_list (e, vs) ->
+      expr_to_string e ^ " in ("
+      ^ String.concat ", " (List.map Cqp_relal.Value.to_sql vs)
+      ^ ")"
+  | Like (e, pat) ->
+      expr_to_string e ^ " like '"
+      ^ String.concat "''" (String.split_on_char '\'' pat)
+      ^ "'"
+  | Is_null e -> expr_to_string e ^ " is null"
+  | Is_not_null e -> expr_to_string e ^ " is not null"
+
+let predicate_to_string p = pred_to_string ~ctx:0 p
+
+let item_to_string = function
+  | Star -> "*"
+  | Item (e, None) -> expr_to_string e
+  | Item (e, Some alias) -> expr_to_string e ^ " as " ^ alias
+
+let rec from_to_string = function
+  | Table (name, None) -> name
+  | Table (name, Some alias) -> name ^ " " ^ alias
+  | Subquery (q, alias) -> "(" ^ to_string q ^ ") " ^ alias
+
+and block_to_string b =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "select ";
+  if b.distinct then Buffer.add_string buf "distinct ";
+  Buffer.add_string buf
+    (String.concat ", " (List.map item_to_string b.items));
+  Buffer.add_string buf " from ";
+  Buffer.add_string buf
+    (String.concat ", " (List.map from_to_string b.from));
+  (match b.where with
+  | None -> ()
+  | Some p ->
+      Buffer.add_string buf " where ";
+      Buffer.add_string buf (predicate_to_string p));
+  if b.group_by <> [] then begin
+    Buffer.add_string buf " group by ";
+    Buffer.add_string buf
+      (String.concat ", " (List.map expr_to_string b.group_by))
+  end;
+  (match b.having with
+  | None -> ()
+  | Some p ->
+      Buffer.add_string buf " having ";
+      Buffer.add_string buf (predicate_to_string p));
+  if b.order_by <> [] then begin
+    Buffer.add_string buf " order by ";
+    Buffer.add_string buf
+      (String.concat ", "
+         (List.map
+            (fun (e, dir) ->
+              expr_to_string e
+              ^ match dir with Asc -> " asc" | Desc -> " desc")
+            b.order_by))
+  end;
+  (match b.limit with
+  | None -> ()
+  | Some k ->
+      Buffer.add_string buf " limit ";
+      Buffer.add_string buf (string_of_int k));
+  Buffer.contents buf
+
+and to_string = function
+  | Select b -> block_to_string b
+  | Union_all qs ->
+      String.concat " union all "
+        (List.map
+           (function
+             | Select b -> block_to_string b
+             | Union_all _ as nested -> "(" ^ to_string nested ^ ")")
+           qs)
+
+let rec pp ppf q =
+  match q with
+  | Select b -> pp_block ppf b
+  | Union_all qs ->
+      Format.pp_open_vbox ppf 0;
+      List.iteri
+        (fun i sub ->
+          if i > 0 then Format.fprintf ppf "@ union all@ ";
+          pp ppf sub)
+        qs;
+      Format.pp_close_box ppf ()
+
+and pp_block ppf b =
+  Format.pp_open_vbox ppf 2;
+  Format.fprintf ppf "select %s%s"
+    (if b.distinct then "distinct " else "")
+    (String.concat ", " (List.map item_to_string b.items));
+  Format.fprintf ppf "@ from %s"
+    (String.concat ", " (List.map from_to_string b.from));
+  (match b.where with
+  | None -> ()
+  | Some p -> Format.fprintf ppf "@ where %s" (predicate_to_string p));
+  if b.group_by <> [] then
+    Format.fprintf ppf "@ group by %s"
+      (String.concat ", " (List.map expr_to_string b.group_by));
+  (match b.having with
+  | None -> ()
+  | Some p -> Format.fprintf ppf "@ having %s" (predicate_to_string p));
+  if b.order_by <> [] then
+    Format.fprintf ppf "@ order by %s"
+      (String.concat ", "
+         (List.map
+            (fun (e, dir) ->
+              expr_to_string e
+              ^ match dir with Asc -> " asc" | Desc -> " desc")
+            b.order_by));
+  (match b.limit with
+  | None -> ()
+  | Some k -> Format.fprintf ppf "@ limit %d" k);
+  Format.pp_close_box ppf ()

@@ -1,0 +1,11 @@
+(** SQL pretty-printer: renders ASTs back to parseable SQL text. *)
+
+val expr_to_string : Ast.expr -> string
+val predicate_to_string : Ast.predicate -> string
+
+val to_string : Ast.query -> string
+(** Single-line rendering; [parse (to_string q)] is equal to [q] up to
+    union flattening. *)
+
+val pp : Format.formatter -> Ast.query -> unit
+(** Indented multi-line rendering for display. *)

@@ -1,0 +1,74 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  (* splitmix64 *)
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next t }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) land max_int in
+  v mod n
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let normal t ~mean ~stddev =
+  let u1 = max 1e-12 (float t 1.0) in
+  let u2 = float t 1.0 in
+  mean
+  +. stddev
+     *. sqrt (-2.0 *. log u1)
+     *. cos (2.0 *. Float.pi *. u2)
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let target = float t total in
+  let rec pick i acc =
+    if i = n - 1 then n
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i + 1 else pick (i + 1) acc
+  in
+  pick 0 0.0
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choice: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t k arr =
+  let copy = Array.copy arr in
+  shuffle t copy;
+  Array.to_list (Array.sub copy 0 (min k (Array.length copy)))

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Experiments must be reproducible run-to-run, so everything random in
+    this repository — data generation, profile generation, metaheuristic
+    baselines — draws from this explicitly-seeded generator rather than
+    [Stdlib.Random]. *)
+
+type t
+
+val create : int -> t
+(** Generator seeded with the given integer. *)
+
+val split : t -> t
+(** Derive an independent generator (advances the parent). *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [[0, n-1]]. @raise Invalid_argument if
+    [n <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** Uniform in the inclusive range. *)
+
+val float : t -> float -> float
+(** Uniform in [[0, bound)]. *)
+
+val bool : t -> bool
+
+val normal : t -> mean:float -> stddev:float -> float
+(** Gaussian via Box–Muller. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [[1, n]] with exponent [s] (by inverse
+    transform over the exact CDF; suitable for the catalog sizes used
+    here). *)
+
+val choice : t -> 'a array -> 'a
+(** @raise Invalid_argument on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val sample_without_replacement : t -> int -> 'a array -> 'a list
+(** [sample_without_replacement t k arr] draws [min k (length arr)]
+    distinct elements. *)

@@ -1,0 +1,1 @@
+lib/workload/experiment.ml: Cqp_prefs Cqp_relal Cqp_sql Cqp_util Imdb List Profile_gen Query_gen

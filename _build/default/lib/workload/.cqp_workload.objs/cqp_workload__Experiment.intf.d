@@ -1,0 +1,1 @@
+lib/workload/experiment.mli: Cqp_prefs Cqp_relal Cqp_sql Imdb Profile_gen

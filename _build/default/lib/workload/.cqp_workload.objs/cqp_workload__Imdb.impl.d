@@ -1,0 +1,1 @@
+lib/workload/imdb.ml: Array Cqp_relal Cqp_util Hashtbl List Printf

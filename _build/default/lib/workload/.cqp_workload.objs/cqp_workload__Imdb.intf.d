@@ -1,0 +1,1 @@
+lib/workload/imdb.mli: Cqp_relal

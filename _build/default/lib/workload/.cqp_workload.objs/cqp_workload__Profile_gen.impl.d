@@ -1,0 +1,1 @@
+lib/workload/profile_gen.ml: Array Cqp_prefs Cqp_relal Cqp_util Hashtbl List

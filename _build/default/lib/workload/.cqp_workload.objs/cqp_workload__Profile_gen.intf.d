@@ -1,0 +1,1 @@
+lib/workload/profile_gen.mli: Cqp_prefs Cqp_relal Cqp_util

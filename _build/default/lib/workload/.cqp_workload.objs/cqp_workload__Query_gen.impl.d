@@ -1,0 +1,1 @@
+lib/workload/query_gen.ml: Buffer Cqp_sql Cqp_util List String

@@ -1,0 +1,1 @@
+lib/workload/tourist.ml: Cqp_prefs Cqp_relal Cqp_util Printf

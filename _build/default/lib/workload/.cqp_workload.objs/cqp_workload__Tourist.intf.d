@@ -1,0 +1,1 @@
+lib/workload/tourist.mli: Cqp_prefs Cqp_relal

@@ -1,0 +1,51 @@
+module Rng = Cqp_util.Rng
+
+type t = {
+  seed : int;
+  imdb : Imdb.config;
+  profile : Profile_gen.config;
+  n_profiles : int;
+  n_queries : int;
+}
+
+let default =
+  {
+    seed = 42;
+    imdb = Imdb.default_config;
+    profile = Profile_gen.default_config;
+    n_profiles = 20;
+    n_queries = 10;
+  }
+
+let quick = { default with n_profiles = 5; n_queries = 4 }
+
+type bundle = {
+  catalog : Cqp_relal.Catalog.t;
+  profiles : Cqp_prefs.Profile.t list;
+  queries : Cqp_sql.Ast.query list;
+}
+
+let build t =
+  let catalog = Imdb.build ~config:t.imdb ~seed:t.seed () in
+  let rng = Rng.create (t.seed * 7919) in
+  let profiles =
+    List.init t.n_profiles (fun _ ->
+        Profile_gen.generate ~config:t.profile ~rng catalog)
+  in
+  let queries = Query_gen.generate_many ~rng catalog t.n_queries in
+  { catalog; profiles; queries }
+
+let average bundle f =
+  let total = ref 0. and count = ref 0 in
+  List.iter
+    (fun profile ->
+      List.iter
+        (fun query ->
+          match f profile query with
+          | Some v ->
+              total := !total +. v;
+              incr count
+          | None -> ())
+        bundle.queries)
+    bundle.profiles;
+  if !count = 0 then nan else !total /. float_of_int !count

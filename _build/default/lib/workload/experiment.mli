@@ -1,0 +1,35 @@
+(** Experiment setup shared by the benchmark harness and tests: one
+    deterministic bundle of catalog + profiles + queries, averaged over
+    in the way the paper describes ("each result is the average of 200
+    different experiment runs: 20 profiles × 10 queries"). *)
+
+type t = {
+  seed : int;
+  imdb : Imdb.config;
+  profile : Profile_gen.config;
+  n_profiles : int;
+  n_queries : int;
+}
+
+val default : t
+(** 20 profiles × 10 queries over the default IMDB configuration —
+    the paper's setting.  Heavy; the harness also uses {!quick}. *)
+
+val quick : t
+(** A smaller averaging set (5 profiles × 4 queries) for fast runs. *)
+
+type bundle = {
+  catalog : Cqp_relal.Catalog.t;
+  profiles : Cqp_prefs.Profile.t list;
+  queries : Cqp_sql.Ast.query list;
+}
+
+val build : t -> bundle
+
+val average :
+  bundle ->
+  (Cqp_prefs.Profile.t -> Cqp_sql.Ast.query -> float option) ->
+  float
+(** Mean of [f profile query] over the full cross product, ignoring
+    [None] results (runs where the configuration yields no
+    preferences); [nan] when every run is skipped. *)

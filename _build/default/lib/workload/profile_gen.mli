@@ -1,0 +1,36 @@
+(** Profile generator — the evaluation setting of [12] as used by the
+    paper's Section 7: profiles with a broad, configurable range of doi
+    values and deviations.
+
+    Join preferences connect the schema's FK paths
+    (movie→director, movie→genre, movie→casts→actor) with high dois;
+    selection preferences target value-bearing attributes with values
+    sampled from the actual data (so that estimated selectivities are
+    meaningful) and dois drawn from the configured distribution. *)
+
+type doi_distribution =
+  | Uniform of float * float
+  | Normal of { mean : float; stddev : float }
+      (** clamped to [0.01, 1.0] *)
+
+type config = {
+  n_selections : int;  (** selection preferences per profile *)
+  doi_dist : doi_distribution;
+  join_doi_range : float * float;
+}
+
+val default_config : config
+(** 50 selections, doi uniform in [0.05, 0.95], joins in [0.8, 1.0] —
+    enough extractable preferences for the paper's K ∈ [10, 40]. *)
+
+val generate :
+  ?config:config ->
+  rng:Cqp_util.Rng.t ->
+  Cqp_relal.Catalog.t ->
+  Cqp_prefs.Profile.t
+(** Deterministic for a given generator state. *)
+
+val figure1_profile : Cqp_prefs.Profile.t
+(** The paper's Figure 1 example profile (over the Section-3 movie
+    schema): musical genre 0.5, movie–genre join 0.9, movie–director
+    join 1.0, director W. Allen 0.8. *)

@@ -1,0 +1,40 @@
+module Rng = Cqp_util.Rng
+
+let templates =
+  [
+    "select title from movie";
+    "select title, year from movie";
+    "select title from movie where year >= %Y";
+    "select title, duration from movie where year <= %Y";
+    "select mid, title from movie";
+  ]
+
+(* Replace every occurrence of "%Y" in the template. *)
+let instantiate template year =
+  let needle = "%Y" in
+  let buf = Buffer.create (String.length template) in
+  let n = String.length template in
+  let rec go i =
+    if i >= n then ()
+    else if
+      i + 1 < n && String.sub template i 2 = needle
+    then begin
+      Buffer.add_string buf year;
+      go (i + 2)
+    end
+    else begin
+      Buffer.add_char buf template.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let generate ~rng catalog =
+  let template = List.nth templates (Rng.int rng (List.length templates)) in
+  let year = string_of_int (Rng.int_in rng 1960 2010) in
+  let q = Cqp_sql.Parser.parse (instantiate template year) in
+  Cqp_sql.Analyzer.check catalog q;
+  q
+
+let generate_many ~rng catalog n = List.init n (fun _ -> generate ~rng catalog)

@@ -1,0 +1,11 @@
+(** Query generator: the paper's experiments average over 10 queries
+    per profile; we generate simple projection/selection queries
+    anchored at the movie relation (the shape Section 4.2's rewriting
+    applies to). *)
+
+val templates : string list
+(** The SQL templates ([%Y] is replaced by a year). *)
+
+val generate : rng:Cqp_util.Rng.t -> Cqp_relal.Catalog.t -> Cqp_sql.Ast.query
+val generate_many :
+  rng:Cqp_util.Rng.t -> Cqp_relal.Catalog.t -> int -> Cqp_sql.Ast.query list

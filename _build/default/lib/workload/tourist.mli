@@ -1,0 +1,25 @@
+(** The introduction scenario's substrate: a synthetic tourist-
+    information database (restaurants with city/cuisine/price/rating,
+    plus user reviews) and "Al's" profile, for the mobile-personalization
+    examples and the Policy tests. *)
+
+type config = {
+  n_restaurants : int;
+  n_reviews : int;
+  n_reviewers : int;
+  block_size : int;
+}
+
+val default_config : config
+(** 400 restaurants, 1500 reviews. *)
+
+val cities : string array
+val cuisines : string array
+
+val build : ?config:config -> seed:int -> unit -> Cqp_relal.Catalog.t
+(** Deterministic for a given seed. *)
+
+val al_profile : Cqp_prefs.Profile.t
+(** Al's preferences: strong for Tuscan food and top ratings, moderate
+    for cheap places and seafood; reviews influence restaurants with
+    doi 0.7. *)

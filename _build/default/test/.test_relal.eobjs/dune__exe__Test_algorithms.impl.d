@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Array Cqp_core Cqp_util List Printf QCheck QCheck_alcotest Testlib

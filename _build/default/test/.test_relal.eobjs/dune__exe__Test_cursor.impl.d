@@ -1,0 +1,1 @@
+test/test_cursor.ml: Alcotest Cqp_exec Cqp_relal Cqp_sql Cqp_util List Printf QCheck QCheck_alcotest String

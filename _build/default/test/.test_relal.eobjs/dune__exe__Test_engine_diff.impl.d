@@ -1,0 +1,1 @@
+test/test_engine_diff.ml: Alcotest Array Char Cqp_exec Cqp_relal Cqp_sql Cqp_util Hashtbl List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_estimate.ml: Alcotest Cqp_core Cqp_prefs Cqp_relal Cqp_sql Cqp_util List Printf QCheck QCheck_alcotest Testlib

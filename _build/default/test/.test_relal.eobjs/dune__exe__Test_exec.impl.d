@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Cqp_exec Cqp_relal Cqp_sql List QCheck QCheck_alcotest String

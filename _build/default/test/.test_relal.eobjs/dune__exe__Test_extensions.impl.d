@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Cqp_core Cqp_exec Cqp_prefs Cqp_relal Cqp_sql Cqp_util Filename List Option Printf QCheck QCheck_alcotest String Sys Testlib

@@ -1,0 +1,1 @@
+test/test_infra.ml: Alcotest Cqp_core Cqp_exec Cqp_relal Testlib

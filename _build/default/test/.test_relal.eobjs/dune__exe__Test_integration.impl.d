@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Cqp_core Cqp_exec Cqp_relal Cqp_sql Cqp_util Cqp_workload List Printf String

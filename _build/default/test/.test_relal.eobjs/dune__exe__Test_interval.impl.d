@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Cqp_core Cqp_util List Printf QCheck QCheck_alcotest Testlib

@@ -1,0 +1,1 @@
+test/test_metaheuristics.ml: Alcotest Cqp_core Cqp_util List Testlib

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Cqp_core Cqp_prefs Cqp_relal Cqp_workload List Option String

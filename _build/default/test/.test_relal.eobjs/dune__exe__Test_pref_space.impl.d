@@ -1,0 +1,1 @@
+test/test_pref_space.ml: Alcotest Array Cqp_core Cqp_prefs Cqp_relal Cqp_sql Cqp_util Fun List Printf QCheck QCheck_alcotest Testlib

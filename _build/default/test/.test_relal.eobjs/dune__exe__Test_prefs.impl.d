@@ -1,0 +1,1 @@
+test/test_prefs.ml: Alcotest Cqp_prefs Cqp_relal Cqp_sql List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_relal.ml: Alcotest Array Cqp_relal List Printf QCheck QCheck_alcotest

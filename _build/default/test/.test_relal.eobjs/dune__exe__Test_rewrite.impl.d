@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Cqp_core Cqp_exec Cqp_prefs Cqp_relal Cqp_sql List String

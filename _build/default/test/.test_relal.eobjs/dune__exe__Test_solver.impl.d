@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Cqp_core Cqp_util List QCheck QCheck_alcotest String Testlib

@@ -1,0 +1,1 @@
+test/test_sqlkit.ml: Alcotest Cqp_relal Cqp_sql List QCheck QCheck_alcotest

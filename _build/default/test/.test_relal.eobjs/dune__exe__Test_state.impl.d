@@ -1,0 +1,1 @@
+test/test_state.ml: Alcotest Array Cqp_core Cqp_util List QCheck QCheck_alcotest Testlib

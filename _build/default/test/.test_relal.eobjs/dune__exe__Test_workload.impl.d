@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Cqp_prefs Cqp_relal Cqp_sql Cqp_util Cqp_workload Float Fun Hashtbl List

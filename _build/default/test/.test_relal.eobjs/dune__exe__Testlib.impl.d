@@ -1,0 +1,1 @@
+test/testlib.ml: Array Cqp_core Cqp_prefs Cqp_relal Cqp_sql Cqp_util List Stdlib

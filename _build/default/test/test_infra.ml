@@ -1,0 +1,158 @@
+(* Unit tests for the supporting infrastructure: the work queue (Rq),
+   I/O accounting, rowset column resolution, and instrumentation. *)
+
+module C = Cqp_core
+module Rowset = Cqp_exec.Rowset
+module Io = Cqp_exec.Io
+module V = Cqp_relal.Value
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- Rq: the two-ended work queue -------------------------------------- *)
+
+let test_rq_fifo_tail () =
+  let stats = C.Instrument.create () in
+  let rq = C.Rq.create stats in
+  C.Rq.push_tail rq [ 0 ];
+  C.Rq.push_tail rq [ 1 ];
+  C.Rq.push_tail rq [ 2 ];
+  checkb "fifo" true
+    (C.Rq.pop rq = Some [ 0 ] && C.Rq.pop rq = Some [ 1 ]
+   && C.Rq.pop rq = Some [ 2 ] && C.Rq.pop rq = None)
+
+let test_rq_lifo_head () =
+  let stats = C.Instrument.create () in
+  let rq = C.Rq.create stats in
+  C.Rq.push_head rq [ 0 ];
+  C.Rq.push_head rq [ 1 ];
+  checkb "lifo" true (C.Rq.pop rq = Some [ 1 ] && C.Rq.pop rq = Some [ 0 ])
+
+let test_rq_mixed_ends () =
+  let stats = C.Instrument.create () in
+  let rq = C.Rq.create stats in
+  C.Rq.push_tail rq [ 1 ];
+  C.Rq.push_head rq [ 0 ];
+  C.Rq.push_tail rq [ 2 ];
+  checkb "head first, then fifo" true
+    (C.Rq.pop rq = Some [ 0 ] && C.Rq.pop rq = Some [ 1 ]
+   && C.Rq.pop rq = Some [ 2 ]);
+  checki "empty" 0 (C.Rq.length rq)
+
+let test_rq_instruments_memory () =
+  let stats = C.Instrument.create () in
+  let rq = C.Rq.create stats in
+  C.Rq.push_tail rq [ 0; 1; 2 ];
+  let peak_after_push = stats.C.Instrument.peak_words in
+  checkb "held" true (peak_after_push > 0);
+  ignore (C.Rq.pop rq);
+  checkb "released" true (stats.C.Instrument.live_words < peak_after_push);
+  checkb "peak persists" true (stats.C.Instrument.peak_words = peak_after_push)
+
+(* --- Instrument --------------------------------------------------------- *)
+
+let test_instrument_peak () =
+  let t = C.Instrument.create () in
+  C.Instrument.hold t [ 0; 1 ];
+  C.Instrument.hold t [ 2 ];
+  let peak = t.C.Instrument.peak_words in
+  C.Instrument.release t [ 0; 1 ];
+  C.Instrument.hold t [ 3 ];
+  checkb "peak is high-water" true (t.C.Instrument.peak_words = peak);
+  checkb "bytes positive" true (C.Instrument.peak_bytes t > 0)
+
+let test_instrument_snapshot_isolated () =
+  let t = C.Instrument.create () in
+  C.Instrument.visit t;
+  let snap = C.Instrument.snapshot t in
+  C.Instrument.visit t;
+  checki "snapshot frozen" 1 snap.C.Instrument.states_visited;
+  checki "original advanced" 2 t.C.Instrument.states_visited
+
+(* --- Io ------------------------------------------------------------------ *)
+
+let test_io_reset () =
+  let io = Io.create () in
+  Io.charge_blocks io 7;
+  checki "charged" 7 (Io.block_reads io);
+  Io.reset io;
+  checki "reset" 0 (Io.block_reads io);
+  Alcotest.(check (float 1e-9)) "custom block ms" 14.
+    (Io.cost_ms ~block_ms:2.
+       (let io = Io.create () in
+        Io.charge_blocks io 7;
+        io))
+
+(* --- Rowset column resolution -------------------------------------------- *)
+
+let test_rowset_resolution () =
+  let rs =
+    Rowset.make
+      [ Rowset.col ~qualifier:"m" "title"; Rowset.col ~qualifier:"d" "name" ]
+      []
+  in
+  checki "qualified" 0 (Rowset.find_col rs (Some "m") "title");
+  checki "unqualified unique" 1 (Rowset.find_col rs None "name");
+  checkb "unknown" true
+    (match Rowset.find_col rs None "nope" with
+    | exception Rowset.Column_error _ -> true
+    | _ -> false)
+
+let test_rowset_ambiguity () =
+  let rs =
+    Rowset.make
+      [ Rowset.col ~qualifier:"a" "x"; Rowset.col ~qualifier:"b" "x" ]
+      []
+  in
+  checkb "ambiguous unqualified" true
+    (match Rowset.find_col rs None "x" with
+    | exception Rowset.Column_error _ -> true
+    | _ -> false);
+  checki "qualified ok" 1 (Rowset.find_col rs (Some "b") "x")
+
+let test_rowset_append_arity () =
+  let a = Rowset.make [ Rowset.col "x" ] [ [| V.Int 1 |] ] in
+  let b = Rowset.make [ Rowset.col "y" ] [ [| V.Int 2 |] ] in
+  checki "append" 2 (Rowset.cardinality (Rowset.append a b));
+  let c = Rowset.make [ Rowset.col "x"; Rowset.col "y" ] [] in
+  checkb "arity mismatch" true
+    (match Rowset.append a c with
+    | exception Rowset.Column_error _ -> true
+    | _ -> false)
+
+(* --- Solution ------------------------------------------------------------- *)
+
+let test_solution_of_ids_dedups () =
+  let ps =
+    Testlib.fabricate ~costs:[| 10.; 20. |] ~dois:[| 0.9; 0.5 |]
+      ~fracs:[| 0.5; 0.5 |] ()
+  in
+  let space = C.Space.create ~order:C.Space.By_doi ps in
+  let sol = C.Solution.of_ids space [ 1; 0; 1 ] in
+  Alcotest.(check (list int)) "sorted unique" [ 0; 1 ] sol.C.Solution.pref_ids
+
+let () =
+  Alcotest.run "infra"
+    [
+      ( "rq",
+        [
+          Alcotest.test_case "fifo tail" `Quick test_rq_fifo_tail;
+          Alcotest.test_case "lifo head" `Quick test_rq_lifo_head;
+          Alcotest.test_case "mixed ends" `Quick test_rq_mixed_ends;
+          Alcotest.test_case "memory accounting" `Quick test_rq_instruments_memory;
+        ] );
+      ( "instrument",
+        [
+          Alcotest.test_case "peak" `Quick test_instrument_peak;
+          Alcotest.test_case "snapshot" `Quick test_instrument_snapshot_isolated;
+        ] );
+      ("io", [ Alcotest.test_case "reset/cost" `Quick test_io_reset ]);
+      ( "rowset",
+        [
+          Alcotest.test_case "resolution" `Quick test_rowset_resolution;
+          Alcotest.test_case "ambiguity" `Quick test_rowset_ambiguity;
+          Alcotest.test_case "append" `Quick test_rowset_append_arity;
+        ] );
+      ( "solution",
+        [ Alcotest.test_case "dedup ids" `Quick test_solution_of_ids_dedups ] );
+    ]

@@ -1,0 +1,180 @@
+(* End-to-end integration tests: the full Figure-2 pipeline over the
+   synthetic IMDB database, including the Figure-15 property (estimated
+   cost tracks the engine's measured cost) and cross-checks between
+   estimated and actual result sizes. *)
+
+module V = Cqp_relal.Value
+module C = Cqp_core
+module W = Cqp_workload
+module Engine = Cqp_exec.Engine
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let catalog = W.Imdb.build ~config:W.Imdb.small_config ~seed:9 ()
+let rng = Cqp_util.Rng.create 77
+let profile = W.Profile_gen.generate ~rng catalog
+
+let test_pipeline_problem2 () =
+  let cmax = 120. in
+  let outcome =
+    C.Personalizer.run catalog profile ~sql:"select title from movie"
+      ~problem:(C.Problem.problem2 ~cmax) ~max_k:10 ()
+  in
+  let sol = outcome.C.Personalizer.solution in
+  checkb "personalized" true (List.length sol.C.Solution.pref_ids > 0);
+  checkb "estimated cost within budget" true
+    (sol.C.Solution.params.C.Params.cost <= cmax);
+  (* Figure 15: the estimator and the engine agree under the shared
+     block-I/O model. *)
+  Alcotest.(check (float 1e-6))
+    "estimated = measured cost" sol.C.Solution.params.C.Params.cost
+    outcome.C.Personalizer.real_cost_ms
+
+let test_pipeline_all_algorithms_agree_on_doi () =
+  let cmax = 120. in
+  let dois =
+    List.map
+      (fun algo ->
+        let outcome =
+          C.Personalizer.run catalog profile ~sql:"select title from movie"
+            ~problem:(C.Problem.problem2 ~cmax) ~max_k:10 ~algorithm:algo
+            ~execute:false ()
+        in
+        outcome.C.Personalizer.solution.C.Solution.params.C.Params.doi)
+      C.Algorithm.all
+  in
+  (* The two exact algorithms agree; heuristics are within a hair
+     (Figure 14: differences on the order of 1e-7). *)
+  let max_doi = List.fold_left max 0. dois in
+  List.iter
+    (fun doi -> checkb "close to optimal" true (max_doi -. doi < 0.05))
+    dois
+
+let test_estimated_size_tracks_actual () =
+  (* For single-preference personalizations, compare estimated and
+     actual result sizes; the estimate should be within a small factor
+     for equality selections backed by exact MCV statistics. *)
+  let est =
+    C.Estimate.create catalog (Cqp_sql.Parser.parse "select title from movie")
+  in
+  let ps = C.Pref_space.build ~max_k:6 est profile in
+  Array.iter
+    (fun it ->
+      let q1 =
+        C.Rewrite.subquery_of catalog
+          (Cqp_sql.Parser.parse "select title from movie")
+          it.C.Pref_space.path
+      in
+      let actual = List.length (Engine.execute catalog q1).Engine.rows in
+      let estimated = it.C.Pref_space.size in
+      (* generous envelope: within a factor of 4 or within 5 tuples *)
+      checkb
+        (Printf.sprintf "size estimate sane (est %.1f actual %d)" estimated
+           actual)
+        true
+        (abs_float (estimated -. float_of_int actual) <= 5.
+        || (estimated >= float_of_int actual /. 4.
+           && estimated <= float_of_int actual *. 4.)))
+    ps.C.Pref_space.items
+
+let test_problem3_size_bounds_hold_in_execution () =
+  (* Ask for a handful of answers (the palmtop scenario): smax bounds
+     the actual result when the estimate is faithful. *)
+  let base =
+    float_of_int
+      (Cqp_relal.Relation.cardinality (Cqp_relal.Catalog.get catalog "movie"))
+  in
+  let problem = C.Problem.problem3 ~cmax:300. ~smin:1. ~smax:(base /. 2.) in
+  let outcome =
+    C.Personalizer.run catalog profile ~sql:"select title from movie"
+      ~problem ~max_k:8 ()
+  in
+  let est_size =
+    outcome.C.Personalizer.solution.C.Solution.params.C.Params.size
+  in
+  checkb "estimated size within bounds" true
+    (est_size >= 1. && est_size <= (base /. 2.) +. 1e-9)
+
+let test_ranked_output_executes () =
+  let outcome =
+    C.Personalizer.run catalog profile
+      ~sql:"select title from movie order by title"
+      ~problem:(C.Problem.problem2 ~cmax:200.) ~max_k:5 ()
+  in
+  (* The rewritten query must execute and respect the ordering. *)
+  let titles =
+    List.map
+      (fun row -> V.to_string (Cqp_relal.Tuple.get row 0))
+      outcome.C.Personalizer.rows
+  in
+  checkb "sorted" true (titles = List.sort String.compare titles)
+
+let test_infeasible_falls_back_to_original () =
+  let outcome =
+    C.Personalizer.run catalog profile ~sql:"select title from movie"
+      ~problem:(C.Problem.problem4 ~dmin:1.0) ~max_k:10 ()
+  in
+  checki "no preferences" 0
+    (List.length outcome.C.Personalizer.solution.C.Solution.pref_ids);
+  checkb "query unchanged" true
+    (Cqp_sql.Ast.equal outcome.C.Personalizer.original
+       outcome.C.Personalizer.personalized)
+
+let test_figure1_scenario () =
+  (* The paper's running example, end to end on a catalog where it has
+     answers: profile of Figure 1, query "select title from movie". *)
+  let cat = Cqp_relal.Catalog.create () in
+  let add name cols rows =
+    Cqp_relal.Catalog.add cat
+      (Cqp_relal.Relation.of_tuples (Cqp_relal.Schema.make name cols) rows)
+  in
+  add "movie"
+    [ ("mid", V.Tint, 8); ("title", V.Tstring, 24); ("year", V.Tint, 8); ("did", V.Tint, 8) ]
+    [
+      Cqp_relal.Tuple.make [ V.Int 1; V.String "Everyone Says I Love You"; V.Int 1996; V.Int 1 ];
+      Cqp_relal.Tuple.make [ V.Int 2; V.String "Chicago"; V.Int 2002; V.Int 2 ];
+      Cqp_relal.Tuple.make [ V.Int 3; V.String "Match Point"; V.Int 2005; V.Int 1 ];
+    ];
+  add "director"
+    [ ("did", V.Tint, 8); ("name", V.Tstring, 24) ]
+    [
+      Cqp_relal.Tuple.make [ V.Int 1; V.String "W. Allen" ];
+      Cqp_relal.Tuple.make [ V.Int 2; V.String "R. Marshall" ];
+    ];
+  add "genre"
+    [ ("mid", V.Tint, 8); ("genre", V.Tstring, 16) ]
+    [
+      Cqp_relal.Tuple.make [ V.Int 1; V.String "musical" ];
+      Cqp_relal.Tuple.make [ V.Int 2; V.String "musical" ];
+      Cqp_relal.Tuple.make [ V.Int 3; V.String "drama" ];
+    ];
+  let outcome =
+    C.Personalizer.run cat W.Profile_gen.figure1_profile
+      ~sql:"select title from movie"
+      ~problem:(C.Problem.problem2 ~cmax:1000.) ()
+  in
+  checki "both preferences selected" 2
+    (List.length outcome.C.Personalizer.solution.C.Solution.pref_ids);
+  (* W. Allen AND musical -> Everyone Says I Love You *)
+  Alcotest.(check (list string))
+    "answer"
+    [ "Everyone Says I Love You" ]
+    (List.map
+       (fun row -> V.to_string (Cqp_relal.Tuple.get row 0))
+       outcome.C.Personalizer.rows)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "problem 2 end-to-end" `Quick test_pipeline_problem2;
+          Alcotest.test_case "algorithms agree" `Quick test_pipeline_all_algorithms_agree_on_doi;
+          Alcotest.test_case "figure 15 size tracking" `Quick test_estimated_size_tracks_actual;
+          Alcotest.test_case "problem 3 bounds" `Quick test_problem3_size_bounds_hold_in_execution;
+          Alcotest.test_case "ranked output" `Quick test_ranked_output_executes;
+          Alcotest.test_case "infeasible fallback" `Quick test_infeasible_falls_back_to_original;
+          Alcotest.test_case "figure 1 scenario" `Quick test_figure1_scenario;
+        ] );
+    ]

@@ -1,0 +1,143 @@
+(* Tests for the Section-6 dual-boundary interval search: feasibility
+   of every answer, agreement with the exact branch-and-bound on
+   Problem 1 instances, and borderline structure. *)
+
+module C = Cqp_core
+
+let checkb = Alcotest.check Alcotest.bool
+
+let solve_problem1_interval ps ~smin ~smax =
+  match C.Interval.of_size_bounds ps ~smin ~smax with
+  | None -> None
+  | Some (space, lo, hi) -> (
+      match C.Interval.solve space ~lo ~hi with
+      | None -> None
+      | Some sol ->
+          (* Re-express in the untransformed space for parameter
+             checks. *)
+          let plain = C.Space.create ~order:C.Space.By_doi ps in
+          Some (C.Solution.of_ids plain sol.C.Solution.pref_ids))
+
+let test_feasibility_fixture () =
+  let ps =
+    Testlib.fabricate
+      ~costs:[| 40.; 25.; 35.; 15.; 10. |]
+      ~dois:[| 0.9; 0.8; 0.6; 0.5; 0.4 |]
+      ~fracs:[| 0.7; 0.5; 0.6; 0.8; 0.4 |]
+      ()
+  in
+  let base = C.Estimate.base_size ps.C.Pref_space.estimate in
+  let smin = 0.05 *. base and smax = 0.5 *. base in
+  match solve_problem1_interval ps ~smin ~smax with
+  | Some sol ->
+      let size = sol.C.Solution.params.C.Params.size in
+      checkb "within interval" true (size >= smin -. 1e-9 && size <= smax +. 1e-9)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_unsatisfiable_interval () =
+  let ps =
+    Testlib.fabricate ~costs:[| 10. |] ~dois:[| 0.5 |] ~fracs:[| 0.5 |] ()
+  in
+  checkb "smin > smax" true
+    (C.Interval.of_size_bounds ps ~smin:10. ~smax:5. = None)
+
+let test_boundary_structure () =
+  let ps =
+    Testlib.fabricate
+      ~costs:[| 40.; 25.; 35.; 15.; 10. |]
+      ~dois:[| 0.9; 0.8; 0.6; 0.5; 0.4 |]
+      ~fracs:[| 0.7; 0.5; 0.6; 0.8; 0.4 |]
+      ()
+  in
+  let base = C.Estimate.base_size ps.C.Pref_space.estimate in
+  match C.Interval.of_size_bounds ps ~smin:(0.1 *. base) ~smax:(0.8 *. base) with
+  | None -> Alcotest.fail "expected a space"
+  | Some (space, lo, hi) ->
+      let { C.Interval.up; low } = C.Interval.find_boundaries space ~lo ~hi in
+      (* Every upper boundary satisfies the resource ceiling; every low
+         boundary sits above the floor. *)
+      List.iter
+        (fun b -> checkb "up <= hi" true (C.Space.cost space b <= hi +. 1e-9))
+        up;
+      List.iter
+        (fun b -> checkb "low >= lo" true (C.Space.cost space b >= lo -. 1e-9))
+        low
+
+(* Randomized: the interval search is feasible and never beats the
+   exact BnB; measure how often it matches (it usually does). *)
+let prop_interval_sound =
+  QCheck.Test.make ~name:"interval search sound vs exact BnB" ~count:60
+    QCheck.(pair (int_range 2 8) (int_range 0 100000))
+    (fun (k, seed) ->
+      let rng = Cqp_util.Rng.create seed in
+      let ps = Testlib.random_space rng ~k in
+      let base = C.Estimate.base_size ps.C.Pref_space.estimate in
+      let smin = Cqp_util.Rng.float rng 0.15 *. base in
+      let smax = (0.3 +. Cqp_util.Rng.float rng 0.7) *. base in
+      if smin > smax then true
+      else begin
+        let heuristic = solve_problem1_interval ps ~smin ~smax in
+        let space = C.Space.create ~order:C.Space.By_doi ps in
+        let exact =
+          C.Solver.max_doi_bnb space (C.Params.make ~smin ~smax ())
+        in
+        match heuristic, exact with
+        | None, _ -> true (* conservative: may miss, never wrong *)
+        | Some h, Some e ->
+            let ok_feasible =
+              let s = h.C.Solution.params.C.Params.size in
+              s >= smin -. 1e-6 && s <= smax +. 1e-6
+            in
+            ok_feasible
+            && h.C.Solution.params.C.Params.doi
+               <= e.C.Solution.params.C.Params.doi +. 1e-9
+        | Some h, None ->
+            (* The BnB found nothing feasible but the heuristic did:
+               that would be a bug in one of them. *)
+            ignore h;
+            false
+      end)
+
+let test_match_rate_reasonable () =
+  (* On a batch of random instances the heuristic should match the
+     exact optimum most of the time. *)
+  let rng = Cqp_util.Rng.create 2718 in
+  let total = ref 0 and matched = ref 0 in
+  for _ = 1 to 40 do
+    let ps = Testlib.random_space rng ~k:7 in
+    let base = C.Estimate.base_size ps.C.Pref_space.estimate in
+    let smin = 0.05 *. base and smax = 0.7 *. base in
+    let space = C.Space.create ~order:C.Space.By_doi ps in
+    match
+      ( solve_problem1_interval ps ~smin ~smax,
+        C.Solver.max_doi_bnb space (C.Params.make ~smin ~smax ()) )
+    with
+    | Some h, Some e ->
+        incr total;
+        if
+          abs_float
+            (h.C.Solution.params.C.Params.doi
+            -. e.C.Solution.params.C.Params.doi)
+          < 1e-9
+        then incr matched
+    | _ -> ()
+  done;
+  checkb
+    (Printf.sprintf "matched %d/%d" !matched !total)
+    true
+    (!total > 10 && float_of_int !matched >= 0.7 *. float_of_int !total)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "interval"
+    [
+      ( "dual boundaries",
+        [
+          Alcotest.test_case "feasibility" `Quick test_feasibility_fixture;
+          Alcotest.test_case "unsatisfiable" `Quick test_unsatisfiable_interval;
+          Alcotest.test_case "boundary structure" `Quick test_boundary_structure;
+          qc prop_interval_sound;
+          Alcotest.test_case "match rate" `Quick test_match_rate_reasonable;
+        ] );
+    ]

@@ -1,0 +1,98 @@
+(* Tests for the generic metaheuristic baselines: determinism,
+   feasibility, and never beating the true optimum. *)
+
+module C = Cqp_core
+module Rng = Cqp_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+
+let runs =
+  [
+    ( "simulated annealing",
+      fun ~rng space ~cmax -> C.Metaheuristics.simulated_annealing ~rng space ~cmax );
+    ("genetic", fun ~rng space ~cmax -> C.Metaheuristics.genetic ~rng space ~cmax);
+    ("tabu", fun ~rng space ~cmax -> C.Metaheuristics.tabu ~rng space ~cmax);
+  ]
+
+let test_feasibility () =
+  let rng = Rng.create 7 in
+  let ps = Testlib.random_space rng ~k:10 in
+  let cmax = 0.4 *. C.Pref_space.supreme_cost ps in
+  let space = C.Space.create ~order:C.Space.By_doi ps in
+  List.iter
+    (fun (name, solve) ->
+      let sol = solve ~rng:(Rng.create 11) space ~cmax in
+      checkb (name ^ " feasible") true
+        (sol.C.Solution.pref_ids = []
+        || sol.C.Solution.params.C.Params.cost <= cmax +. 1e-9))
+    runs
+
+let test_determinism () =
+  let ps = Testlib.random_space (Rng.create 21) ~k:10 in
+  let cmax = 0.4 *. C.Pref_space.supreme_cost ps in
+  List.iter
+    (fun (name, solve) ->
+      let run seed =
+        let space = C.Space.create ~order:C.Space.By_doi ps in
+        (solve ~rng:(Rng.create seed) space ~cmax).C.Solution.pref_ids
+      in
+      checkb (name ^ " deterministic") true (run 5 = run 5))
+    runs
+
+let test_never_beats_optimum () =
+  let rng = Rng.create 33 in
+  for _ = 1 to 10 do
+    let ps = Testlib.random_space rng ~k:8 in
+    let cmax = 0.45 *. C.Pref_space.supreme_cost ps in
+    let opt =
+      (C.Algorithm.run C.Algorithm.Exhaustive ps ~cmax).C.Solution.params
+        .C.Params.doi
+    in
+    List.iter
+      (fun (name, solve) ->
+        let space = C.Space.create ~order:C.Space.By_doi ps in
+        let sol = solve ~rng:(Rng.create 3) space ~cmax in
+        checkb (name ^ " <= optimum") true
+          (sol.C.Solution.params.C.Params.doi <= opt +. 1e-9))
+      runs
+  done
+
+let test_reasonable_quality () =
+  (* On small instances with a generous budget the metaheuristics
+     should find something decent (>= half the best doi). *)
+  let rng = Rng.create 99 in
+  let ps = Testlib.random_space rng ~k:8 in
+  let cmax = 0.5 *. C.Pref_space.supreme_cost ps in
+  let opt =
+    (C.Algorithm.run C.Algorithm.Exhaustive ps ~cmax).C.Solution.params
+      .C.Params.doi
+  in
+  List.iter
+    (fun (name, solve) ->
+      let space = C.Space.create ~order:C.Space.By_doi ps in
+      let sol = solve ~rng:(Rng.create 17) space ~cmax in
+      checkb (name ^ " quality") true
+        (sol.C.Solution.params.C.Params.doi >= 0.5 *. opt))
+    runs
+
+let test_empty_space () =
+  let ps = Testlib.fabricate ~costs:[||] ~dois:[||] ~fracs:[||] () in
+  List.iter
+    (fun (name, solve) ->
+      let space = C.Space.create ~order:C.Space.By_doi ps in
+      let sol = solve ~rng:(Rng.create 1) space ~cmax:10. in
+      checkb (name ^ " empty") true (sol.C.Solution.pref_ids = []))
+    runs
+
+let () =
+  Alcotest.run "metaheuristics"
+    [
+      ( "baselines",
+        [
+          Alcotest.test_case "feasibility" `Quick test_feasibility;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "never beats optimum" `Quick test_never_beats_optimum;
+          Alcotest.test_case "reasonable quality" `Quick test_reasonable_quality;
+          Alcotest.test_case "empty space" `Quick test_empty_space;
+        ] );
+    ]

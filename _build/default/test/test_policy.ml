@@ -1,0 +1,211 @@
+(* Tests for the context-policy layer and the tourist workload. *)
+
+module C = Cqp_core
+module Policy = Cqp_core.Policy
+module W = Cqp_workload
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let ctx ?(device = Policy.Laptop) ?(network = Policy.Wifi)
+    ?(intent = Policy.Browse) ?requested_answers ?location () =
+  { Policy.device; network; intent; requested_answers; location }
+
+let test_mapping_research () =
+  let p =
+    Policy.problem_of_context
+      (ctx ~intent:Policy.Exhaustive_research ())
+      ~supreme_cost:1000.
+  in
+  checki "problem 2" 2 p.C.Problem.number;
+  checkf "90% budget" 900. (Option.get p.C.Problem.constraints.C.Params.cmax)
+
+let test_mapping_browse_uncapped () =
+  let p = Policy.problem_of_context (ctx ()) ~supreme_cost:1000. in
+  checki "problem 2" 2 p.C.Problem.number;
+  checkf "wifi budget" 500. (Option.get p.C.Problem.constraints.C.Params.cmax)
+
+let test_mapping_browse_capped () =
+  let p =
+    Policy.problem_of_context
+      (ctx ~device:Policy.Palmtop ~network:Policy.Cellular ())
+      ~supreme_cost:1000.
+  in
+  checki "problem 3" 3 p.C.Problem.number;
+  checkf "cellular budget" 150.
+    (Option.get p.C.Problem.constraints.C.Params.cmax);
+  checkf "palmtop cap" 20. (Option.get p.C.Problem.constraints.C.Params.smax)
+
+let test_mapping_explicit_request_wins () =
+  let p =
+    Policy.problem_of_context
+      (ctx ~device:Policy.Desktop ~requested_answers:3 ())
+      ~supreme_cost:1000.
+  in
+  checki "problem 3" 3 p.C.Problem.number;
+  checkf "explicit cap" 3. (Option.get p.C.Problem.constraints.C.Params.smax)
+
+let test_mapping_quick_answer () =
+  let p =
+    Policy.problem_of_context
+      (ctx ~intent:Policy.Quick_answer ~device:Policy.Phone ())
+      ~supreme_cost:1000.
+  in
+  checki "problem 5" 5 p.C.Problem.number;
+  checkf "dmin" 0.6 (Option.get p.C.Problem.constraints.C.Params.dmin);
+  let p2 =
+    Policy.problem_of_context
+      (ctx ~intent:Policy.Quick_answer ~device:Policy.Desktop ())
+      ~supreme_cost:1000.
+  in
+  checki "problem 4 without cap" 4 p2.C.Problem.number
+
+let test_tuning_override () =
+  let tuning =
+    {
+      Policy.default_tuning with
+      Policy.quick_answer_dmin = 0.9;
+      network_budget = (fun _ -> 0.25);
+    }
+  in
+  let p =
+    Policy.problem_of_context ~tuning
+      (ctx ~intent:Policy.Quick_answer ~device:Policy.Phone ())
+      ~supreme_cost:400.
+  in
+  checkf "overridden dmin" 0.9
+    (Option.get p.C.Problem.constraints.C.Params.dmin);
+  let p2 = Policy.problem_of_context ~tuning (ctx ()) ~supreme_cost:400. in
+  checkf "overridden budget" 100.
+    (Option.get p2.C.Problem.constraints.C.Params.cmax)
+
+let test_describe () =
+  let s = Policy.describe (ctx ~device:Policy.Palmtop ~requested_answers:3 ()) in
+  checkb "mentions device" true
+    (String.length s > 0
+    &&
+    let contains needle hay =
+      let n = String.length needle and m = String.length hay in
+      let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    contains "palmtop" s && contains "3" s)
+
+(* --- Tourist workload ---------------------------------------------------- *)
+
+let test_tourist_build () =
+  let cat = W.Tourist.build ~seed:7 () in
+  Alcotest.(check (list string))
+    "relations" [ "restaurant"; "review" ]
+    (Cqp_relal.Catalog.names cat);
+  checki "restaurants" 400
+    (Cqp_relal.Relation.cardinality (Cqp_relal.Catalog.get cat "restaurant"));
+  checki "reviews" 1500
+    (Cqp_relal.Relation.cardinality (Cqp_relal.Catalog.get cat "review"));
+  (* determinism *)
+  let cat2 = W.Tourist.build ~seed:7 () in
+  let col cat name i =
+    Cqp_relal.Relation.column (Cqp_relal.Catalog.get cat name) i
+  in
+  checkb "deterministic" true (col cat "restaurant" 3 = col cat2 "restaurant" 3)
+
+let test_al_profile_validates () =
+  let cat = W.Tourist.build ~seed:7 () in
+  checkb "valid" true (Cqp_prefs.Profile.validate cat W.Tourist.al_profile = Ok ());
+  checki "seven atoms" 7 (Cqp_prefs.Profile.size W.Tourist.al_profile)
+
+let test_policy_end_to_end () =
+  let cat = W.Tourist.build ~seed:7 () in
+  let outcome =
+    Policy.run cat W.Tourist.al_profile
+      ~sql:"select name from restaurant where city = 'pisa'"
+      ~context:(ctx ~device:Policy.Phone ~intent:Policy.Quick_answer ()) ()
+  in
+  let sol = outcome.C.Personalizer.solution in
+  checkb "personalized with interest floor" true
+    (sol.C.Solution.pref_ids = [] || sol.C.Solution.params.C.Params.doi >= 0.6)
+
+let test_policy_office_vs_palmtop () =
+  (* The office context must allow at least as many preferences as the
+     cellular palmtop context (monotone budgets). *)
+  let cat = W.Tourist.build ~seed:7 () in
+  let run context =
+    let o =
+      Policy.run cat W.Tourist.al_profile
+        ~sql:"select name from restaurant where city = 'pisa'" ~context ()
+    in
+    List.length o.C.Personalizer.solution.C.Solution.pref_ids
+  in
+  let office = run (ctx ~network:Policy.Broadband ~intent:Policy.Exhaustive_research ()) in
+  let palmtop =
+    run (ctx ~device:Policy.Palmtop ~network:Policy.Cellular ~requested_answers:3 ())
+  in
+  checkb "office >= palmtop" true (office >= palmtop)
+
+let test_localize_injects_preference () =
+  let loc = Policy.at "restaurant" "city" (Cqp_relal.Value.String "pisa") in
+  let with_loc = ctx ~location:loc () in
+  let base = W.Tourist.al_profile in
+  let localized = Policy.localize with_loc base in
+  checki "one more selection"
+    (List.length (Cqp_prefs.Profile.selections base) + 1)
+    (List.length (Cqp_prefs.Profile.selections localized));
+  checkf "must-have doi" 1.0
+    (let s =
+       List.find
+         (fun s -> s.Cqp_prefs.Profile.s_attr = "city")
+         (Cqp_prefs.Profile.selections localized)
+     in
+     s.Cqp_prefs.Profile.s_doi);
+  (* No location -> unchanged. *)
+  checki "unchanged without location"
+    (List.length (Cqp_prefs.Profile.selections base))
+    (List.length (Cqp_prefs.Profile.selections (Policy.localize (ctx ()) base)))
+
+let test_location_steers_answers () =
+  (* A query over all restaurants plus a Pisa location: the must-have
+     locality preference is selected and every answer is in Pisa. *)
+  let cat = W.Tourist.build ~seed:7 () in
+  let loc = Policy.at "restaurant" "city" (Cqp_relal.Value.String "pisa") in
+  let outcome =
+    Policy.run cat W.Tourist.al_profile
+      ~sql:"select name, city from restaurant"
+      ~context:(ctx ~network:Policy.Broadband ~intent:Policy.Exhaustive_research ~location:loc ())
+      ()
+  in
+  let sol = outcome.C.Personalizer.solution in
+  checkb "personalized" true (sol.C.Solution.pref_ids <> []);
+  List.iter
+    (fun row ->
+      Alcotest.(check string)
+        "answer in pisa" "pisa"
+        (Cqp_relal.Value.to_string (Cqp_relal.Tuple.get row 1)))
+    outcome.C.Personalizer.rows
+
+let () =
+  Alcotest.run "policy"
+    [
+      ( "mapping",
+        [
+          Alcotest.test_case "research" `Quick test_mapping_research;
+          Alcotest.test_case "browse uncapped" `Quick test_mapping_browse_uncapped;
+          Alcotest.test_case "browse capped" `Quick test_mapping_browse_capped;
+          Alcotest.test_case "explicit request" `Quick test_mapping_explicit_request_wins;
+          Alcotest.test_case "quick answer" `Quick test_mapping_quick_answer;
+          Alcotest.test_case "tuning override" `Quick test_tuning_override;
+          Alcotest.test_case "describe" `Quick test_describe;
+        ] );
+      ( "tourist",
+        [
+          Alcotest.test_case "build" `Quick test_tourist_build;
+          Alcotest.test_case "al profile" `Quick test_al_profile_validates;
+          Alcotest.test_case "end to end" `Quick test_policy_end_to_end;
+          Alcotest.test_case "office vs palmtop" `Quick test_policy_office_vs_palmtop;
+        ] );
+      ( "location",
+        [
+          Alcotest.test_case "localize" `Quick test_localize_injects_preference;
+          Alcotest.test_case "steers answers" `Quick test_location_steers_answers;
+        ] );
+    ]

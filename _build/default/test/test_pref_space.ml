@@ -1,0 +1,239 @@
+(* Tests for the Preference Space algorithm (Section 4.4, Figure 3):
+   extraction from the Figure 1 profile, vector construction (the
+   Table 2 example), constraint pruning, and the K cap. *)
+
+module V = Cqp_relal.Value
+module C = Cqp_core
+module Profile = Cqp_prefs.Profile
+module Path = Cqp_prefs.Path
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let catalog =
+  let c = Cqp_relal.Catalog.create () in
+  let add name cols rows =
+    Cqp_relal.Catalog.add c
+      (Cqp_relal.Relation.of_tuples ~block_size:64
+         (Cqp_relal.Schema.make name cols)
+         rows)
+  in
+  add "movie"
+    [ ("mid", V.Tint, 8); ("title", V.Tstring, 24); ("year", V.Tint, 8); ("did", V.Tint, 8) ]
+    (List.init 12 (fun i ->
+         Cqp_relal.Tuple.make
+           [ V.Int i; V.String (Printf.sprintf "m%d" i); V.Int (1990 + i); V.Int (i mod 3) ]));
+  add "director"
+    [ ("did", V.Tint, 8); ("name", V.Tstring, 24) ]
+    [
+      Cqp_relal.Tuple.make [ V.Int 0; V.String "W. Allen" ];
+      Cqp_relal.Tuple.make [ V.Int 1; V.String "R. Marshall" ];
+      Cqp_relal.Tuple.make [ V.Int 2; V.String "S. Coppola" ];
+    ];
+  add "genre"
+    [ ("mid", V.Tint, 8); ("genre", V.Tstring, 16) ]
+    (List.init 12 (fun i ->
+         Cqp_relal.Tuple.make
+           [ V.Int i; V.String (if i mod 3 = 0 then "musical" else "comedy") ]));
+  c
+
+let figure1 =
+  Profile.of_strings
+    [
+      ("genre.genre = 'musical'", 0.5);
+      ("movie.mid = genre.mid", 0.9);
+      ("movie.did = director.did", 1.0);
+      ("director.name = 'W. Allen'", 0.8);
+    ]
+
+let query = Cqp_sql.Parser.parse "select title from movie"
+let est = C.Estimate.create catalog query
+
+let test_figure1_extraction () =
+  let ps = C.Pref_space.build est figure1 in
+  checki "two preferences related to the movie query" 2 (C.Pref_space.k ps);
+  (* Decreasing doi: W. Allen path (1.0*0.8) before musical (0.9*0.5). *)
+  let dois = Array.to_list (Array.map (fun it -> it.C.Pref_space.doi) ps.C.Pref_space.items) in
+  checkf "p1 doi" 0.8 (List.nth dois 0);
+  checkf "p2 doi" 0.45 (List.nth dois 1);
+  checkb "D identity" true (ps.C.Pref_space.d = [| 0; 1 |])
+
+let test_direct_selection_extraction () =
+  let profile =
+    Profile.add_selection figure1 (Profile.selection "movie" "year" (V.Int 1995) 0.95)
+  in
+  let ps = C.Pref_space.build est profile in
+  checki "three preferences" 3 (C.Pref_space.k ps);
+  (* The direct year selection has the top doi and no join. *)
+  let first = ps.C.Pref_space.items.(0) in
+  checkf "top doi" 0.95 first.C.Pref_space.doi;
+  checki "atomic" 1 (Path.length first.C.Pref_space.path)
+
+let test_unrelated_preferences_excluded () =
+  (* Preferences anchored at relations unreachable from the query's
+     relations must not be extracted: query over director only. *)
+  let q2 = Cqp_sql.Parser.parse "select name from director" in
+  let est2 = C.Estimate.create catalog q2 in
+  let ps = C.Pref_space.build est2 figure1 in
+  (* director has no outgoing joins in the profile; only the W. Allen
+     selection is related. *)
+  checki "one preference" 1 (C.Pref_space.k ps);
+  checkf "its doi" 0.8 ps.C.Pref_space.items.(0).C.Pref_space.doi
+
+let test_acyclicity () =
+  (* Add a join back from genre to movie: paths must not revisit. *)
+  let profile = Profile.add_join figure1 (Profile.join "genre" "mid" "movie" "mid" 0.9) in
+  let ps = C.Pref_space.build est profile in
+  Array.iter
+    (fun it -> checkb "path acyclic" true (Path.is_acyclic it.C.Pref_space.path))
+    ps.C.Pref_space.items
+
+let test_max_k () =
+  let profile =
+    List.fold_left
+      (fun p i ->
+        Profile.add_selection p
+          (Profile.selection "movie" "year" (V.Int (1990 + i)) (0.1 +. (0.05 *. float_of_int i))))
+      figure1 (List.init 10 Fun.id)
+  in
+  let ps = C.Pref_space.build ~max_k:5 est profile in
+  checki "capped" 5 (C.Pref_space.k ps);
+  (* The kept five must be the top-doi five. *)
+  let full = C.Pref_space.build est profile in
+  let top5 full_items =
+    Array.to_list (Array.sub (Array.map (fun it -> it.C.Pref_space.doi) full_items) 0 5)
+  in
+  Alcotest.(check (list (float 1e-9)))
+    "top by doi" (top5 full.C.Pref_space.items) (top5 ps.C.Pref_space.items)
+
+let test_constraint_pruning_cost () =
+  (* cmax below any single sub-query cost -> empty P. *)
+  let constraints = C.Params.with_cmax 0.5 in
+  let ps = C.Pref_space.build ~constraints est figure1 in
+  checki "all pruned" 0 (C.Pref_space.k ps)
+
+let test_constraint_pruning_smin () =
+  (* A size floor above any single preference's result prunes it. *)
+  let constraints = C.Params.make ~smin:1e9 () in
+  let ps = C.Pref_space.build ~constraints est figure1 in
+  checki "all pruned by smin" 0 (C.Pref_space.k ps)
+
+let test_completeness_vs_graph_walk () =
+  (* Unconstrained extraction must produce exactly the acyclic paths
+     the personalization graph offers from the query's relations. *)
+  let profile =
+    Profile.add_selection
+      (Profile.add_join figure1 (Profile.join "genre" "mid" "movie" "mid" 0.85))
+      (Profile.selection "movie" "year" (V.Int 1995) 0.3)
+  in
+  let ps = C.Pref_space.build est profile in
+  let graph = Cqp_prefs.Pgraph.build catalog profile in
+  let expected =
+    Cqp_prefs.Pgraph.acyclic_paths_from graph "movie"
+    |> List.sort_uniq Path.compare
+  in
+  let got =
+    Array.to_list (Array.map (fun it -> it.C.Pref_space.path) ps.C.Pref_space.items)
+    |> List.sort_uniq Path.compare
+  in
+  checki "same path count" (List.length expected) (List.length got);
+  checkb "same paths" true (List.for_all2 Path.equal expected got)
+
+let test_vectors_table2 () =
+  (* Table 2: P = {p1,p2,p3} with doi (0.5,0.8,0.7), cost (10,5,12),
+     size (3,2,10) gives D = {2,3,1}, C = {3,1,2}, S = {2,1,3}
+     (1-based, over the original labels).  Our items are stored in D
+     order, so we check the C and S vectors map back to the same
+     original preferences. *)
+  let ps =
+    Testlib.fabricate
+      ~costs:[| 10.; 5.; 12. |]
+      ~dois:[| 0.5; 0.8; 0.7 |]
+      ~fracs:[| 0.3; 0.2; 1.0 |]
+      ()
+  in
+  (* items in D order: p2 (0.8), p3 (0.7), p1 (0.5) *)
+  let item_cost i = ps.C.Pref_space.items.(i).C.Pref_space.cost in
+  Alcotest.(check (list (float 1e-9)))
+    "D order costs" [ 5.; 12.; 10. ]
+    (List.map item_cost [ 0; 1; 2 ]);
+  (* C: decreasing cost -> p3 (12), p1 (10), p2 (5) = indices 1,2,0 *)
+  checkb "C vector" true (ps.C.Pref_space.c = [| 1; 2; 0 |]);
+  (* S: increasing size -> p2 (0.2), p1 (0.3), p3 (1.0) = indices 0,2,1 *)
+  checkb "S vector" true (ps.C.Pref_space.s = [| 0; 2; 1 |])
+
+let test_supreme_and_prefix () =
+  let ps =
+    Testlib.fabricate
+      ~costs:[| 10.; 5.; 12. |]
+      ~dois:[| 0.5; 0.8; 0.7 |]
+      ~fracs:[| 0.3; 0.2; 1.0 |]
+      ()
+  in
+  checkf "supreme cost" 27. (C.Pref_space.supreme_cost ps);
+  checkf "supreme doi"
+    (1. -. ((1. -. 0.5) *. (1. -. 0.8) *. (1. -. 0.7)))
+    (C.Pref_space.supreme_doi ps);
+  checkf "prefix 1 = best single" 0.8 (C.Pref_space.prefix_doi ps 1);
+  checkf "prefix all = supreme" (C.Pref_space.supreme_doi ps)
+    (C.Pref_space.prefix_doi ps 3);
+  checkf "suffix 0 = supreme" (C.Pref_space.supreme_doi ps)
+    (C.Pref_space.suffix_doi ps 0);
+  checkf "suffix beyond = 0" 0. (C.Pref_space.suffix_doi ps 3)
+
+let test_d_only_orders () =
+  let ps = C.Pref_space.build ~orders:C.Pref_space.D_only est figure1 in
+  checki "no C vector" 0 (Array.length ps.C.Pref_space.c);
+  checki "no S vector" 0 (Array.length ps.C.Pref_space.s);
+  checki "D present" (C.Pref_space.k ps) (Array.length ps.C.Pref_space.d)
+
+let prop_vectors_sorted =
+  QCheck.Test.make ~name:"C decreasing cost, S increasing size" ~count:100
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Cqp_util.Rng.create seed in
+      let ps = Testlib.random_space rng ~k:8 in
+      let items = ps.C.Pref_space.items in
+      let rec sorted cmp = function
+        | a :: (b :: _ as rest) -> cmp a b && sorted cmp rest
+        | _ -> true
+      in
+      sorted
+        (fun i j -> items.(i).C.Pref_space.cost >= items.(j).C.Pref_space.cost)
+        (Array.to_list ps.C.Pref_space.c)
+      && sorted
+           (fun i j -> items.(i).C.Pref_space.size <= items.(j).C.Pref_space.size)
+           (Array.to_list ps.C.Pref_space.s)
+      && sorted
+           (fun i j -> items.(i).C.Pref_space.doi >= items.(j).C.Pref_space.doi)
+           (Array.to_list (Array.init (Array.length items) Fun.id)))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "pref_space"
+    [
+      ( "extraction",
+        [
+          Alcotest.test_case "figure 1" `Quick test_figure1_extraction;
+          Alcotest.test_case "direct selection" `Quick test_direct_selection_extraction;
+          Alcotest.test_case "unrelated excluded" `Quick test_unrelated_preferences_excluded;
+          Alcotest.test_case "acyclic" `Quick test_acyclicity;
+          Alcotest.test_case "max k" `Quick test_max_k;
+          Alcotest.test_case "complete vs graph walk" `Quick
+            test_completeness_vs_graph_walk;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "cost" `Quick test_constraint_pruning_cost;
+          Alcotest.test_case "size floor" `Quick test_constraint_pruning_smin;
+        ] );
+      ( "vectors",
+        [
+          Alcotest.test_case "table 2" `Quick test_vectors_table2;
+          Alcotest.test_case "supreme/prefix/suffix" `Quick test_supreme_and_prefix;
+          Alcotest.test_case "D-only mode" `Quick test_d_only_orders;
+          qc prop_vectors_sorted;
+        ] );
+    ]

@@ -1,0 +1,253 @@
+(* Unit and property tests for the relational substrate. *)
+
+module V = Cqp_relal.Value
+module Schema = Cqp_relal.Schema
+module Tuple = Cqp_relal.Tuple
+module Relation = Cqp_relal.Relation
+module Stats = Cqp_relal.Stats
+module Catalog = Cqp_relal.Catalog
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- Value ----------------------------------------------------------- *)
+
+let test_value_compare () =
+  checkb "null first" true (V.compare V.Null (V.Int 0) < 0);
+  checki "int eq" 0 (V.compare (V.Int 3) (V.Int 3));
+  checkb "int/float coercion eq" true (V.equal (V.Int 3) (V.Float 3.0));
+  checkb "int/float coercion lt" true (V.compare (V.Int 3) (V.Float 3.5) < 0);
+  checkb "string order" true (V.compare (V.String "a") (V.String "b") < 0);
+  checkb "bool order" true (V.compare (V.Bool false) (V.Bool true) < 0)
+
+let test_value_hash_consistent () =
+  checki "hash int=float" (V.hash (V.Int 7)) (V.hash (V.Float 7.0))
+
+let test_value_sql_roundtrip () =
+  let roundtrip v = V.of_sql_literal (V.to_sql v) in
+  List.iter
+    (fun v -> checkb (V.to_sql v) true (V.equal v (roundtrip v)))
+    [ V.Int 42; V.Float 3.5; V.String "O'Hara"; V.Null; V.Bool true ]
+
+let test_value_to_float () =
+  check
+    (Alcotest.option (Alcotest.float 1e-9))
+    "int" (Some 3.) (V.to_float (V.Int 3));
+  check
+    (Alcotest.option (Alcotest.float 1e-9))
+    "string" None
+    (V.to_float (V.String "x"))
+
+let test_value_compatible () =
+  checkb "int/float" true (V.compatible V.Tint V.Tfloat);
+  checkb "null/any" true (V.compatible V.Tnull V.Tstring);
+  checkb "int/string" false (V.compatible V.Tint V.Tstring)
+
+(* --- Schema ---------------------------------------------------------- *)
+
+let movie =
+  Schema.make "Movie"
+    [ ("MID", V.Tint, 8); ("title", V.Tstring, 24); ("year", V.Tint, 8) ]
+
+let test_schema_basics () =
+  checki "arity" 3 (Schema.arity movie);
+  Alcotest.(check (list string))
+    "names lowercased"
+    [ "mid"; "title"; "year" ]
+    (Schema.attr_names movie);
+  checki "index case-insensitive" 1 (Schema.index_of movie "TITLE");
+  checkb "mem" true (Schema.mem movie "mid");
+  checki "tuple width" 40 (Schema.tuple_width movie)
+
+let test_schema_duplicate () =
+  Alcotest.check_raises "duplicate attr"
+    (Invalid_argument "Schema.make: duplicate attribute x") (fun () ->
+      ignore (Schema.make "t" [ ("x", V.Tint, 8); ("X", V.Tint, 8) ]))
+
+let test_schema_empty () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Schema.make: empty attribute list") (fun () ->
+      ignore (Schema.make "t" []))
+
+(* --- Tuple ----------------------------------------------------------- *)
+
+let test_tuple_ops () =
+  let t = Tuple.make [ V.Int 1; V.String "a"; V.Int 1999 ] in
+  checki "arity" 3 (Tuple.arity t);
+  checkb "get" true (V.equal (V.String "a") (Tuple.get t 1));
+  let p = Tuple.project t [ 2; 0 ] in
+  checkb "project order" true
+    (Tuple.equal p (Tuple.make [ V.Int 1999; V.Int 1 ]));
+  let c = Tuple.concat t p in
+  checki "concat arity" 5 (Tuple.arity c)
+
+let tuple_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 6)
+      (oneof
+         [
+           map (fun i -> V.Int i) small_int;
+           map (fun s -> V.String s) small_string;
+           return V.Null;
+         ])
+    |> map Tuple.make)
+
+let prop_tuple_compare_refl =
+  QCheck.Test.make ~name:"tuple compare reflexive" ~count:200
+    (QCheck.make tuple_gen) (fun t -> Tuple.compare t t = 0)
+
+let prop_tuple_hash_equal =
+  QCheck.Test.make ~name:"equal tuples hash equal" ~count:200
+    (QCheck.make tuple_gen) (fun t ->
+      Tuple.hash t = Tuple.hash (Tuple.make (Tuple.to_list t)))
+
+(* --- Relation -------------------------------------------------------- *)
+
+let mk_rel n =
+  Relation.of_tuples ~block_size:128 movie
+    (List.init n (fun i ->
+         Tuple.make [ V.Int i; V.String (Printf.sprintf "m%d" i); V.Int (1990 + (i mod 10)) ]))
+
+let test_relation_blocks () =
+  (* width 40, block 128 -> 3 tuples per block *)
+  let r = mk_rel 10 in
+  checki "tuples/block" 3 (Relation.tuples_per_block r);
+  checki "blocks" 4 (Relation.blocks r);
+  checki "card" 10 (Relation.cardinality r);
+  checki "empty blocks" 0 (Relation.blocks (Relation.create movie))
+
+let test_relation_get_block () =
+  let r = mk_rel 10 in
+  checki "block 0 size" 3 (Array.length (Relation.get_block r 0));
+  checki "last block size" 1 (Array.length (Relation.get_block r 3));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Relation.get_block: out of range") (fun () ->
+      ignore (Relation.get_block r 4))
+
+let test_relation_arity_check () =
+  let r = Relation.create movie in
+  Alcotest.check_raises "bad arity"
+    (Invalid_argument "Relation.insert: arity 1, schema movie expects 3")
+    (fun () -> Relation.insert r (Tuple.make [ V.Int 1 ]))
+
+let test_relation_iteration () =
+  let r = mk_rel 5 in
+  checki "fold count" 5 (Relation.fold (fun acc _ -> acc + 1) 0 r);
+  checki "to_list" 5 (List.length (Relation.to_list r));
+  checki "column length" 5 (List.length (Relation.column r 0))
+
+let prop_blocks_formula =
+  QCheck.Test.make ~name:"blocks = ceil(card/per_block)" ~count:100
+    QCheck.(int_range 0 200)
+    (fun n ->
+      let r = mk_rel n in
+      let per = Relation.tuples_per_block r in
+      Relation.blocks r = (n + per - 1) / per)
+
+(* --- Stats ----------------------------------------------------------- *)
+
+let skewed_rel =
+  let schema = Schema.make "s" [ ("g", V.Tstring, 16); ("x", V.Tint, 8) ] in
+  Relation.of_tuples schema
+    (List.concat
+       [
+         List.init 50 (fun i -> Tuple.make [ V.String "common"; V.Int i ]);
+         List.init 10 (fun i -> Tuple.make [ V.String "medium"; V.Int (i + 50) ]);
+         List.init 40 (fun i ->
+             Tuple.make [ V.String (Printf.sprintf "rare%02d" i); V.Int (i + 60) ]);
+       ])
+
+let test_stats_eq_selectivity () =
+  let st = Stats.analyze skewed_rel in
+  let sel = Stats.eq_selectivity st "g" (V.String "common") in
+  check (Alcotest.float 1e-9) "mcv exact" 0.5 sel;
+  let sel_medium = Stats.eq_selectivity st "g" (V.String "medium") in
+  check (Alcotest.float 1e-9) "mcv medium" 0.1 sel_medium;
+  let sel_rare = Stats.eq_selectivity st "g" (V.String "rare00") in
+  checkb "rare positive" true (sel_rare > 0. && sel_rare < 0.1)
+
+let test_stats_range () =
+  let st = Stats.analyze skewed_rel in
+  let all = Stats.range_selectivity st "x" () in
+  checkb "full range ~1" true (all > 0.9);
+  let half = Stats.range_selectivity st "x" ~hi:(V.Int 49) () in
+  checkb "half range" true (half > 0.3 && half < 0.7);
+  let none = Stats.range_selectivity st "x" ~lo:(V.Int 1000) () in
+  checkb "empty range ~0" true (none < 0.05)
+
+let test_stats_distinct () =
+  let st = Stats.analyze skewed_rel in
+  checki "distinct g" 42 (Stats.distinct st "g");
+  checki "distinct x" 100 (Stats.distinct st "x");
+  checki "unknown col" 0 (Stats.distinct st "nope")
+
+let prop_eq_selectivity_bounded =
+  QCheck.Test.make ~name:"eq selectivity in [0,1]" ~count:100
+    QCheck.(small_int)
+    (fun i ->
+      let st = Stats.analyze skewed_rel in
+      let s = Stats.eq_selectivity st "x" (V.Int i) in
+      s >= 0. && s <= 1.)
+
+(* --- Catalog --------------------------------------------------------- *)
+
+let test_catalog () =
+  let c = Catalog.create () in
+  Catalog.add c skewed_rel;
+  checkb "mem" true (Catalog.mem c "s");
+  checkb "case insensitive" true (Catalog.mem c "S");
+  checki "blocks" (Relation.blocks skewed_rel) (Catalog.blocks c "s");
+  checki "absent blocks" 0 (Catalog.blocks c "zzz");
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Catalog.add: duplicate relation s") (fun () ->
+      Catalog.add c skewed_rel);
+  let st = Catalog.stats c "s" in
+  checki "stats card" 100 st.Stats.rel_card;
+  (* cached: same physical result *)
+  checkb "stats cached" true (st == Catalog.stats c "s");
+  Catalog.refresh_stats c;
+  checkb "refresh drops cache" true (not (st == Catalog.stats c "s"))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "relal"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "hash" `Quick test_value_hash_consistent;
+          Alcotest.test_case "sql roundtrip" `Quick test_value_sql_roundtrip;
+          Alcotest.test_case "to_float" `Quick test_value_to_float;
+          Alcotest.test_case "compatible" `Quick test_value_compatible;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basics" `Quick test_schema_basics;
+          Alcotest.test_case "duplicate" `Quick test_schema_duplicate;
+          Alcotest.test_case "empty" `Quick test_schema_empty;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "ops" `Quick test_tuple_ops;
+          qc prop_tuple_compare_refl;
+          qc prop_tuple_hash_equal;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "blocks" `Quick test_relation_blocks;
+          Alcotest.test_case "get_block" `Quick test_relation_get_block;
+          Alcotest.test_case "arity check" `Quick test_relation_arity_check;
+          Alcotest.test_case "iteration" `Quick test_relation_iteration;
+          qc prop_blocks_formula;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "eq selectivity" `Quick test_stats_eq_selectivity;
+          Alcotest.test_case "range" `Quick test_stats_range;
+          Alcotest.test_case "distinct" `Quick test_stats_distinct;
+          qc prop_eq_selectivity_bounded;
+        ] );
+      ("catalog", [ Alcotest.test_case "basics" `Quick test_catalog ]);
+    ]

@@ -1,0 +1,185 @@
+(* Tests for the personalized-query construction (Section 4.2): the
+   paper's worked example and semantic equivalence of the rewriting
+   (executing the personalized query equals intersecting the
+   sub-queries). *)
+
+module V = Cqp_relal.Value
+module C = Cqp_core
+module Profile = Cqp_prefs.Profile
+module Path = Cqp_prefs.Path
+module Parser = Cqp_sql.Parser
+module Printer = Cqp_sql.Printer
+module Engine = Cqp_exec.Engine
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let catalog =
+  let c = Cqp_relal.Catalog.create () in
+  let add name cols rows =
+    Cqp_relal.Catalog.add c
+      (Cqp_relal.Relation.of_tuples (Cqp_relal.Schema.make name cols) rows)
+  in
+  add "movie"
+    [ ("mid", V.Tint, 8); ("title", V.Tstring, 24); ("year", V.Tint, 8); ("did", V.Tint, 8) ]
+    [
+      Cqp_relal.Tuple.make [ V.Int 1; V.String "Annie Hall"; V.Int 1977; V.Int 1 ];
+      Cqp_relal.Tuple.make [ V.Int 2; V.String "Everyone Says"; V.Int 1996; V.Int 1 ];
+      Cqp_relal.Tuple.make [ V.Int 3; V.String "Chicago"; V.Int 2002; V.Int 2 ];
+    ];
+  add "director"
+    [ ("did", V.Tint, 8); ("name", V.Tstring, 24) ]
+    [
+      Cqp_relal.Tuple.make [ V.Int 1; V.String "W. Allen" ];
+      Cqp_relal.Tuple.make [ V.Int 2; V.String "R. Marshall" ];
+    ];
+  add "genre"
+    [ ("mid", V.Tint, 8); ("genre", V.Tstring, 16) ]
+    [
+      Cqp_relal.Tuple.make [ V.Int 1; V.String "comedy" ];
+      Cqp_relal.Tuple.make [ V.Int 2; V.String "musical" ];
+      Cqp_relal.Tuple.make [ V.Int 3; V.String "musical" ];
+    ];
+  c
+
+let path_allen =
+  Path.extend
+    (Profile.join "movie" "did" "director" "did" 1.0)
+    (Path.atomic (Profile.selection "director" "name" (V.String "W. Allen") 0.8))
+
+let path_musical =
+  Path.extend
+    (Profile.join "movie" "mid" "genre" "mid" 0.9)
+    (Path.atomic (Profile.selection "genre" "genre" (V.String "musical") 0.5))
+
+let q = Parser.parse "select title from movie"
+
+let titles result =
+  List.map (fun row -> V.to_string (Cqp_relal.Tuple.get row 0)) result.Engine.rows
+  |> List.sort String.compare
+
+let test_single_subquery () =
+  (* Q1 from the paper's Section 4.2 example. *)
+  let q1 = C.Rewrite.subquery_of catalog q path_allen in
+  Cqp_sql.Analyzer.check catalog q1;
+  checks "sql"
+    "select title from movie, director director_p where movie.did = director_p.did and director_p.name = 'W. Allen'"
+    (Printer.to_string q1);
+  Alcotest.(check (list string))
+    "executes" [ "Annie Hall"; "Everyone Says" ]
+    (titles (Engine.execute catalog q1))
+
+let test_personalize_empty () =
+  checkb "identity" true (C.Rewrite.personalize catalog q [] == q)
+
+let test_personalize_single () =
+  let p = C.Rewrite.personalize catalog q [ path_musical ] in
+  Alcotest.(check (list string))
+    "single pref, no wrapper" [ "Chicago"; "Everyone Says" ]
+    (titles (Engine.execute catalog p))
+
+let test_personalize_two_is_intersection () =
+  (* The paper's final query: union of Q1, Q2 grouped with
+     having count = 2.  W. Allen AND musical = Everyone Says. *)
+  let p = C.Rewrite.personalize catalog q [ path_allen; path_musical ] in
+  Cqp_sql.Analyzer.check catalog p;
+  Alcotest.(check (list string))
+    "intersection" [ "Everyone Says" ]
+    (titles (Engine.execute catalog p));
+  (* Shape check: a grouped wrapper over a union of two blocks. *)
+  match p with
+  | Cqp_sql.Ast.Select { from = [ Cqp_sql.Ast.Subquery (Cqp_sql.Ast.Union_all subs, _) ]; having = Some _; _ } ->
+      checki "two sub-queries" 2 (List.length subs)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_alias_handling () =
+  (* The query already uses an alias for the anchor and a conflicting
+     name for the path relation. *)
+  let q2 = Parser.parse "select m.title from movie m, genre genre_p where m.mid = genre_p.mid" in
+  let p = C.Rewrite.subquery_of catalog q2 path_musical in
+  Cqp_sql.Analyzer.check catalog p;
+  (* The path's genre reference must get a fresh alias distinct from
+     genre_p. *)
+  let sql = Printer.to_string p in
+  checkb "fresh alias used" true
+    (let re_count needle s =
+       let n = String.length needle and m = String.length s in
+       let rec go i acc =
+         if i + n > m then acc
+         else go (i + 1) (acc + if String.sub s i n = needle then 1 else 0)
+       in
+       go 0 0
+     in
+     re_count "genre_p1" sql >= 1)
+
+let test_order_limit_move_to_wrapper () =
+  let q3 = Parser.parse "select title from movie order by title desc limit 1" in
+  let p = C.Rewrite.personalize catalog q3 [ path_allen; path_musical ] in
+  Cqp_sql.Analyzer.check catalog p;
+  let r = Engine.execute catalog p in
+  checki "limit applies after intersection" 1 (List.length r.Engine.rows)
+
+let test_rejects_union_input () =
+  let u = Parser.parse "select title from movie union all select title from movie" in
+  checkb "union rejected" true
+    (match C.Rewrite.personalize catalog u [ path_allen; path_musical ] with
+    | exception C.Rewrite.Rewrite_error _ -> true
+    | _ -> false)
+
+let test_rejects_missing_anchor () =
+  let qd = Parser.parse "select name from director" in
+  let path_from_movie = path_musical in
+  checkb "anchor missing" true
+    (match C.Rewrite.subquery_of catalog qd path_from_movie with
+    | exception C.Rewrite.Rewrite_error _ -> true
+    | _ -> false)
+
+(* Semantic equivalence: for random subsets of paths, the personalized
+   query's answer equals the intersection of individual sub-query
+   answers (with Q's own conditions kept). *)
+let test_semantic_equivalence () =
+  let paths_all = [ path_allen; path_musical ] in
+  let subsets = [ [ path_allen ]; [ path_musical ]; paths_all ] in
+  List.iter
+    (fun paths ->
+      let personalized = C.Rewrite.personalize catalog q paths in
+      let expected =
+        let results =
+          List.map
+            (fun p ->
+              titles (Engine.execute catalog (C.Rewrite.subquery_of catalog q p)))
+            paths
+        in
+        match results with
+        | [] -> []
+        | first :: rest ->
+            List.fold_left
+              (fun acc r -> List.filter (fun t -> List.mem t r) acc)
+              first rest
+      in
+      Alcotest.(check (list string))
+        "equivalent" expected
+        (titles (Engine.execute catalog personalized)))
+    subsets
+
+let () =
+  Alcotest.run "rewrite"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "single sub-query" `Quick test_single_subquery;
+          Alcotest.test_case "empty" `Quick test_personalize_empty;
+          Alcotest.test_case "single preference" `Quick test_personalize_single;
+          Alcotest.test_case "two = intersection" `Quick test_personalize_two_is_intersection;
+          Alcotest.test_case "alias handling" `Quick test_alias_handling;
+          Alcotest.test_case "order/limit to wrapper" `Quick test_order_limit_move_to_wrapper;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "union input" `Quick test_rejects_union_input;
+          Alcotest.test_case "missing anchor" `Quick test_rejects_missing_anchor;
+        ] );
+      ( "semantics",
+        [ Alcotest.test_case "equivalence" `Quick test_semantic_equivalence ] );
+    ]

@@ -1,0 +1,230 @@
+(* Tests for the generic Table-1 solver (Section 6): all six problems,
+   with exhaustive search as the ground-truth oracle at small K. *)
+
+module C = Cqp_core
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let space_of ps = C.Space.create ~order:C.Space.By_doi ps
+
+let solve_and_oracle ps problem =
+  let sol = C.Solver.solve ps problem in
+  let oracle = C.Exhaustive.solve_problem (space_of ps) problem in
+  (sol, oracle)
+
+let feasible problem (sol : C.Solution.t) =
+  C.Params.satisfies problem.C.Problem.constraints sol.C.Solution.params
+
+(* A mid-sized deterministic space for the fixed tests. *)
+let ps0 =
+  Testlib.fabricate
+    ~costs:[| 40.; 25.; 35.; 15.; 10.; 20. |]
+    ~dois:[| 0.9; 0.8; 0.6; 0.5; 0.4; 0.3 |]
+    ~fracs:[| 0.7; 0.5; 0.6; 0.8; 0.4; 0.9 |]
+    ()
+
+let test_problem2_exact () =
+  let problem = C.Problem.problem2 ~cmax:70. in
+  let sol, oracle = solve_and_oracle ps0 problem in
+  match sol, oracle with
+  | Some sol, Some oracle ->
+      checkf "optimal doi" oracle.C.Solution.params.C.Params.doi
+        sol.C.Solution.params.C.Params.doi;
+      checkb "feasible" true (feasible problem sol)
+  | _ -> Alcotest.fail "expected solutions"
+
+let test_problem1_smin_only () =
+  (* Maximize doi with only a size floor: the log-space reduction is
+     exact. *)
+  let base = C.Estimate.base_size ps0.C.Pref_space.estimate in
+  let problem = C.Problem.problem1 ~smin:(0.2 *. base) ~smax:base in
+  let sol, oracle = solve_and_oracle ps0 problem in
+  match sol, oracle with
+  | Some sol, Some oracle ->
+      checkb "feasible" true (feasible problem sol);
+      (* Allow the greedy smax completion to land at the optimum or
+         below; with smax = base_size the upper bound binds only the
+         empty set, so it should be exact here. *)
+      checkf "optimal doi" oracle.C.Solution.params.C.Params.doi
+        sol.C.Solution.params.C.Params.doi
+  | _ -> Alcotest.fail "expected solutions"
+
+let test_problem3_exact () =
+  let base = C.Estimate.base_size ps0.C.Pref_space.estimate in
+  let problem =
+    C.Problem.problem3 ~cmax:80. ~smin:(0.01 *. base) ~smax:(0.6 *. base)
+  in
+  let sol, oracle = solve_and_oracle ps0 problem in
+  match sol, oracle with
+  | Some sol, Some oracle ->
+      checkb "feasible" true (feasible problem sol);
+      checkf "optimal doi" oracle.C.Solution.params.C.Params.doi
+        sol.C.Solution.params.C.Params.doi
+  | _ -> Alcotest.fail "expected solutions"
+
+let test_problem1_with_smax_exact () =
+  let base = C.Estimate.base_size ps0.C.Pref_space.estimate in
+  let problem = C.Problem.problem1 ~smin:(0.05 *. base) ~smax:(0.5 *. base) in
+  let sol, oracle = solve_and_oracle ps0 problem in
+  match sol, oracle with
+  | Some sol, Some oracle ->
+      checkb "feasible" true (feasible problem sol);
+      checkf "optimal doi" oracle.C.Solution.params.C.Params.doi
+        sol.C.Solution.params.C.Params.doi
+  | _ -> Alcotest.fail "expected solutions"
+
+let test_problem4_min_cost () =
+  let problem = C.Problem.problem4 ~dmin:0.9 in
+  let sol, oracle = solve_and_oracle ps0 problem in
+  match sol, oracle with
+  | Some sol, Some oracle ->
+      checkb "feasible" true (feasible problem sol);
+      checkf "minimal cost" oracle.C.Solution.params.C.Params.cost
+        sol.C.Solution.params.C.Params.cost
+  | _ -> Alcotest.fail "expected solutions"
+
+let test_problem4_dmin_zero_is_empty () =
+  (* With dmin = 0 the empty personalization (cost = base cost) is
+     optimal. *)
+  let problem = C.Problem.problem4 ~dmin:0. in
+  match C.Solver.solve ps0 problem with
+  | Some sol ->
+      Alcotest.(check (list int)) "empty" [] sol.C.Solution.pref_ids
+  | None -> Alcotest.fail "expected a solution"
+
+let test_problem5_min_cost_with_size () =
+  let base = C.Estimate.base_size ps0.C.Pref_space.estimate in
+  let problem =
+    C.Problem.problem5 ~dmin:0.8 ~smin:(0.05 *. base) ~smax:base
+  in
+  let sol, oracle = solve_and_oracle ps0 problem in
+  match sol, oracle with
+  | Some sol, Some oracle ->
+      checkb "feasible" true (feasible problem sol);
+      checkf "minimal cost" oracle.C.Solution.params.C.Params.cost
+        sol.C.Solution.params.C.Params.cost
+  | _ -> Alcotest.fail "expected solutions"
+
+let test_problem6 () =
+  let base = C.Estimate.base_size ps0.C.Pref_space.estimate in
+  (* Force at least one preference via smax below the base size. *)
+  let problem = C.Problem.problem6 ~smin:1e-6 ~smax:(0.85 *. base) in
+  let sol, oracle = solve_and_oracle ps0 problem in
+  match sol, oracle with
+  | Some sol, Some oracle ->
+      checkb "feasible" true (feasible problem sol);
+      checkf "minimal cost" oracle.C.Solution.params.C.Params.cost
+        sol.C.Solution.params.C.Params.cost
+  | _ -> Alcotest.fail "expected solutions"
+
+let test_infeasible_returns_none () =
+  let problem = C.Problem.problem4 ~dmin:0.9999999 in
+  let ps =
+    Testlib.fabricate ~costs:[| 10. |] ~dois:[| 0.5 |] ~fracs:[| 0.5 |] ()
+  in
+  checkb "none" true (C.Solver.solve ps problem = None)
+
+let test_describe () =
+  let problem = C.Problem.problem2 ~cmax:400. in
+  checkb "describe mentions objective" true
+    (String.length (C.Problem.describe problem) > 10)
+
+(* Randomized: BnB (problems 4-6) matches exhaustive. *)
+let prop_bnb_matches_oracle =
+  QCheck.Test.make ~name:"min-cost BnB = exhaustive" ~count:50
+    QCheck.(pair (int_range 2 8) (int_range 0 100000))
+    (fun (k, seed) ->
+      let rng = Cqp_util.Rng.create seed in
+      let ps = Testlib.random_space rng ~k in
+      let space = space_of ps in
+      let dmin = 0.3 +. Cqp_util.Rng.float rng 0.6 in
+      let constraints = C.Params.make ~dmin () in
+      let bnb = C.Solver.min_cost_bnb space constraints in
+      let problem = C.Problem.problem4 ~dmin in
+      let oracle = C.Exhaustive.solve_problem space problem in
+      match bnb, oracle with
+      | None, None -> true
+      | Some a, Some b ->
+          abs_float
+            (a.C.Solution.params.C.Params.cost
+            -. b.C.Solution.params.C.Params.cost)
+          < 1e-9
+      | _ -> false)
+
+(* Randomized: max-doi BnB (problems 1/3) matches exhaustive. *)
+let prop_max_doi_bnb_matches_oracle =
+  QCheck.Test.make ~name:"max-doi BnB = exhaustive" ~count:50
+    QCheck.(pair (int_range 2 8) (int_range 0 100000))
+    (fun (k, seed) ->
+      let rng = Cqp_util.Rng.create seed in
+      let ps = Testlib.random_space rng ~k in
+      let space = space_of ps in
+      let base = C.Estimate.base_size ps.C.Pref_space.estimate in
+      let supreme = C.Pref_space.supreme_cost ps in
+      let cmax = (0.2 +. Cqp_util.Rng.float rng 0.7) *. supreme in
+      let smin = Cqp_util.Rng.float rng 0.1 *. base in
+      let smax = (0.3 +. Cqp_util.Rng.float rng 0.7) *. base in
+      let constraints = C.Params.make ~cmax ~smin ~smax () in
+      let bnb = C.Solver.max_doi_bnb space constraints in
+      let problem = C.Problem.problem3 ~cmax ~smin ~smax in
+      let oracle = C.Exhaustive.solve_problem space problem in
+      match bnb, oracle with
+      | None, None -> true
+      | Some a, Some b ->
+          abs_float
+            (a.C.Solution.params.C.Params.doi
+            -. b.C.Solution.params.C.Params.doi)
+          < 1e-9
+      | _ -> false)
+
+(* Randomized: every solver answer is feasible for its problem. *)
+let prop_solver_feasible =
+  QCheck.Test.make ~name:"solver answers are feasible" ~count:60
+    QCheck.(pair (int_range 2 8) (int_range 0 100000))
+    (fun (k, seed) ->
+      let rng = Cqp_util.Rng.create seed in
+      let ps = Testlib.random_space rng ~k in
+      let base = C.Estimate.base_size ps.C.Pref_space.estimate in
+      let supreme = C.Pref_space.supreme_cost ps in
+      let problems =
+        [
+          C.Problem.problem2 ~cmax:(0.5 *. supreme);
+          C.Problem.problem1 ~smin:(0.05 *. base) ~smax:base;
+          C.Problem.problem3 ~cmax:(0.5 *. supreme) ~smin:1e-9 ~smax:base;
+          C.Problem.problem4 ~dmin:0.5;
+          C.Problem.problem6 ~smin:1e-9 ~smax:base;
+        ]
+      in
+      List.for_all
+        (fun problem ->
+          match C.Solver.solve ps problem with
+          | None -> true
+          | Some sol -> feasible problem sol)
+        problems)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "solver"
+    [
+      ( "problems",
+        [
+          Alcotest.test_case "problem 2" `Quick test_problem2_exact;
+          Alcotest.test_case "problem 1" `Quick test_problem1_smin_only;
+          Alcotest.test_case "problem 1 with smax" `Quick test_problem1_with_smax_exact;
+          Alcotest.test_case "problem 3" `Quick test_problem3_exact;
+          Alcotest.test_case "problem 4" `Quick test_problem4_min_cost;
+          Alcotest.test_case "problem 4 dmin=0" `Quick test_problem4_dmin_zero_is_empty;
+          Alcotest.test_case "problem 5" `Quick test_problem5_min_cost_with_size;
+          Alcotest.test_case "problem 6" `Quick test_problem6;
+          Alcotest.test_case "infeasible" `Quick test_infeasible_returns_none;
+          Alcotest.test_case "describe" `Quick test_describe;
+        ] );
+      ( "properties",
+        [
+          qc prop_bnb_matches_oracle;
+          qc prop_max_doi_bnb_matches_oracle;
+          qc prop_solver_feasible;
+        ] );
+    ]

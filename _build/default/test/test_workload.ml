@@ -1,0 +1,196 @@
+(* Tests for the workload generators: determinism, referential
+   integrity, distribution shape, and the Rng itself. *)
+
+module V = Cqp_relal.Value
+module Rng = Cqp_util.Rng
+module Imdb = Cqp_workload.Imdb
+module Profile_gen = Cqp_workload.Profile_gen
+module Query_gen = Cqp_workload.Query_gen
+module Experiment = Cqp_workload.Experiment
+module Catalog = Cqp_relal.Catalog
+module Relation = Cqp_relal.Relation
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- Rng --------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  checkb "same stream" true
+    (List.init 20 (fun _ -> Rng.int a 1000) = List.init 20 (fun _ -> Rng.int b 1000))
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    checkb "int bound" true (v >= 0 && v < 10);
+    let f = Rng.float rng 2.0 in
+    checkb "float bound" true (f >= 0. && f < 2.0);
+    let z = Rng.zipf rng ~n:5 ~s:1.0 in
+    checkb "zipf bound" true (z >= 1 && z <= 5)
+  done
+
+let test_rng_zipf_skew () =
+  let rng = Rng.create 11 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 5000 do
+    let z = Rng.zipf rng ~n:10 ~s:1.0 in
+    counts.(z - 1) <- counts.(z - 1) + 1
+  done;
+  checkb "rank 1 most frequent" true (counts.(0) > counts.(4));
+  checkb "rank 1 >> rank 10" true (counts.(0) > 3 * counts.(9))
+
+let test_rng_normal () =
+  let rng = Rng.create 13 in
+  let n = 2000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.normal rng ~mean:5.0 ~stddev:1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  checkb "mean near 5" true (abs_float (mean -. 5.0) < 0.15)
+
+let test_rng_sample () =
+  let rng = Rng.create 17 in
+  let arr = Array.init 10 Fun.id in
+  let sample = Rng.sample_without_replacement rng 4 arr in
+  checki "size" 4 (List.length sample);
+  checki "distinct" 4 (List.length (List.sort_uniq compare sample))
+
+(* --- Imdb --------------------------------------------------------------- *)
+
+let catalog = Imdb.build ~config:Imdb.small_config ~seed:5 ()
+
+let test_imdb_shape () =
+  Alcotest.(check (list string))
+    "relations"
+    [ "actor"; "casts"; "director"; "genre"; "movie" ]
+    (Catalog.names catalog);
+  checki "movies" Imdb.small_config.Imdb.n_movies
+    (Relation.cardinality (Catalog.get catalog "movie"));
+  checki "directors" Imdb.small_config.Imdb.n_directors
+    (Relation.cardinality (Catalog.get catalog "director"))
+
+let test_imdb_determinism () =
+  let c2 = Imdb.build ~config:Imdb.small_config ~seed:5 () in
+  checki "same genre rows"
+    (Relation.cardinality (Catalog.get catalog "genre"))
+    (Relation.cardinality (Catalog.get c2 "genre"))
+
+let test_imdb_referential_integrity () =
+  let movie = Catalog.get catalog "movie" in
+  let n_dir = Imdb.small_config.Imdb.n_directors in
+  Relation.iter
+    (fun t ->
+      match Cqp_relal.Tuple.get t 4 with
+      | V.Int did -> checkb "did in range" true (did >= 1 && did <= n_dir)
+      | _ -> Alcotest.fail "did not an int")
+    movie;
+  let movie_ids = Hashtbl.create 64 in
+  Relation.iter
+    (fun t ->
+      match Cqp_relal.Tuple.get t 0 with
+      | V.Int mid -> Hashtbl.replace movie_ids mid ()
+      | _ -> ())
+    movie;
+  Relation.iter
+    (fun t ->
+      match Cqp_relal.Tuple.get t 0 with
+      | V.Int mid -> checkb "genre.mid exists" true (Hashtbl.mem movie_ids mid)
+      | _ -> ())
+    (Catalog.get catalog "genre")
+
+let test_imdb_genre_skew () =
+  let st = Catalog.stats catalog "genre" in
+  match Cqp_relal.Stats.column st "genre" with
+  | Some cs ->
+      (match cs.Cqp_relal.Stats.mcv with
+      | (_, top) :: _ ->
+          checkb "top genre much more common than uniform" true
+            (top * Imdb.small_config.Imdb.n_genres > cs.Cqp_relal.Stats.n_values)
+      | [] -> Alcotest.fail "no mcv")
+  | None -> Alcotest.fail "no stats"
+
+(* --- Profile/query generation ------------------------------------------ *)
+
+let test_profile_gen () =
+  let rng = Rng.create 23 in
+  let p = Profile_gen.generate ~rng catalog in
+  let n_sel = List.length (Cqp_prefs.Profile.selections p) in
+  checkb "enough selections" true (n_sel >= 40);
+  checkb "has joins" true (List.length (Cqp_prefs.Profile.joins p) = 4);
+  checkb "validates" true (Cqp_prefs.Profile.validate catalog p = Ok ())
+
+let test_profile_gen_doi_range () =
+  let rng = Rng.create 29 in
+  let config =
+    { Profile_gen.default_config with Profile_gen.doi_dist = Profile_gen.Uniform (0.2, 0.4) }
+  in
+  let p = Profile_gen.generate ~config ~rng catalog in
+  List.iter
+    (fun s ->
+      checkb "doi in range" true
+        (s.Cqp_prefs.Profile.s_doi >= 0.2 && s.Cqp_prefs.Profile.s_doi <= 0.4))
+    (Cqp_prefs.Profile.selections p)
+
+let test_figure1_profile () =
+  checki "four atoms" 4 (Cqp_prefs.Profile.size Profile_gen.figure1_profile)
+
+let test_query_gen () =
+  let rng = Rng.create 31 in
+  let queries = Query_gen.generate_many ~rng catalog 10 in
+  checki "count" 10 (List.length queries);
+  List.iter (fun q -> Cqp_sql.Analyzer.check catalog q) queries
+
+(* --- Experiment bundle --------------------------------------------------- *)
+
+let test_experiment_build () =
+  let cfg =
+    { Experiment.quick with Experiment.imdb = Imdb.small_config; seed = 3 }
+  in
+  let bundle = Experiment.build cfg in
+  checki "profiles" 5 (List.length bundle.Experiment.profiles);
+  checki "queries" 4 (List.length bundle.Experiment.queries)
+
+let test_experiment_average () =
+  let cfg =
+    { Experiment.quick with Experiment.imdb = Imdb.small_config; seed = 3 }
+  in
+  let bundle = Experiment.build cfg in
+  let avg = Experiment.average bundle (fun _ _ -> Some 2.0) in
+  Alcotest.(check (float 1e-9)) "constant avg" 2.0 avg;
+  let avg_skip = Experiment.average bundle (fun _ _ -> None) in
+  checkb "all skipped -> nan" true (Float.is_nan avg_skip)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "zipf skew" `Quick test_rng_zipf_skew;
+          Alcotest.test_case "normal" `Quick test_rng_normal;
+          Alcotest.test_case "sampling" `Quick test_rng_sample;
+        ] );
+      ( "imdb",
+        [
+          Alcotest.test_case "shape" `Quick test_imdb_shape;
+          Alcotest.test_case "determinism" `Quick test_imdb_determinism;
+          Alcotest.test_case "referential integrity" `Quick test_imdb_referential_integrity;
+          Alcotest.test_case "genre skew" `Quick test_imdb_genre_skew;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "profile" `Quick test_profile_gen;
+          Alcotest.test_case "profile doi range" `Quick test_profile_gen_doi_range;
+          Alcotest.test_case "figure 1" `Quick test_figure1_profile;
+          Alcotest.test_case "queries" `Quick test_query_gen;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "build" `Quick test_experiment_build;
+          Alcotest.test_case "average" `Quick test_experiment_average;
+        ] );
+    ]

@@ -1,0 +1,81 @@
+(* Shared helpers for the CQP test suites. *)
+
+module V = Cqp_relal.Value
+module C = Cqp_core
+
+(* A one-relation catalog and trivial query, used to anchor fabricated
+   preference spaces. *)
+let tiny_catalog () =
+  let c = Cqp_relal.Catalog.create () in
+  Cqp_relal.Catalog.add c
+    (Cqp_relal.Relation.of_tuples
+       (Cqp_relal.Schema.make "t" [ ("a", V.Tint, 8) ])
+       (List.init 100 (fun i -> Cqp_relal.Tuple.make [ V.Int i ])));
+  c
+
+(* Build a Pref_space with prescribed per-item parameters.  Items are
+   sorted into decreasing-doi order (the D invariant); the C and S
+   vectors are derived exactly as Pref_space.build does.  Paths are
+   dummy selections on t.a, distinct per item. *)
+let fabricate ?(catalog = tiny_catalog ()) ~costs ~dois ~fracs () =
+  let k = Array.length costs in
+  assert (Array.length dois = k && Array.length fracs = k);
+  let query = Cqp_sql.Parser.parse "select a from t" in
+  let estimate = C.Estimate.create catalog query in
+  let base_size = C.Estimate.base_size estimate in
+  let items =
+    Array.init k (fun i ->
+        let sel =
+          Cqp_prefs.Profile.selection "t" "a" (V.Int i) dois.(i)
+        in
+        {
+          C.Pref_space.path = Cqp_prefs.Path.atomic sel;
+          doi = dois.(i);
+          cost = costs.(i);
+          size = base_size *. fracs.(i);
+        })
+  in
+  Array.sort
+    (fun a b -> Stdlib.compare b.C.Pref_space.doi a.C.Pref_space.doi)
+    items;
+  let d = Array.init k (fun i -> i) in
+  let c = Array.init k (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      match Stdlib.compare items.(j).C.Pref_space.cost items.(i).C.Pref_space.cost with
+      | 0 -> Stdlib.compare i j
+      | cmp -> cmp)
+    c;
+  let s = Array.init k (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      match Stdlib.compare items.(i).C.Pref_space.size items.(j).C.Pref_space.size with
+      | 0 -> Stdlib.compare i j
+      | cmp -> cmp)
+    s;
+  { C.Pref_space.estimate; items; d; c; s }
+
+(* The Figure 6/8 cost configuration: five preferences whose sub-query
+   costs are 120, 80, 60, 40, 30 (C order = identity because the dois
+   are chosen decreasing too); every figure-node cost follows by
+   additivity (Formula 6). *)
+let figure6_space () =
+  fabricate
+    ~costs:[| 120.; 80.; 60.; 40.; 30. |]
+    ~dois:[| 0.9; 0.8; 0.7; 0.6; 0.5 |]
+    ~fracs:[| 0.5; 0.5; 0.5; 0.5; 0.5 |]
+    ()
+
+(* Random space generator for qcheck-style equivalence tests. *)
+let random_space rng ~k =
+  let module Rng = Cqp_util.Rng in
+  let costs = Array.init k (fun _ -> 5. +. Rng.float rng 100.) in
+  let dois = Array.init k (fun _ -> 0.05 +. Rng.float rng 0.9) in
+  let fracs = Array.init k (fun _ -> 0.05 +. Rng.float rng 0.9) in
+  fabricate ~costs ~dois ~fracs ()
+
+let sorted_ids (sol : C.Solution.t) = List.sort compare sol.C.Solution.pref_ids
+
+(* 1-based state notation for readable assertions: [c1c3] = "{1,3}". *)
+let states_to_strings states =
+  List.sort compare (List.map C.State.to_string states)

@@ -25,9 +25,12 @@ type mode = {
   seed : int;
   only : string list;  (** empty = all sections *)
   bechamel : bool;
+  obs : string option;
+      (** prefix for a trace + metrics dump of the whole run *)
 }
 
-let mode = ref { full = false; seed = 42; only = []; bechamel = false }
+let mode =
+  ref { full = false; seed = 42; only = []; bechamel = false; obs = None }
 
 let default_cmax = 400.
 (* the paper's default cmax (ms) *)
@@ -1078,6 +1081,9 @@ let () =
        " also run Bechamel micro-benchmarks");
       ("--only", Arg.Set_string only,
        " comma-separated section ids (e.g. fig12a,fig15)");
+      ("--obs", Arg.String (fun p -> mode := { !mode with obs = Some p }),
+       "PREFIX enable observability; write PREFIX.trace.json (Chrome \
+        trace_event) and PREFIX.metrics.json next to the results");
     ]
   in
   Arg.parse speclist (fun _ -> ()) "CQP experiment harness";
@@ -1090,6 +1096,22 @@ let () =
   in
   Printf.printf "CQP experiment harness — %s mode\n%!"
     (if !mode.full then "FULL (paper-scale averaging)" else "quick");
-  List.iter (fun (_, f) -> f ()) selected;
+  (match !mode.obs with
+  | Some _ -> Cqp_obs.Obs.enable ()
+  | None -> ());
+  List.iter
+    (fun (id, f) ->
+      Cqp_obs.Trace.with_span ~name:("bench." ^ id) (fun () -> f ()))
+    selected;
   if !mode.bechamel then bechamel_benchmarks ();
+  (match !mode.obs with
+  | Some prefix ->
+      let trace_file = prefix ^ ".trace.json" in
+      let metrics_file = prefix ^ ".metrics.json" in
+      Cqp_obs.Trace.write_chrome ~file:trace_file;
+      Cqp_obs.Metrics.write_json ~file:metrics_file;
+      Printf.printf "observability: %d spans -> %s (%d dropped), metrics -> %s\n%!"
+        (Cqp_obs.Trace.span_count ()) trace_file (Cqp_obs.Trace.dropped ())
+        metrics_file
+  | None -> ());
   Printf.printf "\ndone.\n%!"

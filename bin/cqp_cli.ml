@@ -105,9 +105,42 @@ let algo_arg =
     & info [ "algorithm" ]
         ~doc:"Search algorithm: C_Boundaries, C_MaxBounds, D_MaxDoi, D_SingleMaxDoi, D_HeurDoi, Exhaustive.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the run and write it to $(docv) as Chrome \
+           trace_event JSON (open in chrome://tracing or ui.perfetto.dev).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Record counters/gauges/histograms (solver.states_visited, \
+           engine.block_reads, ...) and write a JSON snapshot to $(docv).")
+
 let with_setup f verbose seed movies profile_file query problem cmax dmin
-    smin smax max_k algo_name =
+    smin smax max_k algo_name trace metrics =
   setup_logs verbose;
+  if trace <> None then Cqp_obs.Trace.enable ();
+  if metrics <> None then Cqp_obs.Metrics.enable ();
+  let dump_obs () =
+    (match trace with
+    | Some file ->
+        Cqp_obs.Trace.write_chrome ~file;
+        Format.eprintf "trace: %d spans -> %s@." (Cqp_obs.Trace.span_count ())
+          file
+    | None -> ());
+    match metrics with
+    | Some file ->
+        Cqp_obs.Metrics.write_json ~file;
+        Format.eprintf "metrics -> %s@." file
+    | None -> ()
+  in
   try
     let catalog = catalog_of ~movies ~seed in
     let profile = profile_of ~file:profile_file ~seed catalog in
@@ -118,10 +151,12 @@ let with_setup f verbose seed movies profile_file query problem cmax dmin
     in
     let problem = problem_of ~problem ~cmax ~dmin ~smin ~smax in
     f catalog profile query problem algorithm max_k;
+    dump_obs ();
     0
   with
   | Failure msg
-  | Invalid_argument msg ->
+  | Invalid_argument msg
+  | Sys_error msg ->
       Printf.eprintf "error: %s\n" msg;
       1
   | Cqp_sql.Parser.Parse_error (msg, pos) ->
@@ -162,7 +197,7 @@ let run_cmd =
     Term.(
       const (with_setup (run_action true))
       $ verbose $ seed $ movies $ profile_file $ query_arg $ problem_arg $ cmax_arg
-      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg)
+      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg $ trace_arg $ metrics_arg)
 
 let explain_action catalog profile query problem algorithm max_k =
   let q = Cqp_sql.Parser.parse query in
@@ -180,7 +215,7 @@ let explain_cmd =
     Term.(
       const (with_setup explain_action)
       $ verbose $ seed $ movies $ profile_file $ query_arg $ problem_arg $ cmax_arg
-      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg)
+      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg $ trace_arg $ metrics_arg)
 
 let sql_action catalog _profile query _problem _algorithm _max_k =
   let q = Cqp_sql.Parser.parse query in
@@ -194,7 +229,7 @@ let sql_cmd =
     Term.(
       const (with_setup sql_action)
       $ verbose $ seed $ movies $ profile_file $ query_arg $ problem_arg $ cmax_arg
-      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg)
+      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg $ trace_arg $ metrics_arg)
 
 let rank_action catalog profile query problem algorithm max_k =
   let outcome =
@@ -226,7 +261,7 @@ let rank_cmd =
     Term.(
       const (with_setup rank_action)
       $ verbose $ seed $ movies $ profile_file $ query_arg $ problem_arg $ cmax_arg
-      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg)
+      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg $ trace_arg $ metrics_arg)
 
 let plan_action catalog _profile query _problem _algorithm _max_k =
   let q = Cqp_sql.Parser.parse query in
@@ -239,7 +274,7 @@ let plan_cmd =
     Term.(
       const (with_setup plan_action)
       $ verbose $ seed $ movies $ profile_file $ query_arg $ problem_arg $ cmax_arg
-      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg)
+      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg $ trace_arg $ metrics_arg)
 
 let pareto_action catalog profile query _problem _algorithm max_k =
   let q = Cqp_sql.Parser.parse query in
@@ -264,7 +299,7 @@ let pareto_cmd =
     Term.(
       const (with_setup pareto_action)
       $ verbose $ seed $ movies $ profile_file $ query_arg $ problem_arg $ cmax_arg
-      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg)
+      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg $ trace_arg $ metrics_arg)
 
 let profile_action _catalog profile _query _problem _algorithm _max_k =
   Format.printf "%a@." Cqp_prefs.Profile.pp profile
@@ -275,7 +310,7 @@ let profile_cmd =
     Term.(
       const (with_setup profile_action)
       $ verbose $ seed $ movies $ profile_file $ query_arg $ problem_arg $ cmax_arg
-      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg)
+      $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg $ trace_arg $ metrics_arg)
 
 let () =
   let doc = "Constrained Query Personalization (SIGMOD 2005) toolkit" in

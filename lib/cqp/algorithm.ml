@@ -44,8 +44,20 @@ let solver = function
 
 let run t ps ~cmax =
   let space = Space.create ~order:(space_order t) ps in
-  let start = Unix.gettimeofday () in
-  let solution = (solver t) space ~cmax in
-  let elapsed = Unix.gettimeofday () -. start in
-  solution.Solution.stats.Instrument.wall_seconds <- elapsed;
-  solution
+  Cqp_obs.Trace.with_span ~name:"solver.search"
+    ~attrs:(fun () ->
+      [
+        Cqp_obs.Attr.str "algorithm" (name t);
+        Cqp_obs.Attr.int "k" (Space.k space);
+        Cqp_obs.Attr.float "cmax" cmax;
+      ])
+    (fun () ->
+      let start = Unix.gettimeofday () in
+      let solution = (solver t) space ~cmax in
+      let elapsed = Unix.gettimeofday () -. start in
+      solution.Solution.stats.Instrument.wall_seconds <- elapsed;
+      Instrument.publish solution.Solution.stats;
+      Cqp_obs.Trace.add_attr
+        (Cqp_obs.Attr.int "states_visited"
+           solution.Solution.stats.Instrument.states_visited);
+      solution)

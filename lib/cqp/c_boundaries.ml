@@ -45,6 +45,13 @@ let find_boundaries space ~cmax =
   end
 
 let solve space ~cmax =
-  let boundaries = find_boundaries space ~cmax in
+  let boundaries =
+    Cqp_obs.Trace.with_span ~name:"c_boundaries.find_boundaries" (fun () ->
+        let bs = find_boundaries space ~cmax in
+        Cqp_obs.Trace.add_attr (Cqp_obs.Attr.int "boundaries" (List.length bs));
+        bs)
+  in
   if boundaries = [] then Solution.empty space
-  else Cost_phase2.find_max_doi space boundaries
+  else
+    Cqp_obs.Trace.with_span ~name:"c_boundaries.phase2" (fun () ->
+        Cost_phase2.find_max_doi space boundaries)

@@ -79,7 +79,12 @@ let find_max_bounds space ~cmax =
   end
 
 let solve space ~cmax =
-  let bounds = find_max_bounds space ~cmax in
+  let bounds =
+    Cqp_obs.Trace.with_span ~name:"c_maxbounds.find_max_bounds" (fun () ->
+        let bs = find_max_bounds space ~cmax in
+        Cqp_obs.Trace.add_attr (Cqp_obs.Attr.int "max_bounds" (List.length bs));
+        bs)
+  in
   if bounds = [] then begin
     (* No multi-preference bound was found; fall back to the feasible
        singletons, which the greedy rounds skip when they cannot grow. *)
@@ -90,6 +95,10 @@ let solve space ~cmax =
         (List.init kk State.singleton)
     in
     if singles = [] then Solution.empty space
-    else Cost_phase2.find_max_doi space singles
+    else
+      Cqp_obs.Trace.with_span ~name:"c_maxbounds.phase2" (fun () ->
+          Cost_phase2.find_max_doi space singles)
   end
-  else Cost_phase2.find_max_doi space bounds
+  else
+    Cqp_obs.Trace.with_span ~name:"c_maxbounds.phase2" (fun () ->
+        Cost_phase2.find_max_doi space bounds)

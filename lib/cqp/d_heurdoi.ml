@@ -47,11 +47,17 @@ let solve space ~cmax =
     in
     let pos = ref 0 in
     let best_expected = ref (Pref_space.suffix_doi ps 0) in
+    let rounds = ref 0 in
     while !pos < k && !best_doi <= !best_expected do
-      round !pos;
+      let seed = !pos in
+      Cqp_obs.Trace.with_span ~name:"d_heurdoi.round"
+        ~attrs:(fun () -> [ Cqp_obs.Attr.int "seed" seed ])
+        (fun () -> round seed);
+      incr rounds;
       best_expected := Pref_space.suffix_doi ps !pos;
       incr pos
     done;
+    Cqp_obs.Trace.add_attr (Cqp_obs.Attr.int "rounds" !rounds);
     match !best with
     | None -> Solution.empty space
     | Some r -> Solution.of_ids space (Space.pref_ids space r)

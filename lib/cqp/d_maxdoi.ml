@@ -46,9 +46,15 @@ let find_optimal space ~cmax =
 
 let solve space ~cmax =
   let stats = Space.stats space in
-  let solutions = find_optimal space ~cmax in
+  let solutions =
+    Cqp_obs.Trace.with_span ~name:"d_maxdoi.find_optimal" (fun () ->
+        let ss = find_optimal space ~cmax in
+        Cqp_obs.Trace.add_attr (Cqp_obs.Attr.int "candidates" (List.length ss));
+        ss)
+  in
   if solutions = [] then Solution.empty space
-  else begin
+  else
+    Cqp_obs.Trace.with_span ~name:"d_maxdoi.select_best" (fun () ->
     let ps = Space.pref_space space in
     let ordered =
       List.stable_sort
@@ -76,5 +82,4 @@ let solve space ~cmax =
      with Exit -> ());
     match !best with
     | None -> Solution.empty space
-    | Some r -> Solution.of_ids space (Space.pref_ids space r)
-  end
+    | Some r -> Solution.of_ids space (Space.pref_ids space r))

@@ -134,7 +134,12 @@ let create ?(block_ms = 1.0) ?(f = Doi.Product) ?(r = Doi.Noisy_or) catalog
 let base_cost t = t.base_cost
 let base_size t = t.base_size
 
+(* One counter tick per per-item estimator call; [item_size] and
+   [params_of] are counted through the primitives they delegate to. *)
+let[@inline] count_call () = Cqp_obs.Metrics.incr "estimate.calls"
+
 let item_cost t path =
+  count_call ();
   (* Sub-query q_i scans Q's relations plus the relations the path
      joins in (the anchor is already part of Q). *)
   let extra =
@@ -150,6 +155,7 @@ let item_cost t path =
              0 extra)
 
 let item_frac t path =
+  count_call ();
   (* Walk the path from the terminal selection back to the anchor. *)
   let sel = path.Path.sel in
   let sel_frac =
@@ -180,7 +186,10 @@ let item_frac t path =
   min 1. (max 0. frac)
 
 let item_size t path = t.base_size *. item_frac t path
-let item_doi t path = Path.doi ~f:t.f path
+
+let item_doi t path =
+  count_call ();
+  Path.doi ~f:t.f path
 let combine_doi t dois = Doi.combine ~r:t.r dois
 let combine_doi_incr t acc d = Doi.combine_incr ~r:t.r acc d
 

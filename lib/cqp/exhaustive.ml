@@ -17,6 +17,9 @@ let solve space ~cmax =
   let k = Space.k space in
   let stats = Space.stats space in
   let best = ref [] and best_doi = ref 0. in
+  Cqp_obs.Trace.with_span ~name:"exhaustive.sweep"
+    ~attrs:(fun () -> [ Cqp_obs.Attr.int "subsets" (1 lsl k) ])
+    (fun () ->
   iter_subsets k (fun ids ->
       if ids <> [] then begin
         Instrument.visit stats;
@@ -25,7 +28,7 @@ let solve space ~cmax =
           best_doi := p.Params.doi;
           best := ids
         end
-      end);
+      end));
   Solution.of_ids space !best
 
 let solve_problem space problem =

@@ -40,6 +40,15 @@ let snapshot t =
     wall_seconds = t.wall_seconds;
   }
 
+let publish ?(prefix = "solver") t =
+  if Cqp_obs.Metrics.is_enabled () then begin
+    Cqp_obs.Metrics.add (prefix ^ ".states_visited") t.states_visited;
+    Cqp_obs.Metrics.add (prefix ^ ".param_evals") t.param_evals;
+    Cqp_obs.Metrics.observe (prefix ^ ".peak_words")
+      (float_of_int t.peak_words);
+    Cqp_obs.Metrics.observe (prefix ^ ".wall_us") (1e6 *. t.wall_seconds)
+  end
+
 let pp ppf t =
   Format.fprintf ppf "visited=%d evals=%d peak=%.1fKB time=%.4fs"
     t.states_visited t.param_evals (peak_kbytes t) t.wall_seconds

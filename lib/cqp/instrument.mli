@@ -29,4 +29,13 @@ val release : t -> State.t -> unit
 val peak_bytes : t -> int
 val peak_kbytes : t -> float
 val snapshot : t -> t
+(** An independent copy: later mutations of [t] leave it unchanged. *)
+
+val publish : ?prefix:string -> t -> unit
+(** Feed the counters into the {!Cqp_obs.Metrics} registry (no-op while
+    it is disabled): [<prefix>.states_visited] and
+    [<prefix>.param_evals] counters accumulate across runs;
+    [<prefix>.peak_words] and [<prefix>.wall_us] are recorded as
+    log-scale histogram observations.  Default prefix: ["solver"]. *)
+
 val pp : Format.formatter -> t -> unit

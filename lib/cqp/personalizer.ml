@@ -13,12 +13,23 @@ type outcome = {
 
 let personalize_query ?(algorithm = Algorithm.C_boundaries) ?max_k catalog
     profile ~query ~problem =
-  Cqp_sql.Analyzer.check catalog query;
+  Cqp_obs.Trace.with_span ~name:"personalize"
+    ~attrs:(fun () ->
+      [
+        Cqp_obs.Attr.int "problem" problem.Problem.number;
+        Cqp_obs.Attr.str "algorithm" (Algorithm.name algorithm);
+      ])
+  @@ fun () ->
+  Cqp_obs.Trace.with_span ~name:"sql.analyze" (fun () ->
+      Cqp_sql.Analyzer.check catalog query);
   Log.debug (fun m ->
       m "personalizing %S under %s"
         (Cqp_sql.Printer.to_string query)
         (Problem.describe problem));
-  let estimate = Estimate.create catalog query in
+  let estimate =
+    Cqp_obs.Trace.with_span ~name:"estimate.create" (fun () ->
+        Estimate.create catalog query)
+  in
   let ps =
     Pref_space.build ~constraints:problem.Problem.constraints ?max_k
       ~orders:(Algorithm.required_orders algorithm)
@@ -47,7 +58,12 @@ let personalize_query ?(algorithm = Algorithm.C_boundaries) ?max_k catalog
   (* dedup:true — exact intersection semantics even when a preference
      path has a fan-out join (the paper's plain construction drops
      tuples matched more than once by a branch; see Rewrite). *)
-  let personalized = Rewrite.personalize ~dedup:true catalog query paths in
+  let personalized =
+    Cqp_obs.Trace.with_span ~name:"rewrite.personalize"
+      ~attrs:(fun () ->
+        [ Cqp_obs.Attr.int "paths" (List.length paths) ])
+      (fun () -> Rewrite.personalize ~dedup:true catalog query paths)
+  in
   (ps, solution, personalized)
 
 let ranked_results ?mode catalog outcome =
@@ -58,7 +74,10 @@ let ranked_results ?mode catalog outcome =
 
 let run ?algorithm ?max_k ?(execute = true) catalog profile ~sql ~problem ()
     =
-  let query = Cqp_sql.Parser.parse sql in
+  let query =
+    Cqp_obs.Trace.with_span ~name:"sql.parse" (fun () ->
+        Cqp_sql.Parser.parse sql)
+  in
   let ps, solution, personalized =
     personalize_query ?algorithm ?max_k catalog profile ~query ~problem
   in

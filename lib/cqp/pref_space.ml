@@ -51,6 +51,7 @@ let complete_of_chain rev_joins sel =
 
 let build ?(constraints = Params.unconstrained) ?max_k ?max_path_length
     ?(orders = All_orders) estimate profile =
+  Cqp_obs.Trace.with_span ~name:"pref_space.build" @@ fun () ->
   let catalog = Estimate.catalog estimate in
   let max_path_length =
     match max_path_length with
@@ -68,8 +69,10 @@ let build ?(constraints = Params.unconstrained) ?max_k ?max_path_length
      applied at generation time either way. *)
   let results = ref [] in
   let seen_paths = Hashtbl.create 64 in
+  let max_depth = ref 0 in
   let rec expand rev_joins tail_rel depth =
     if depth <= max_path_length then begin
+      if depth > !max_depth then max_depth := depth;
       List.iter
         (fun (sel : Profile.selection) ->
           let path = complete_of_chain rev_joins sel in
@@ -98,7 +101,21 @@ let build ?(constraints = Params.unconstrained) ?max_k ?max_path_length
           (Profile.joins_from profile tail_rel)
     end
   in
-  List.iter (fun anchor -> expand [] anchor 1) anchors;
+  (* The walk order is the trace's span order: one child span per
+     anchor relation of Q, attributed with how deep the join-chain
+     expansion went and how many viable candidates it emitted. *)
+  List.iter
+    (fun anchor ->
+      Cqp_obs.Trace.with_span ~name:"pref_space.expand"
+        ~attrs:(fun () -> [ Cqp_obs.Attr.str "anchor" anchor ])
+        (fun () ->
+          let before = List.length !results in
+          max_depth := 0;
+          expand [] anchor 1;
+          Cqp_obs.Trace.add_attr (Cqp_obs.Attr.int "depth" !max_depth);
+          Cqp_obs.Trace.add_attr
+            (Cqp_obs.Attr.int "emitted" (List.length !results - before))))
+    anchors;
   let all =
     List.sort
       (fun a b ->
@@ -139,6 +156,12 @@ let build ?(constraints = Params.unconstrained) ?max_k ?max_path_length
           s;
         (c, s)
   in
+  if Cqp_obs.Metrics.is_enabled () then begin
+    Cqp_obs.Metrics.add "pref_space.prefs_extracted" k;
+    Cqp_obs.Metrics.add "pref_space.candidates" (Hashtbl.length seen_paths)
+  end;
+  Cqp_obs.Trace.add_attr (Cqp_obs.Attr.int "k" k);
+  Cqp_obs.Trace.add_attr (Cqp_obs.Attr.int "anchors" (List.length anchors));
   { estimate; items; d; c; s }
 
 let k t = Array.length t.items

@@ -8,6 +8,9 @@
    - size infeasibility: the current size is already below smin (sizes
      only shrink as preferences are added). *)
 let min_cost_bnb space (constraints : Params.constraints) =
+  Cqp_obs.Trace.with_span ~name:"solver.min_cost_bnb"
+    ~attrs:(fun () -> [ Cqp_obs.Attr.int "k" (Space.k space) ])
+  @@ fun () ->
   let k = Space.k space in
   let stats = Space.stats space in
   let by_cost =
@@ -108,7 +111,9 @@ let min_cost_bnb space (constraints : Params.constraints) =
      | Some ids -> best := Some ids
      | None -> ()
    end);
-  Option.map (Solution.of_ids space) !best
+  let result = Option.map (Solution.of_ids space) !best in
+  Instrument.publish stats;
+  result
 
 (* Branch-and-bound for the doi-maximization problems with size
    intervals (1, 3).  Items are taken in decreasing doi order (the D
@@ -119,6 +124,9 @@ let min_cost_bnb space (constraints : Params.constraints) =
      worsen as preferences are added;
    - size above smax is repaired by adding, so it never prunes. *)
 let max_doi_bnb space (constraints : Params.constraints) =
+  Cqp_obs.Trace.with_span ~name:"solver.max_doi_bnb"
+    ~attrs:(fun () -> [ Cqp_obs.Attr.int "k" (Space.k space) ])
+  @@ fun () ->
   let k = Space.k space in
   let stats = Space.stats space in
   let ps = Space.pref_space space in
@@ -196,7 +204,9 @@ let max_doi_bnb space (constraints : Params.constraints) =
     end
   in
   go 0 [] (Space.params_of_ids space []);
-  Option.map (Solution.of_ids space) !best
+  let result = Option.map (Solution.of_ids space) !best in
+  Instrument.publish stats;
+  result
 
 (* Greedy repair towards a size interval: add the preference that costs
    least while [size > smax] (more conjuncts shrink the answer), drop
@@ -276,6 +286,14 @@ let log_size_pref_space = log_size_space
 let run_doi_max algorithm ps ~cmax = Algorithm.run algorithm ps ~cmax
 
 let solve ?(algorithm = Algorithm.C_boundaries) ps (problem : Problem.t) =
+  Cqp_obs.Trace.with_span ~name:"solver.solve"
+    ~attrs:(fun () ->
+      [
+        Cqp_obs.Attr.int "problem" problem.Problem.number;
+        Cqp_obs.Attr.str "algorithm" (Algorithm.name algorithm);
+        Cqp_obs.Attr.int "k" (Pref_space.k ps);
+      ])
+  @@ fun () ->
   let constraints = problem.Problem.constraints in
   let check_feasible space (sol : Solution.t) =
     if Params.satisfies constraints sol.Solution.params then Some sol

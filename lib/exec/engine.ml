@@ -28,6 +28,14 @@ let scan_table io catalog name alias : Rowset.t =
   match Catalog.find catalog name with
   | None -> fail "unknown relation %s" name
   | Some rel ->
+      Cqp_obs.Trace.with_span ~name:"engine.scan"
+        ~attrs:(fun () ->
+          [
+            Cqp_obs.Attr.str "table" name;
+            Cqp_obs.Attr.int "blocks" (Relation.blocks rel);
+            Cqp_obs.Attr.int "rows" (Relation.cardinality rel);
+          ])
+      @@ fun () ->
       Io.charge_scan io rel;
       let schema = Relation.schema rel in
       let qualifier = Option.value alias ~default:name in
@@ -287,8 +295,23 @@ and exec_block io catalog b : Rowset.t =
             in
             remaining := others;
             let joined =
-              if keys = [] then cartesian acc rs
-              else hash_join acc rs (List.map fst keys)
+              if keys = [] then
+                Cqp_obs.Trace.with_span ~name:"engine.cartesian"
+                  ~attrs:(fun () ->
+                    [
+                      Cqp_obs.Attr.int "left_rows" (Rowset.cardinality acc);
+                      Cqp_obs.Attr.int "right_rows" (Rowset.cardinality rs);
+                    ])
+                  (fun () -> cartesian acc rs)
+              else
+                Cqp_obs.Trace.with_span ~name:"engine.hash_join"
+                  ~attrs:(fun () ->
+                    [
+                      Cqp_obs.Attr.int "keys" (List.length keys);
+                      Cqp_obs.Attr.int "left_rows" (Rowset.cardinality acc);
+                      Cqp_obs.Attr.int "right_rows" (Rowset.cardinality rs);
+                    ])
+                  (fun () -> hash_join acc rs (List.map fst keys))
             in
             (* Conjuncts newly resolvable on the joined result. *)
             let mine, rest =
@@ -320,7 +343,15 @@ and exec_block io catalog b : Rowset.t =
     b.group_by <> [] || List.exists Cqp_sql.Analyzer.has_aggregate out_exprs
   in
   let projected =
-    if needs_group then begin
+    if needs_group then
+      Cqp_obs.Trace.with_span ~name:"engine.aggregate"
+        ~attrs:(fun () ->
+          [
+            Cqp_obs.Attr.int "input_rows" (Rowset.cardinality filtered);
+            Cqp_obs.Attr.int "group_by" (List.length b.group_by);
+          ])
+    @@ fun () ->
+    begin
       let groups = Tuple_tbl.create 64 in
       let order = ref [] in
       List.iter
@@ -403,7 +434,12 @@ and exec_block io catalog b : Rowset.t =
   (* 7. ORDER BY on the precomputed keys. *)
   let ordered =
     if b.order_by = [] then deduped
-    else begin
+    else
+      Cqp_obs.Trace.with_span ~name:"engine.sort"
+        ~attrs:(fun () ->
+          [ Cqp_obs.Attr.int "rows" (List.length deduped) ])
+    @@ fun () ->
+    begin
       let dirs = List.map snd b.order_by in
       let cmp (_, k1) (_, k2) =
         let rec go dirs k1 k2 =
@@ -463,11 +499,23 @@ and output_exprs rs items =
 
 let execute_rowset ?io catalog q =
   let io = match io with Some io -> io | None -> Io.create () in
-  exec_query io catalog q
+  Cqp_obs.Trace.with_span ~name:"engine.execute" (fun () ->
+      let rs = exec_query io catalog q in
+      Cqp_obs.Trace.add_attr
+        (Cqp_obs.Attr.int "block_reads" (Io.block_reads io));
+      rs)
 
 let execute ?io catalog q =
   let counter = Io.create () in
-  let rs = exec_query counter catalog q in
+  let rs =
+    Cqp_obs.Trace.with_span ~name:"engine.execute" (fun () ->
+        let rs = exec_query counter catalog q in
+        Cqp_obs.Trace.add_attr
+          (Cqp_obs.Attr.int "block_reads" (Io.block_reads counter));
+        Cqp_obs.Trace.add_attr
+          (Cqp_obs.Attr.int "rows" (Rowset.cardinality rs));
+        rs)
+  in
   (match io with
   | Some outer -> Io.charge_blocks outer (Io.block_reads counter)
   | None -> ());

@@ -1,0 +1,4 @@
+let raw_us () = Unix.gettimeofday () *. 1e6
+let origin = ref (raw_us ())
+let now_us () = raw_us () -. !origin
+let reset_origin () = origin := raw_us ()

@@ -1,0 +1,11 @@
+(** Monotonic-enough time source for tracing.
+
+    Timestamps are microseconds relative to process start, matching the
+    [ts] unit of the Chrome trace_event format.  The origin is reset by
+    {!reset_origin} so tests can assert on small values. *)
+
+val now_us : unit -> float
+(** Microseconds elapsed since the origin. *)
+
+val reset_origin : unit -> unit
+(** Re-anchor the origin at the current instant. *)

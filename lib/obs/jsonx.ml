@@ -1,0 +1,239 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* --- emission -------------------------------------------------------- *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let number_to buf f =
+  if Float.is_nan f || Float.abs f = infinity then
+    Buffer.add_string buf "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Num f -> number_to buf f
+  | Str s -> escape_to buf s
+  | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          to_buffer buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  to_buffer buf t;
+  Buffer.contents buf
+
+(* --- parsing --------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let fail cur msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let peek cur = if cur.pos < String.length cur.s then Some cur.s.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  let rec go () =
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance cur;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect cur c =
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | _ -> fail cur (Printf.sprintf "expected %c" c)
+
+let parse_literal cur lit value =
+  let n = String.length lit in
+  if
+    cur.pos + n <= String.length cur.s
+    && String.sub cur.s cur.pos n = lit
+  then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else fail cur ("expected " ^ lit)
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | Some '"' -> advance cur; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance cur; Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance cur; Buffer.add_char buf '/'; go ()
+        | Some 'n' -> advance cur; Buffer.add_char buf '\n'; go ()
+        | Some 'r' -> advance cur; Buffer.add_char buf '\r'; go ()
+        | Some 't' -> advance cur; Buffer.add_char buf '\t'; go ()
+        | Some 'b' -> advance cur; Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance cur; Buffer.add_char buf '\012'; go ()
+        | Some 'u' ->
+            advance cur;
+            if cur.pos + 4 > String.length cur.s then
+              fail cur "truncated \\u escape";
+            let hex = String.sub cur.s cur.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail cur "bad \\u escape"
+            in
+            cur.pos <- cur.pos + 4;
+            (* Escaped control characters we emit are all ASCII; decode
+               the BMP code point as UTF-8 for completeness. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf
+                (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            go ()
+        | _ -> fail cur "bad escape")
+    | Some c ->
+        advance cur;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek cur with
+    | Some c when is_num_char c ->
+        advance cur;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  if cur.pos = start then fail cur "expected number";
+  match float_of_string_opt (String.sub cur.s start (cur.pos - start)) with
+  | Some f -> f
+  | None -> fail cur "malformed number"
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        advance cur;
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws cur;
+          let k = parse_string cur in
+          skip_ws cur;
+          expect cur ':';
+          let v = parse_value cur in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              advance cur;
+              List.rev ((k, v) :: acc)
+          | _ -> fail cur "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+  | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        advance cur;
+        Arr []
+      end
+      else begin
+        let rec elts acc =
+          let v = parse_value cur in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              elts (v :: acc)
+          | Some ']' ->
+              advance cur;
+              List.rev (v :: acc)
+          | _ -> fail cur "expected ',' or ']'"
+        in
+        Arr (elts [])
+      end
+  | Some '"' -> Str (parse_string cur)
+  | Some 't' -> parse_literal cur "true" (Bool true)
+  | Some 'f' -> parse_literal cur "false" (Bool false)
+  | Some 'n' -> parse_literal cur "null" Null
+  | Some _ -> Num (parse_number cur)
+
+let of_string s =
+  let cur = { s; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then fail cur "trailing garbage";
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None

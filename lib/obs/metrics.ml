@@ -1,0 +1,156 @@
+let n_buckets = 64
+
+type instrument =
+  | Counter of { mutable n : int }
+  | Gauge of { mutable v : float }
+  | Histogram of {
+      mutable count : int;
+      mutable sum : float;
+      buckets : int array;
+    }
+
+let enabled = ref false
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let enable () = enabled := true
+let disable () = enabled := false
+let is_enabled () = !enabled
+let reset () = Hashtbl.reset registry
+
+let find_or_create name make =
+  match Hashtbl.find_opt registry name with
+  | Some i -> i
+  | None ->
+      let i = make () in
+      Hashtbl.add registry name i;
+      i
+
+(* The recorders are split into a tiny guard (small enough for the
+   compiler to inline at call sites, leaving a load + branch on the hot
+   path while disabled) and an out-of-line slow path. *)
+
+let record_add name by =
+  match find_or_create name (fun () -> Counter { n = 0 }) with
+  | Counter c -> c.n <- c.n + by
+  | _ -> invalid_arg ("Metrics.add: " ^ name ^ " is not a counter")
+
+let[@inline] add name by = if !enabled then record_add name by
+let[@inline] incr name = if !enabled then record_add name 1
+
+let record_gauge name v =
+  match find_or_create name (fun () -> Gauge { v }) with
+  | Gauge g -> g.v <- v
+  | _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
+
+let[@inline] gauge name v = if !enabled then record_gauge name v
+
+let bucket_index v =
+  if v < 1. then 0
+  else min (n_buckets - 1) (1 + int_of_float (Float.floor (Float.log2 v)))
+
+let bucket_upper_bound i =
+  if i >= n_buckets - 1 then infinity else Float.pow 2. (float_of_int i)
+
+let record_observe name v =
+  match
+    find_or_create name (fun () ->
+        Histogram { count = 0; sum = 0.; buckets = Array.make n_buckets 0 })
+  with
+  | Histogram h ->
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      let i = bucket_index v in
+      h.buckets.(i) <- h.buckets.(i) + 1
+  | _ -> invalid_arg ("Metrics.observe: " ^ name ^ " is not a histogram")
+
+let[@inline] observe name v = if !enabled then record_observe name v
+
+let counter_value name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c.n
+  | _ -> 0
+
+let gauge_value name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> Some g.v
+  | _ -> None
+
+let histogram_count name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> h.count
+  | _ -> 0
+
+(* --- export ---------------------------------------------------------- *)
+
+let sorted_instruments () =
+  Hashtbl.fold (fun name i acc -> (name, i) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let to_json () =
+  let all = sorted_instruments () in
+  let counters =
+    List.filter_map
+      (function
+        | name, Counter c -> Some (name, Jsonx.Num (float_of_int c.n))
+        | _ -> None)
+      all
+  in
+  let gauges =
+    List.filter_map
+      (function name, Gauge g -> Some (name, Jsonx.Num g.v) | _ -> None)
+      all
+  in
+  let histograms =
+    List.filter_map
+      (function
+        | name, Histogram h ->
+            let buckets =
+              List.filter_map
+                (fun i ->
+                  if h.buckets.(i) = 0 then None
+                  else
+                    Some
+                      (Jsonx.Obj
+                         [
+                           ("le", Jsonx.Num (bucket_upper_bound i));
+                           ("count", Jsonx.Num (float_of_int h.buckets.(i)));
+                         ]))
+                (List.init n_buckets Fun.id)
+            in
+            Some
+              ( name,
+                Jsonx.Obj
+                  [
+                    ("count", Jsonx.Num (float_of_int h.count));
+                    ("sum", Jsonx.Num h.sum);
+                    ("buckets", Jsonx.Arr buckets);
+                  ] )
+        | _ -> None)
+      all
+  in
+  Jsonx.Obj
+    [
+      ("counters", Jsonx.Obj counters);
+      ("gauges", Jsonx.Obj gauges);
+      ("histograms", Jsonx.Obj histograms);
+    ]
+
+let to_json_string () = Jsonx.to_string (to_json ())
+
+let write_json ~file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json_string ()))
+
+let pp ppf () =
+  Format.pp_open_vbox ppf 0;
+  List.iter
+    (fun (name, i) ->
+      match i with
+      | Counter c -> Format.fprintf ppf "%-32s %d@ " name c.n
+      | Gauge g -> Format.fprintf ppf "%-32s %g@ " name g.v
+      | Histogram h ->
+          Format.fprintf ppf "%-32s count=%d sum=%g@ " name h.count h.sum)
+    (sorted_instruments ());
+  Format.pp_close_box ppf ()

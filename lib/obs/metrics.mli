@@ -1,0 +1,62 @@
+(** A global metrics registry: named counters, gauges and log-scale
+    histograms, with a JSON snapshot dump.
+
+    Disabled by default; while disabled every entry point is a single
+    boolean test and records nothing, so instrumented hot paths are
+    unaffected.  Instruments are created on first use and keyed by
+    name; dotted names ([solver.states_visited], [engine.block_reads])
+    are the convention. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop every instrument. *)
+
+(** {1 Recording} *)
+
+val add : string -> int -> unit
+(** Add to a counter (created at 0). *)
+
+val incr : string -> unit
+(** [incr name] = [add name 1]. *)
+
+val gauge : string -> float -> unit
+(** Set a gauge to its latest value. *)
+
+val observe : string -> float -> unit
+(** Record a value into a log-scale histogram. *)
+
+(** {1 Reading} *)
+
+val counter_value : string -> int
+(** Current counter value; [0] when absent.  Works even while the
+    registry is disabled (reads are not gated). *)
+
+val gauge_value : string -> float option
+val histogram_count : string -> int
+
+(** {1 Log-scale histogram geometry}
+
+    Bucket 0 collects values [< 1.0] (including non-positive ones);
+    bucket [i] for [1 <= i <= 62] collects [2^(i-1) <= v < 2^i]; the
+    last bucket, {!n_buckets}[- 1], collects everything from [2^62]
+    up.  Exposed for tests and external decoders. *)
+
+val n_buckets : int
+val bucket_index : float -> int
+
+val bucket_upper_bound : int -> float
+(** Exclusive upper bound of a bucket; [infinity] for the last. *)
+
+(** {1 Export} *)
+
+val to_json : unit -> Jsonx.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {name:
+    {"count": n, "sum": s, "buckets": [{"le": ub, "count": c}, ...]}}}]
+    with only non-empty buckets listed. *)
+
+val to_json_string : unit -> string
+val write_json : file:string -> unit
+val pp : Format.formatter -> unit -> unit

@@ -1,0 +1,13 @@
+let enable () =
+  Trace.enable ();
+  Metrics.enable ()
+
+let disable () =
+  Trace.disable ();
+  Metrics.disable ()
+
+let is_enabled () = Trace.is_enabled () || Metrics.is_enabled ()
+
+let reset () =
+  Trace.reset ();
+  Metrics.reset ()

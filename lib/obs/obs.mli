@@ -1,0 +1,13 @@
+(** Umbrella switch for the whole observability layer.
+
+    [Obs.enable ()] turns on both {!Trace} and {!Metrics}; everything
+    stays a no-op until then, so the default build pays only a boolean
+    test per instrumentation site. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+(** True when either the trace sink or the metrics registry is on. *)
+
+val reset : unit -> unit
+(** Clear both the span buffer and the metrics registry. *)

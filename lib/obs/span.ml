@@ -1,0 +1,16 @@
+type t = {
+  id : int;
+  parent : int;
+  depth : int;
+  name : string;
+  start_us : float;
+  mutable dur_us : float;
+  mutable attrs : Attr.t list;
+}
+
+let is_root t = t.parent < 0
+let closed t = t.dur_us >= 0.
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%.3f ms)" t.name (Float.max 0. t.dur_us /. 1000.);
+  List.iter (fun a -> Format.fprintf ppf " %a" Attr.pp a) (List.rev t.attrs)

@@ -1,0 +1,15 @@
+(** A single completed (or in-flight) span. *)
+
+type t = {
+  id : int;
+  parent : int;  (** span id of the parent; [-1] for a root span *)
+  depth : int;  (** nesting depth; roots are at 0 *)
+  name : string;
+  start_us : float;  (** microseconds since the trace clock origin *)
+  mutable dur_us : float;  (** [-1.] while the span is still open *)
+  mutable attrs : Attr.t list;
+}
+
+val is_root : t -> bool
+val closed : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,148 @@
+let enabled = ref false
+
+(* Completed and in-flight spans in start order (cons-reversed), the
+   stack of open spans, and a capacity guard for long runs. *)
+let buffer : Span.t list ref = ref []
+let stack : Span.t list ref = ref []
+let count = ref 0
+let next_id = ref 0
+let capacity = ref 1_000_000
+let dropped_count = ref 0
+
+let is_enabled () = !enabled
+
+let reset () =
+  buffer := [];
+  stack := [];
+  count := 0;
+  next_id := 0;
+  dropped_count := 0
+
+let enable () =
+  enabled := true;
+  Clock.reset_origin ()
+
+let disable () = enabled := false
+let set_capacity n = capacity := max 1 n
+let span_count () = !count
+let dropped () = !dropped_count
+let spans () = List.rev !buffer
+
+let open_span ~name attrs =
+  let parent, depth =
+    match !stack with
+    | [] -> (-1, 0)
+    | s :: _ -> (s.Span.id, s.Span.depth + 1)
+  in
+  let id = !next_id in
+  incr next_id;
+  let sp =
+    {
+      Span.id;
+      parent;
+      depth;
+      name;
+      start_us = Clock.now_us ();
+      dur_us = -1.;
+      attrs = (match attrs with None -> [] | Some thunk -> thunk ());
+    }
+  in
+  if !count < !capacity then begin
+    buffer := sp :: !buffer;
+    incr count
+  end
+  else incr dropped_count;
+  sp
+
+let close_span sp =
+  sp.Span.dur_us <- Clock.now_us () -. sp.Span.start_us;
+  match !stack with
+  | s :: rest when s == sp -> stack := rest
+  | _ ->
+      (* Unbalanced exit (an exception skipped inner closes): pop past
+         the span so the stack stays consistent. *)
+      let rec pop = function
+        | s :: rest when s == sp -> rest
+        | _ :: rest -> pop rest
+        | [] -> []
+      in
+      stack := pop !stack
+
+let with_span ~name ?attrs f =
+  if not !enabled then f ()
+  else begin
+    let sp = open_span ~name attrs in
+    stack := sp :: !stack;
+    match f () with
+    | v ->
+        close_span sp;
+        v
+    | exception e ->
+        close_span sp;
+        raise e
+  end
+
+let add_attr attr =
+  if !enabled then
+    match !stack with
+    | [] -> ()
+    | sp :: _ -> sp.Span.attrs <- attr :: sp.Span.attrs
+
+let instant ~name ?attrs () =
+  if !enabled then begin
+    let sp = open_span ~name attrs in
+    sp.Span.dur_us <- 0.
+  end
+
+(* --- export ---------------------------------------------------------- *)
+
+let json_of_attr_value : Attr.value -> Jsonx.t = function
+  | Attr.Str s -> Jsonx.Str s
+  | Attr.Int i -> Jsonx.Num (float_of_int i)
+  | Attr.Float f -> Jsonx.Num f
+  | Attr.Bool b -> Jsonx.Bool b
+
+let event_of_span (sp : Span.t) =
+  let args =
+    List.rev_map (fun (k, v) -> (k, json_of_attr_value v)) sp.Span.attrs
+  in
+  Jsonx.Obj
+    [
+      ("name", Jsonx.Str sp.Span.name);
+      ("cat", Jsonx.Str "cqp");
+      ("ph", Jsonx.Str "X");
+      ("ts", Jsonx.Num sp.Span.start_us);
+      ("dur", Jsonx.Num (Float.max 0. sp.Span.dur_us));
+      ("pid", Jsonx.Num 1.);
+      ("tid", Jsonx.Num 1.);
+      ("args", Jsonx.Obj args);
+    ]
+
+let to_chrome_json () =
+  Jsonx.Obj
+    [
+      ("traceEvents", Jsonx.Arr (List.map event_of_span (spans ())));
+      ("displayTimeUnit", Jsonx.Str "ms");
+      ("otherData", Jsonx.Obj [ ("dropped", Jsonx.Num (float_of_int !dropped_count)) ]);
+    ]
+
+let to_chrome_string () = Jsonx.to_string (to_chrome_json ())
+
+let write_chrome ~file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_string ()))
+
+let pp_tree ppf () =
+  Format.pp_open_vbox ppf 0;
+  List.iter
+    (fun sp ->
+      Format.fprintf ppf "%s%a@ "
+        (String.make (2 * sp.Span.depth) ' ')
+        Span.pp sp)
+    (spans ());
+  if !dropped_count > 0 then
+    Format.fprintf ppf "... %d spans dropped (capacity %d)@ " !dropped_count
+      !capacity;
+  Format.pp_close_box ppf ()

@@ -1,0 +1,56 @@
+(** Hierarchical span tracing with a global per-run buffer.
+
+    Disabled by default.  While disabled every entry point is a single
+    boolean test — [with_span] runs its thunk directly and records
+    nothing, so instrumented hot paths cost nothing beyond the branch.
+
+    When enabled, {!with_span} records a span per call, nested under
+    the innermost open span of the (single-threaded) run.  The buffer
+    can be exported as Chrome [trace_event] JSON — loadable in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto} — or
+    pretty-printed as an indented tree. *)
+
+val enable : unit -> unit
+(** Start recording; also re-anchors the trace clock origin. *)
+
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all recorded spans and any open stack. *)
+
+val with_span :
+  name:string -> ?attrs:(unit -> Attr.t list) -> (unit -> 'a) -> 'a
+(** [with_span ~name f] runs [f] inside a span.  [attrs] is a thunk so
+    attribute values are never computed while tracing is disabled.  The
+    span is closed (duration filled in) even when [f] raises. *)
+
+val add_attr : Attr.t -> unit
+(** Attach an attribute to the innermost open span; no-op when tracing
+    is disabled or no span is open.  Useful for values only known at
+    the end of a phase (counts, outcomes). *)
+
+val instant : name:string -> ?attrs:(unit -> Attr.t list) -> unit -> unit
+(** Record a zero-duration marker under the current span. *)
+
+val spans : unit -> Span.t list
+(** Recorded spans in start order (pre-order of the span tree). *)
+
+val span_count : unit -> int
+
+val dropped : unit -> int
+(** Spans discarded after the buffer hit {!set_capacity}. *)
+
+val set_capacity : int -> unit
+(** Maximum buffered spans (default 1_000_000); protects long
+    benchmark runs from unbounded growth. *)
+
+val to_chrome_json : unit -> Jsonx.t
+(** The buffer as a Chrome [trace_event] object:
+    [{"traceEvents": [{"ph":"X","name":...,"ts":...,"dur":...,...}]}]. *)
+
+val to_chrome_string : unit -> string
+val write_chrome : file:string -> unit
+
+val pp_tree : Format.formatter -> unit -> unit
+(** Human-readable indented span tree with durations and attributes. *)

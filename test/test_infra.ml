@@ -61,6 +61,35 @@ let test_instrument_peak () =
   checkb "peak is high-water" true (t.C.Instrument.peak_words = peak);
   checkb "bytes positive" true (C.Instrument.peak_bytes t > 0)
 
+let test_instrument_hwm_monotone () =
+  let t = C.Instrument.create () in
+  let states = [ [ 0 ]; [ 0; 1 ]; [ 0; 1; 2 ]; [ 3 ] ] in
+  let prev = ref 0 in
+  List.iter
+    (fun s ->
+      C.Instrument.hold t s;
+      checkb "peak never decreases" true (t.C.Instrument.peak_words >= !prev);
+      prev := t.C.Instrument.peak_words;
+      C.Instrument.release t s;
+      checkb "peak survives release" true (t.C.Instrument.peak_words = !prev))
+    states;
+  checki "balanced hold/release leaves nothing live" 0 t.C.Instrument.live_words
+
+let test_instrument_peak_bytes_arith () =
+  let t = C.Instrument.create () in
+  let states = [ [ 0; 1; 2 ]; [ 4; 5 ] ] in
+  List.iter (C.Instrument.hold t) states;
+  let words =
+    List.fold_left
+      (fun acc s -> acc + List.length s + C.Instrument.entry_overhead_words)
+      0 states
+  in
+  checki "peak words" words t.C.Instrument.peak_words;
+  checki "peak bytes = 8 * words" (8 * words) (C.Instrument.peak_bytes t);
+  List.iter (C.Instrument.release t) states;
+  checki "live back to zero" 0 t.C.Instrument.live_words;
+  checki "peak unchanged after drain" words t.C.Instrument.peak_words
+
 let test_instrument_snapshot_isolated () =
   let t = C.Instrument.create () in
   C.Instrument.visit t;
@@ -144,6 +173,10 @@ let () =
       ( "instrument",
         [
           Alcotest.test_case "peak" `Quick test_instrument_peak;
+          Alcotest.test_case "high-water monotone" `Quick
+            test_instrument_hwm_monotone;
+          Alcotest.test_case "peak bytes arithmetic" `Quick
+            test_instrument_peak_bytes_arith;
           Alcotest.test_case "snapshot" `Quick test_instrument_snapshot_isolated;
         ] );
       ("io", [ Alcotest.test_case "reset/cost" `Quick test_io_reset ]);

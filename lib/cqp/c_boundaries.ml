@@ -3,41 +3,56 @@ let find_boundaries space ~cmax =
   if k = 0 then []
   else begin
     let stats = Space.stats space in
-    let rq = Rq.create stats in
-    let visited = Hashtbl.create 256 in
+    let rq = Rq.create ~words:Space.entry_words stats in
+    let visited = Space.Visited.create space 256 in
     let boundaries = ref [] in
-    let mark s = Hashtbl.replace visited s () in
-    let below_boundary s =
-      List.exists (fun b -> State.dominates b s) !boundaries
+    (* Boundaries bucketed by group size: a state can only lie below a
+       boundary of its own group (Definition 1 — [dominates] implies
+       equal group size), so the dominance scan inspects one bucket
+       instead of the whole boundary list. *)
+    let by_group : (int, State.t list ref) Hashtbl.t = Hashtbl.create 16 in
+    let add_boundary (v : Space.valued) =
+      boundaries := v.state :: !boundaries;
+      let g = State.group_size v.state in
+      match Hashtbl.find_opt by_group g with
+      | Some bucket -> bucket := v.state :: !bucket
+      | None -> Hashtbl.add by_group g (ref [ v.state ])
     in
-    let prune s = Hashtbl.mem visited s || below_boundary s in
-    let seed = State.singleton 0 in
+    let below_boundary (v : Space.valued) =
+      match Hashtbl.find_opt by_group (State.group_size v.state) with
+      | None -> false
+      | Some bucket ->
+          List.exists (fun b -> State.dominates b v.state) !bucket
+    in
+    let prune v = Space.Visited.mem visited v || below_boundary v in
+    let mark v = Space.Visited.add visited v in
+    let seed = Space.value_singleton space 0 in
     mark seed;
     Rq.push_tail rq seed;
     let rec loop () =
       match Rq.pop rq with
       | None -> ()
-      | Some r ->
+      | Some v ->
           Instrument.visit stats;
-          if Space.cost space r <= cmax then begin
-            boundaries := r :: !boundaries;
-            Instrument.hold stats r;
-            (match State.horizontal ~k r with
-            | Some r' when not (prune r') ->
-                mark r';
-                Rq.push_tail rq r'
+          if v.Space.params.Params.cost <= cmax then begin
+            add_boundary v;
+            Instrument.hold stats v.Space.state;
+            (match Space.horizontal_v space v with
+            | Some v' when not (prune v') ->
+                mark v';
+                Rq.push_tail rq v'
             | Some _ | None -> ())
           end
           else
             (* Vertical neighbors explored head-first so the current
                group finishes before the next begins. *)
             List.iter
-              (fun r' ->
-                if not (prune r') then begin
-                  mark r';
-                  Rq.push_head rq r'
+              (fun v' ->
+                if not (prune v') then begin
+                  mark v';
+                  Rq.push_head rq v'
                 end)
-              (List.rev (State.vertical ~k r));
+              (List.rev (Space.vertical_v space v));
           loop ()
     in
     loop ();

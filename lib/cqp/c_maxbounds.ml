@@ -3,64 +3,74 @@ let find_max_bounds space ~cmax =
   if kk = 0 then []
   else begin
     let stats = Space.stats space in
-    let visited = Hashtbl.create 256 in
+    let visited = Space.Visited.create space 256 in
     (* Bounds are kept with their bitmasks; subset tests are single
        [land]s.  Only maximal bounds are retained: pushing a new bound
-       evicts the bounds it contains. *)
+       evicts (and releases) the bounds it contains. *)
     let max_bounds : (int * State.t) list ref = ref [] in
+    let mask_of (v : Space.valued) =
+      if Space.uses_mask space then v.mask else State.mask v.state
+    in
     let covered mask =
       List.exists (fun (bm, _) -> mask land bm = mask) !max_bounds
     in
-    let push_bound r =
-      let m = State.mask r in
-      max_bounds :=
-        (m, r)
-        :: List.filter (fun (bm, _) -> not (bm land m = bm)) !max_bounds;
-      Instrument.hold stats r
+    let push_bound (v : Space.valued) =
+      let m = mask_of v in
+      let kept, evicted =
+        List.partition (fun (bm, _) -> not (bm land m = bm)) !max_bounds
+      in
+      max_bounds := (m, v.state) :: kept;
+      Instrument.hold stats v.state;
+      List.iter (fun (_, b) -> Instrument.release stats b) evicted
     in
-    let prune s = Hashtbl.mem visited s || covered (State.mask s) in
+    let prune v = Space.Visited.mem visited v || covered (mask_of v) in
     (* Greedy saturation: repeatedly insert the most expensive absent
        preference that keeps the state within the budget.  Formula 6
        makes state cost additive, so neighbors are priced in O(1). *)
-    let climb r =
-      let rec go r cost_r =
-        Instrument.eval stats;
+    let climb (v : Space.valued) =
+      let rec go (v : Space.valued) =
+        let cost_v = v.params.Params.cost in
         let rec find p =
           if p >= kk then None
-          else if State.mem p r then find (p + 1)
-          else if cost_r +. Space.pos_cost space p <= cmax then Some p
+          else if Space.mem_pos space v p then find (p + 1)
+          else if cost_v +. Space.pos_cost space p <= cmax then Some p
           else find (p + 1)
         in
         match find 0 with
-        | Some p -> go (State.add p r) (cost_r +. Space.pos_cost space p)
-        | None -> r
+        | Some p -> go (Space.with_pos space v p)
+        | None -> v
       in
-      go r (Space.cost space r)
+      go v
     in
     let find_max_bound seed_pos =
-      let rq = Rq.create stats in
-      let seed = State.singleton seed_pos in
+      let rq = Rq.create ~words:Space.entry_words stats in
+      let seed = Space.value_singleton space seed_pos in
       if not (prune seed) then begin
-        Hashtbl.replace visited seed ();
+        Space.Visited.add visited seed;
         Rq.push_head rq seed
       end;
       let rec loop () =
         match Rq.pop rq with
         | None -> ()
-        | Some r0 when covered (State.mask r0) ->
-            (* A bound found after r0 was enqueued already covers it. *)
+        | Some v0 when covered (mask_of v0) ->
+            (* A bound found after v0 was enqueued already covers it. *)
             loop ()
-        | Some r0 ->
+        | Some v0 ->
             Instrument.visit stats;
-            let r = if Space.cost space r0 <= cmax then climb r0 else r0 in
-            if (not (State.equal r r0)) && not (prune r) then push_bound r;
+            let v =
+              if v0.Space.params.Params.cost <= cmax then climb v0 else v0
+            in
+            if (not (State.equal v.Space.state v0.Space.state))
+               && not (prune v)
+            then push_bound v;
             List.iter
-              (fun r' ->
-                if State.mem seed_pos r' && not (prune r') then begin
-                  Hashtbl.replace visited r' ();
-                  Rq.push_head rq r'
+              (fun v' ->
+                if Space.mem_pos space v' seed_pos && not (prune v')
+                then begin
+                  Space.Visited.add visited v';
+                  Rq.push_head rq v'
                 end)
-              (State.vertical ~k:kk r);
+              (Space.vertical_v space v);
             loop ()
       in
       loop ()

@@ -1,13 +1,13 @@
 let best_below space boundary =
   let k = Space.k space in
-  let used = Hashtbl.create 8 in
+  let used = Array.make k false in
   let slot_best pos =
     (* Smallest preference id among positions [pos, K-1] of C not yet
        used: that preference has the best doi available to this slot. *)
     let best = ref None in
     for j = pos to k - 1 do
       let id = Space.pref_id space j in
-      if not (Hashtbl.mem used id) then
+      if not used.(id) then
         match !best with
         | Some b when b <= id -> ()
         | _ -> best := Some id
@@ -21,7 +21,7 @@ let best_below space boundary =
     (fun pos ->
       match slot_best pos with
       | Some id ->
-          Hashtbl.add used id ();
+          used.(id) <- true;
           Some id
       | None -> None)
     slots

@@ -6,41 +6,44 @@ let solve space ~cmax =
   else begin
     let best = ref None and best_doi = ref 0. in
     (* Greedy saturation with O(1) neighbor pricing (additive cost). *)
-    let climb ?forbid r =
-      let rec go r cost_r =
+    let climb ?forbid (v : Space.valued) =
+      let rec go (v : Space.valued) =
         Instrument.visit stats;
+        let cost_v = v.params.Params.cost in
         let rec find p =
           if p >= k then None
-          else if State.mem p r || forbid = Some p then find (p + 1)
-          else if cost_r +. Space.pos_cost space p <= cmax then Some p
+          else if Space.mem_pos space v p || forbid = Some p then find (p + 1)
+          else if cost_v +. Space.pos_cost space p <= cmax then Some p
           else find (p + 1)
         in
         match find 0 with
-        | Some p -> go (State.add p r) (cost_r +. Space.pos_cost space p)
-        | None -> r
+        | Some p -> go (Space.with_pos space v p)
+        | None -> v
       in
-      go r (Space.cost space r)
+      go v
     in
-    let consider r =
-      if Space.cost space r <= cmax then begin
-        let doi = Space.doi space r in
+    let consider (v : Space.valued) =
+      if v.params.Params.cost <= cmax then begin
+        let doi = v.params.Params.doi in
         if doi > !best_doi || !best = None then begin
           best_doi := doi;
-          best := Some r
+          best := Some v.state
         end
       end
     in
     let round seed_pos =
-      let seed = State.singleton seed_pos in
-      if Space.cost space seed <= cmax then begin
+      let seed = Space.value_singleton space seed_pos in
+      if seed.Space.params.Params.cost <= cmax then begin
         let r = climb seed in
         consider r;
         (* Heuristic probes: drop the solution's tail elements one at a
-           time and re-climb without them. *)
-        let arr = Array.of_list r in
+           time — an O(1) parameter retraction each — and re-climb
+           without them. *)
+        let arr = Array.of_list r.Space.state in
+        let cur = ref r in
         for i = Array.length arr - 1 downto 1 do
-          let prefix = Array.to_list (Array.sub arr 0 i) in
-          let alt = climb ~forbid:arr.(i) prefix in
+          cur := Space.remove_pos space !cur arr.(i);
+          let alt = climb ~forbid:arr.(i) !cur in
           consider alt
         done
       end

@@ -1,54 +1,57 @@
-let find_optimal space ~cmax =
+let find_optimal_valued space ~cmax =
   let k = Space.k space in
   if k = 0 then []
   else begin
     let stats = Space.stats space in
-    let rq = Rq.create stats in
-    let visited = Hashtbl.create 256 in
+    let rq = Rq.create ~words:Space.entry_words stats in
+    let visited = Space.Visited.create space 256 in
     let solutions = ref [] in
-    let prune s = Hashtbl.mem visited s in
-    let mark s = Hashtbl.replace visited s () in
-    let seed = State.singleton 0 in
+    let prune v = Space.Visited.mem visited v in
+    let mark v = Space.Visited.add visited v in
+    let seed = Space.value_singleton space 0 in
     mark seed;
     Rq.push_tail rq seed;
     let rec loop () =
       match Rq.pop rq with
       | None -> ()
-      | Some r ->
+      | Some v ->
           Instrument.visit stats;
           let continue_from =
-            if Space.cost space r <= cmax then begin
+            if v.Space.params.Params.cost <= cmax then begin
               (* Climb horizontally while the budget holds. *)
-              let rec climb r =
-                match State.horizontal ~k r with
-                | Some r' when Space.cost space r' <= cmax -> climb r'
-                | next -> (r, next)
+              let rec climb (v : Space.valued) =
+                match Space.horizontal_v space v with
+                | Some v' when v'.params.Params.cost <= cmax -> climb v'
+                | next -> (v, next)
               in
-              let last_good, violator = climb r in
+              let last_good, violator = climb v in
               solutions := last_good :: !solutions;
-              Instrument.hold stats last_good;
+              Instrument.hold stats last_good.Space.state;
               Option.value violator ~default:last_good
             end
-            else r
+            else v
           in
           List.iter
-            (fun r' ->
-              if not (prune r') then begin
-                mark r';
-                Rq.push_tail rq r'
+            (fun v' ->
+              if not (prune v') then begin
+                mark v';
+                Rq.push_tail rq v'
               end)
-            (State.vertical ~k continue_from);
+            (Space.vertical_v space continue_from);
           loop ()
     in
     loop ();
     !solutions
   end
 
+let find_optimal space ~cmax =
+  List.map (fun (v : Space.valued) -> v.state) (find_optimal_valued space ~cmax)
+
 let solve space ~cmax =
   let stats = Space.stats space in
   let solutions =
     Cqp_obs.Trace.with_span ~name:"d_maxdoi.find_optimal" (fun () ->
-        let ss = find_optimal space ~cmax in
+        let ss = find_optimal_valued space ~cmax in
         Cqp_obs.Trace.add_attr (Cqp_obs.Attr.int "candidates" (List.length ss));
         ss)
   in
@@ -58,25 +61,26 @@ let solve space ~cmax =
     let ps = Space.pref_space space in
     let ordered =
       List.stable_sort
-        (fun a b -> Stdlib.compare (State.group_size b) (State.group_size a))
+        (fun (a : Space.valued) (b : Space.valued) ->
+          Stdlib.compare (State.group_size b.state) (State.group_size a.state))
         solutions
     in
     let best = ref None and best_doi = ref 0. in
     (try
        let kr = ref (Space.k space) in
        List.iter
-         (fun r ->
-           let g = State.group_size r in
+         (fun (v : Space.valued) ->
+           let g = State.group_size v.state in
            if g < !kr then begin
              let bound = Pref_space.prefix_doi ps g in
              if !best_doi > bound then raise Exit;
              kr := g
            end;
            Instrument.visit stats;
-           let doi = Space.doi space r in
+           let doi = v.params.Params.doi in
            if doi > !best_doi || !best = None then begin
              best_doi := doi;
-             best := Some r
+             best := Some v.state
            end)
          ordered
      with Exit -> ());

@@ -4,53 +4,57 @@ let solve space ~cmax =
   let ps = Space.pref_space space in
   if k = 0 then Solution.empty space
   else begin
-    let visited = Hashtbl.create 256 in
+    let visited = Space.Visited.create space 256 in
     let best = ref None and best_doi = ref 0. in
     (* Greedy saturation with O(1) neighbor pricing (additive cost). *)
-    let climb r =
-      let rec go r cost_r =
+    let climb (v : Space.valued) =
+      let rec go (v : Space.valued) =
+        let cost_v = v.params.Params.cost in
         let rec find p =
           if p >= k then None
-          else if State.mem p r then find (p + 1)
-          else if cost_r +. Space.pos_cost space p <= cmax then Some p
+          else if Space.mem_pos space v p then find (p + 1)
+          else if cost_v +. Space.pos_cost space p <= cmax then Some p
           else find (p + 1)
         in
         match find 0 with
-        | Some p -> go (State.add p r) (cost_r +. Space.pos_cost space p)
-        | None -> r
+        | Some p -> go (Space.with_pos space v p)
+        | None -> v
       in
-      go r (Space.cost space r)
+      go v
     in
-    let consider r =
-      let doi = Space.doi space r in
-      if (doi > !best_doi || !best = None) && Space.cost space r <= cmax
+    let consider (v : Space.valued) =
+      let doi = v.params.Params.doi in
+      if (doi > !best_doi || !best = None) && v.params.Params.cost <= cmax
       then begin
         best_doi := doi;
-        best := Some r
+        best := Some v.state
       end
     in
     let round seed_pos =
-      let rq = Rq.create stats in
-      let seed = State.singleton seed_pos in
-      if not (Hashtbl.mem visited seed) then begin
-        Hashtbl.replace visited seed ();
+      let rq = Rq.create ~words:Space.entry_words stats in
+      let seed = Space.value_singleton space seed_pos in
+      if not (Space.Visited.mem visited seed) then begin
+        Space.Visited.add visited seed;
         Rq.push_head rq seed
       end;
       let rec loop () =
         match Rq.pop rq with
         | None -> ()
-        | Some r0 ->
+        | Some v0 ->
             Instrument.visit stats;
-            let r = if Space.cost space r0 <= cmax then climb r0 else r0 in
-            if Space.cost space r <= cmax then consider r;
+            let v =
+              if v0.Space.params.Params.cost <= cmax then climb v0 else v0
+            in
+            consider v;
             List.iter
-              (fun r' ->
-                if State.mem seed_pos r' && not (Hashtbl.mem visited r')
+              (fun v' ->
+                if Space.mem_pos space v' seed_pos
+                   && not (Space.Visited.mem visited v')
                 then begin
-                  Hashtbl.replace visited r' ();
-                  Rq.push_head rq r'
+                  Space.Visited.add visited v';
+                  Rq.push_head rq v'
                 end)
-              (State.vertical ~k r);
+              (Space.vertical_v space v);
             loop ()
       in
       loop ()

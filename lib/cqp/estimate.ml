@@ -192,6 +192,8 @@ let item_doi t path =
   Path.doi ~f:t.f path
 let combine_doi t dois = Doi.combine ~r:t.r dois
 let combine_doi_incr t acc d = Doi.combine_incr ~r:t.r acc d
+let combine_doi_retract t acc d = Doi.combine_retract ~r:t.r acc d
+let doi_combine t = t.r
 
 let merged_cost t paths =
   List.fold_left

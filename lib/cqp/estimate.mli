@@ -17,8 +17,13 @@
       partial order (Formula 8: more preferences, no larger size).
     - {b doi}: Formulas 9/10 via {!Cqp_prefs.Doi}.
 
-    All three are incrementally computable, which the state-space
-    algorithms exploit. *)
+    All three parameters admit O(1) incremental updates along state
+    transitions — cost is additive, size multiplicative, doi extends
+    via {!combine_doi_incr} and retracts via {!combine_doi_retract} —
+    and the state-space algorithms exploit this through
+    [Space.valued], which threads a [(state, Params.t)] pair along
+    Horizontal/Vertical transitions instead of re-folding the whole
+    preference set per visited node. *)
 
 type t
 
@@ -56,6 +61,14 @@ val combine_doi : t -> float list -> float
 (** Conjunction doi (Formula 10 under the configured [r]). *)
 
 val combine_doi_incr : t -> float -> float -> float
+
+val combine_doi_retract : t -> float -> float -> float option
+(** Undo one {!combine_doi_incr} step under the configured [r]; [None]
+    when not invertible from the accumulator (see
+    {!Cqp_prefs.Doi.combine_retract}). *)
+
+val doi_combine : t -> Cqp_prefs.Doi.combine
+(** The configured conjunction operator [r]. *)
 
 val params_of : t -> Cqp_prefs.Path.t list -> Params.t
 (** Full estimate for [Q ∧ Px].  With an empty list this is [Q] itself

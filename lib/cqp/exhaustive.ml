@@ -1,43 +1,49 @@
 let max_k = 24
 
-let iter_subsets k f =
+let check_k k =
   if k > max_k then
     invalid_arg
-      (Printf.sprintf "Exhaustive: K = %d exceeds the %d-bit cap" k max_k);
-  let n = 1 lsl k in
-  for mask = 0 to n - 1 do
-    let ids = ref [] in
-    for bit = k - 1 downto 0 do
-      if mask land (1 lsl bit) <> 0 then ids := bit :: !ids
-    done;
-    f !ids
-  done
+      (Printf.sprintf "Exhaustive: K = %d exceeds the %d-bit cap" k max_k)
+
+(* Depth-first enumeration threading the running parameters: every
+   recursive call extends the current id set with a strictly larger id,
+   so each extension is one O(1) [Space.params_with_id] and — because
+   additions happen in ascending id order — the carried parameters
+   equal the from-scratch [params_of_ids] fold bit for bit. *)
+let iter_subsets space f =
+  let k = Space.k space in
+  check_k k;
+  let rec go i ids n (p : Params.t) =
+    f ids n p;
+    for j = i to k - 1 do
+      go (j + 1) (j :: ids) (n + 1) (Space.params_with_id space ~n p j)
+    done
+  in
+  go 0 [] 0 (Space.params_of_ids space [])
 
 let solve space ~cmax =
   let k = Space.k space in
+  check_k k;
   let stats = Space.stats space in
   let best = ref [] and best_doi = ref 0. in
   Cqp_obs.Trace.with_span ~name:"exhaustive.sweep"
     ~attrs:(fun () -> [ Cqp_obs.Attr.int "subsets" (1 lsl k) ])
     (fun () ->
-  iter_subsets k (fun ids ->
-      if ids <> [] then begin
-        Instrument.visit stats;
-        let p = Space.params_of_ids space ids in
-        if p.Params.cost <= cmax && p.Params.doi > !best_doi then begin
-          best_doi := p.Params.doi;
-          best := ids
-        end
-      end));
+      iter_subsets space (fun ids n p ->
+          if n > 0 then begin
+            Instrument.visit stats;
+            if p.Params.cost <= cmax && p.Params.doi > !best_doi then begin
+              best_doi := p.Params.doi;
+              best := ids
+            end
+          end));
   Solution.of_ids space !best
 
 let solve_problem space problem =
-  let k = Space.k space in
   let stats = Space.stats space in
   let best = ref None in
-  iter_subsets k (fun ids ->
+  iter_subsets space (fun ids _n p ->
       Instrument.visit stats;
-      let p = Space.params_of_ids space ids in
       if Params.satisfies problem.Problem.constraints p then begin
         let v = Problem.objective_value problem p in
         match !best with

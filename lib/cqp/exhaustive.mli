@@ -8,6 +8,14 @@
 val max_k : int
 (** 24. *)
 
+val iter_subsets : Space.t -> (int list -> int -> Params.t -> unit) -> unit
+(** Depth-first enumeration of all 2^K id subsets, calling
+    [f ids n params] on each ([ids] in descending order, [n] its
+    length).  Parameters are threaded incrementally in O(1) per subset;
+    since additions happen in ascending id order they equal the
+    from-scratch {!Space.params_of_ids} fold exactly.
+    @raise Invalid_argument when K exceeds {!max_k}. *)
+
 val solve : Space.t -> cmax:float -> Solution.t
 (** Problem 2: maximize doi under [cost <= cmax].
     @raise Invalid_argument when K exceeds {!max_k}. *)

@@ -2,16 +2,22 @@
 
     The paper reports optimization time (Figure 12) and maximum memory
     used (Figure 13).  Wall-clock time is machine-dependent, so we also
-    count states visited and parameter evaluations; memory is tracked
-    as a high-water mark of the integer slots held live in queues,
-    boundary lists and solution lists (each state of group size [g]
-    accounts for [g + entry_overhead_words] machine words). *)
+    count states visited, from-scratch parameter evaluations and O(1)
+    incremental parameter updates; memory is tracked as a high-water
+    mark of the integer slots held live in queues, boundary lists and
+    solution lists (each state of group size [g] accounts for
+    [g + entry_overhead_words] machine words). *)
 
 type t = {
   mutable states_visited : int;
-  mutable param_evals : int;  (** cost/doi/size evaluations *)
+  mutable param_evals : int;
+      (** from-scratch cost/doi/size evaluations (full fold) *)
+  mutable incr_updates : int;
+      (** O(1) incremental parameter updates along transitions *)
   mutable live_words : int;
   mutable peak_words : int;
+  mutable hold_underflows : int;
+      (** releases without a matching hold (accounting bugs) *)
   mutable wall_seconds : float;  (** filled in by the solver wrapper *)
 }
 
@@ -19,6 +25,18 @@ val entry_overhead_words : int
 val create : unit -> t
 val visit : t -> unit
 val eval : t -> unit
+
+val incr_update : t -> unit
+(** Record one O(1) incremental parameter update. *)
+
+val hold_words : t -> int -> unit
+(** Record that [n] machine words are now stored. *)
+
+val release_words : t -> int -> unit
+(** Record that [n] stored machine words were dropped.  A release
+    exceeding the live count clamps at zero {e and} counts a
+    [hold_underflows] event instead of silently corrupting the peak
+    numbers. *)
 
 val hold : t -> State.t -> unit
 (** Record that a state is now stored (queue, boundary set, ...). *)
@@ -33,8 +51,9 @@ val snapshot : t -> t
 
 val publish : ?prefix:string -> t -> unit
 (** Feed the counters into the {!Cqp_obs.Metrics} registry (no-op while
-    it is disabled): [<prefix>.states_visited] and
-    [<prefix>.param_evals] counters accumulate across runs;
+    it is disabled): [<prefix>.states_visited],
+    [<prefix>.param_evals], [<prefix>.incr_updates] and
+    [<prefix>.hold_underflows] counters accumulate across runs;
     [<prefix>.peak_words] and [<prefix>.wall_us] are recorded as
     log-scale histogram observations.  Default prefix: ["solver"]. *)
 

@@ -9,63 +9,71 @@ let find_boundaries space ~lo ~hi =
   if k = 0 then { up = []; low = [] }
   else begin
     let stats = Space.stats space in
-    let rq = Rq.create stats in
-    let visited = Hashtbl.create 256 in
+    let rq = Rq.create ~words:Space.entry_words stats in
+    let visited = Space.Visited.create space 256 in
     let up = ref [] and low = ref [] in
-    let mark s = Hashtbl.replace visited s () in
-    let below_up s = List.exists (fun b -> State.dominates b s) !up in
-    let seed = State.singleton 0 in
+    let mark v = Space.Visited.add visited v in
+    let below_up (v : Space.valued) =
+      List.exists (fun b -> State.dominates b v.state) !up
+    in
+    let seed = Space.value_singleton space 0 in
     mark seed;
     Rq.push_tail rq seed;
     let rec loop () =
       match Rq.pop rq with
       | None -> ()
-      | Some r ->
+      | Some v ->
           Instrument.visit stats;
-          let resource = Space.cost space r in
+          let resource = v.Space.params.Params.cost in
+          (* Vertical neighbors are valued once and reused by the push
+             loop and the low-borderline test below. *)
+          let verticals () = Space.vertical_v space v in
           if resource <= hi then begin
-            if not (below_up r) then begin
-              up := r :: !up;
-              Instrument.hold stats r
+            if not (below_up v) then begin
+              up := v.Space.state :: !up;
+              Instrument.hold stats v.Space.state
             end;
             if resource >= lo then begin
               (* Still above the low borderline: its Vertical
                  descendants may be too — keep walking the group so the
                  low boundaries (last states >= lo) are found. *)
+              let vs = verticals () in
               List.iter
-                (fun r' ->
+                (fun (v' : Space.valued) ->
                   if
-                    (not (Hashtbl.mem visited r'))
-                    && Space.cost space r' >= lo
+                    (not (Space.Visited.mem visited v'))
+                    && v'.params.Params.cost >= lo
                   then begin
-                    mark r';
-                    Rq.push_head rq r'
+                    mark v';
+                    Rq.push_head rq v'
                   end)
-                (State.vertical ~k r);
+                vs;
               if
                 not
                   (List.exists
-                     (fun r' -> Space.cost space r' >= lo)
-                     (State.vertical ~k r))
+                     (fun (v' : Space.valued) ->
+                       v'.params.Params.cost >= lo)
+                     vs)
               then begin
-                low := r :: !low;
-                Instrument.hold stats r
+                low := v.Space.state :: !low;
+                Instrument.hold stats v.Space.state
               end
             end;
-            (match State.horizontal ~k r with
-            | Some r' when not (Hashtbl.mem visited r') ->
-                mark r';
-                Rq.push_tail rq r'
+            (match Space.horizontal_v space v with
+            | Some v' when not (Space.Visited.mem visited v') ->
+                mark v';
+                Rq.push_tail rq v'
             | Some _ | None -> ())
           end
           else
             List.iter
-              (fun r' ->
-                if not (Hashtbl.mem visited r' || below_up r') then begin
-                  mark r';
-                  Rq.push_head rq r'
+              (fun v' ->
+                if not (Space.Visited.mem visited v' || below_up v')
+                then begin
+                  mark v';
+                  Rq.push_head rq v'
                 end)
-              (List.rev (State.vertical ~k r));
+              (List.rev (verticals ()));
           loop ()
     in
     loop ();
@@ -79,7 +87,7 @@ let find_boundaries space ~lo ~hi =
    [lo] given the remaining slots' maxima. *)
 let best_below_with_floor space ~lo boundary =
   let k = Space.k space in
-  let used = Hashtbl.create 8 in
+  let used = Array.make k false in
   let slots = List.rev boundary in
   (* max_resource.(pos) = the largest single-item resource available at
      position >= pos (resources are stored decreasing in the order
@@ -94,8 +102,7 @@ let best_below_with_floor space ~lo boundary =
            first whose choice leaves the rest able to reach lo. *)
         let candidates =
           List.init (k - pos) (fun off -> pos + off)
-          |> List.filter (fun j ->
-                 not (Hashtbl.mem used (Space.pref_id space j)))
+          |> List.filter (fun j -> not used.(Space.pref_id space j))
           |> List.sort (fun a b ->
                  Stdlib.compare (Space.pref_id space a) (Space.pref_id space b))
         in
@@ -118,11 +125,11 @@ let best_below_with_floor space ~lo boundary =
                 try_candidates others
               else begin
                 let id = Space.pref_id space j in
-                Hashtbl.add used id ();
+                used.(id) <- true;
                 match assign rest (acc_resource +. r) (id :: acc_ids) with
                 | Some ids -> Some ids
                 | None ->
-                    Hashtbl.remove used id;
+                    used.(id) <- false;
                     try_candidates others
               end)
         in

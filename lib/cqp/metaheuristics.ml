@@ -12,10 +12,24 @@ let ids_of_bits bits =
 
 (* Fitness: doi when the cost budget holds, else a large penalty scaled
    by the violation so the search is guided back to feasibility. *)
-let fitness space ~cmax bits =
-  let p = Space.params_of_ids space (ids_of_bits bits) in
+let fitness_of ~cmax (p : Params.t) =
   if p.Params.cost <= cmax then p.Params.doi
   else -.(p.Params.cost -. cmax) /. (cmax +. 1.)
+
+let fitness space ~cmax bits =
+  fitness_of ~cmax (Space.params_of_ids space (ids_of_bits bits))
+
+(* The flip neighborhoods of SA and tabu change one preference at a
+   time, so probes are priced with one O(1) extension or retraction of
+   the current parameters; a retraction that is not invertible (e.g.
+   Max_combine dropping the maximum) falls back to a from-scratch
+   fold.  [bits] must already reflect the flipped set. *)
+let probe_params space ~n current_params bits flip =
+  if bits.(flip) then Space.params_with_id space ~n current_params flip
+  else
+    match Space.params_without_id space ~n current_params flip with
+    | Some p -> p
+    | None -> Space.params_of_ids space (ids_of_bits bits)
 
 let best_feasible space ~cmax candidates =
   let best = ref None and best_doi = ref 0. in
@@ -45,20 +59,31 @@ let simulated_annealing ?(budget = default_budget)
   else begin
     let current = Array.make k false in
     (* Start from the empty set: always feasible wrt the cost bound. *)
-    let current_fit = ref (fitness space ~cmax current) in
+    let cur_params = ref (Space.params_of_ids space []) in
+    let n = ref 0 in
+    let current_fit = ref (fitness_of ~cmax !cur_params) in
     let best = ref (Array.copy current) in
     let best_fit = ref !current_fit in
     let temperature = ref initial_temperature in
+    let accepts = ref 0 in
     for _ = 1 to budget.evaluations do
       let flip = Rng.int rng k in
       current.(flip) <- not current.(flip);
-      let f = fitness space ~cmax current in
+      let p = probe_params space ~n:!n !cur_params current flip in
+      let f = fitness_of ~cmax p in
       let accept =
         f >= !current_fit
         || Rng.float rng 1.0 < exp ((f -. !current_fit) /. max 1e-9 !temperature)
       in
       if accept then begin
         current_fit := f;
+        cur_params := p;
+        n := !n + (if current.(flip) then 1 else -1);
+        incr accepts;
+        (* Periodic re-anchoring bounds float drift from long chains of
+           O(1) updates. *)
+        if !accepts land 127 = 0 then
+          cur_params := Space.params_of_ids space (ids_of_bits current);
         if f > !best_fit then begin
           best_fit := f;
           best := Array.copy current
@@ -118,7 +143,9 @@ let tabu ?(budget = default_budget) ?(tenure = 8) ~rng space ~cmax =
     ignore rng;
     let current = Array.make k false in
     let best = ref (Array.copy current) in
-    let best_fit = ref (fitness space ~cmax current) in
+    let cur_params = ref (Space.params_of_ids space []) in
+    let n = ref 0 in
+    let best_fit = ref (fitness_of ~cmax !cur_params) in
     let tabu_until = Array.make k 0 in
     let evals = ref 0 in
     let iter = ref 0 in
@@ -126,23 +153,32 @@ let tabu ?(budget = default_budget) ?(tenure = 8) ~rng space ~cmax =
       incr iter;
       (* Evaluate the whole flip neighborhood; take the best non-tabu
          move (aspiration: a tabu move improving the global best is
-         allowed). *)
+         allowed).  Probes are O(1) off the current parameters. *)
       let best_move = ref (-1) and best_move_fit = ref neg_infinity in
+      let best_move_params = ref !cur_params in
       for i = 0 to k - 1 do
         if !evals < budget.evaluations then begin
           current.(i) <- not current.(i);
-          let f = fitness space ~cmax current in
+          let p = probe_params space ~n:!n !cur_params current i in
+          let f = fitness_of ~cmax p in
           incr evals;
           current.(i) <- not current.(i);
           let allowed = tabu_until.(i) <= !iter || f > !best_fit in
           if allowed && f > !best_move_fit then begin
             best_move := i;
-            best_move_fit := f
+            best_move_fit := f;
+            best_move_params := p
           end
         end
       done;
       if !best_move >= 0 then begin
         current.(!best_move) <- not current.(!best_move);
+        cur_params := !best_move_params;
+        n := !n + (if current.(!best_move) then 1 else -1);
+        (* Periodic re-anchoring bounds float drift from long chains of
+           O(1) updates. *)
+        if !iter land 63 = 0 then
+          cur_params := Space.params_of_ids space (ids_of_bits current);
         tabu_until.(!best_move) <- !iter + tenure;
         if !best_move_fit > !best_fit then begin
           best_fit := !best_move_fit;

@@ -48,37 +48,39 @@ let exact_front ?constraints space =
       (Printf.sprintf "Pareto.exact_front: K = %d exceeds %d" k
          Exhaustive.max_k);
   let candidates = ref [] in
-  let consider ids =
-    let params = Space.params_of_ids space ids in
-    if feasible constraints params then
-      candidates := { pref_ids = ids; params } :: !candidates
-  in
-  consider [];
-  List.iter consider (State.all_states ~k);
+  (* The DFS threads the parameters incrementally (ascending-id
+     additions reproduce the from-scratch fold exactly). *)
+  Exhaustive.iter_subsets space (fun ids _n params ->
+      if feasible constraints params then
+        candidates := { pref_ids = List.rev ids; params } :: !candidates);
   skyline !candidates
 
 let greedy_front ?constraints space =
   let k = Space.k space in
   let chain = ref [] in
   let current = ref [] in
-  let consider ids =
-    let params = Space.params_of_ids space ids in
+  let consider ids (params : Params.t) =
     if feasible constraints params then
       chain := { pref_ids = ids; params } :: !chain
   in
-  consider [];
+  let base = ref (Space.params_of_ids space []) in
+  consider [] !base;
+  let n = ref 0 in
   let remaining = ref (List.init k Fun.id) in
   for _ = 1 to k do
     match !remaining with
     | [] -> ()
     | _ ->
-        let base = Space.params_of_ids space !current in
+        (* Candidates are scored with one O(1) extension each instead
+           of a from-scratch fold per (round, candidate) pair. *)
         let scored =
           List.map
             (fun id ->
-              let params = Space.params_of_ids space (id :: !current) in
-              let gain = params.Params.doi -. base.Params.doi in
-              let price = max 1e-9 (params.Params.cost -. base.Params.cost) in
+              let params = Space.params_with_id space ~n:!n !base id in
+              let gain = params.Params.doi -. !base.Params.doi in
+              let price =
+                max 1e-9 (params.Params.cost -. !base.Params.cost)
+              in
               (id, gain /. price))
             !remaining
         in
@@ -89,7 +91,11 @@ let greedy_front ?constraints space =
         in
         current := List.sort compare (best_id :: !current);
         remaining := List.filter (fun id -> id <> best_id) !remaining;
-        consider !current
+        incr n;
+        (* Re-anchor on the canonical from-scratch value once per round
+           so incremental drift never compounds across rounds. *)
+        base := Space.params_of_ids space !current;
+        consider !current !base
   done;
   skyline !chain
 

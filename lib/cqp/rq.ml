@@ -1,23 +1,24 @@
-type t = {
-  mutable front : State.t list;
-  mutable back : State.t list;  (** reversed *)
+type 'a t = {
+  mutable front : 'a list;
+  mutable back : 'a list;  (** reversed *)
   mutable size : int;
+  words : 'a -> int;
   stats : Instrument.t;
 }
 
-let create stats = { front = []; back = []; size = 0; stats }
+let create ~words stats = { front = []; back = []; size = 0; words; stats }
 let is_empty t = t.size = 0
 let length t = t.size
 
 let push_head t s =
   t.front <- s :: t.front;
   t.size <- t.size + 1;
-  Instrument.hold t.stats s
+  Instrument.hold_words t.stats (t.words s)
 
 let push_tail t s =
   t.back <- s :: t.back;
   t.size <- t.size + 1;
-  Instrument.hold t.stats s
+  Instrument.hold_words t.stats (t.words s)
 
 let pop t =
   (match t.front with
@@ -30,5 +31,5 @@ let pop t =
   | s :: rest ->
       t.front <- rest;
       t.size <- t.size - 1;
-      Instrument.release t.stats s;
+      Instrument.release_words t.stats (t.words s);
       Some s

@@ -1,17 +1,19 @@
-(** The algorithms' work queue RQ: a deque of states supporting
-    insertion at both ends (Vertical neighbors go to the head so a
-    group is finished before the next one starts; Horizontal neighbors
-    go to the tail).  Holding/releasing is reported to the given
-    instrumentation so queue residency contributes to the memory
-    high-water mark. *)
+(** The algorithms' work queue RQ: a deque supporting insertion at both
+    ends (Vertical neighbors go to the head so a group is finished
+    before the next one starts; Horizontal neighbors go to the tail).
+    Polymorphic so queues can carry incrementally-valued states
+    ({!Space.valued}) as well as raw states; [words] prices an entry so
+    queue residency contributes to the memory high-water mark of the
+    given instrumentation (use {!Space.entry_words} for valued
+    entries). *)
 
-type t
+type 'a t
 
-val create : Instrument.t -> t
-val is_empty : t -> bool
-val length : t -> int
-val push_head : t -> State.t -> unit
-val push_tail : t -> State.t -> unit
+val create : words:('a -> int) -> Instrument.t -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push_head : 'a t -> 'a -> unit
+val push_tail : 'a t -> 'a -> unit
 
-val pop : t -> State.t option
+val pop : 'a t -> 'a option
 (** Remove and return the head. *)

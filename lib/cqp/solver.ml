@@ -45,7 +45,7 @@ let min_cost_bnb space (constraints : Params.constraints) =
      accumulated cost of a non-empty set is simply the sum of item
      costs; only the empty set is priced as Q itself (base cost). *)
   let budget = ref 2_000_000 in
-  let rec go i chosen (params : Params.t) =
+  let rec go i chosen n (params : Params.t) =
     Instrument.visit stats;
     decr budget;
     if params.Params.cost < !best_cost then begin
@@ -72,44 +72,40 @@ let min_cost_bnb space (constraints : Params.constraints) =
         in
         if remaining_possible then begin
           let id = by_cost.(i) in
-          let it = item id in
-          let with_params =
-            {
-              Params.doi =
-                Estimate.combine_doi_incr ps.Pref_space.estimate
-                  params.Params.doi it.Pref_space.doi;
-              cost =
-                (if chosen = [] then it.Pref_space.cost
-                 else params.Params.cost +. it.Pref_space.cost);
-              size =
-                (if Estimate.base_size ps.Pref_space.estimate > 0. then
-                   params.Params.size *. it.Pref_space.size
-                   /. Estimate.base_size ps.Pref_space.estimate
-                 else 0.);
-            }
-          in
+          let with_params = Space.params_with_id space ~n params id in
           (* Branch skipping the item first (cheaper stays cheaper). *)
-          go (i + 1) chosen params;
-          go (i + 1) (id :: chosen) with_params
+          go (i + 1) chosen n params;
+          go (i + 1) (id :: chosen) (n + 1) with_params
         end
       end
     end
   in
-  go 0 [] (Space.params_of_ids space []);
+  go 0 [] 0 (Space.params_of_ids space []);
+  if !budget <= 0 then Cqp_obs.Metrics.incr "solver.budget_exhausted";
   (if !best = None && !budget <= 0 then begin
-     (* Budget ran out before any feasible node: greedy completion,
-        cheapest preferences first. *)
-     let rec greedy i acc =
-       if i >= k then None
-       else begin
-         let acc = by_cost.(i) :: acc in
-         if feasible (Space.params_of_ids space acc) then Some acc
-         else greedy (i + 1) acc
-       end
+     (* Budget ran out before any feasible node: greedy completion.
+        Cheapest-first minimizes cost but may never reach a deep dmin
+        target within k additions, so a decreasing-doi pass (preference
+        ids are the D order) is tried before giving up. *)
+     let try_order order =
+       let rec greedy i acc n p =
+         if i >= Array.length order then None
+         else begin
+           let id = order.(i) in
+           let p = Space.params_with_id space ~n p id in
+           let acc = id :: acc in
+           if feasible p then Some acc else greedy (i + 1) acc (n + 1) p
+         end
+       in
+       greedy 0 [] 0 (Space.params_of_ids space [])
      in
-     match greedy 0 [] with
+     let by_doi = Array.init k (fun id -> id) in
+     match try_order by_cost with
      | Some ids -> best := Some ids
-     | None -> ()
+     | None -> (
+         match try_order by_doi with
+         | Some ids -> best := Some ids
+         | None -> ())
    end);
   let result = Option.map (Solution.of_ids space) !best in
   Instrument.publish stats;
@@ -154,7 +150,7 @@ let max_doi_bnb space (constraints : Params.constraints) =
       best_cost := params.Params.cost
     end
   in
-  let rec go i chosen (params : Params.t) =
+  let rec go i chosen n (params : Params.t) =
     Instrument.visit stats;
     decr budget;
     if feasible params then record (List.rev chosen) params;
@@ -177,88 +173,81 @@ let max_doi_bnb space (constraints : Params.constraints) =
         | None -> true
       in
       if still_viable && monotone_ok then begin
-        let it = item i in
         (* As in min_cost_bnb: item costs each price a full sub-query,
            so a non-empty set costs the plain sum; the empty set is Q
-           itself. *)
-        let with_params =
-          {
-            Params.doi =
-              Estimate.combine_doi_incr ps.Pref_space.estimate
-                params.Params.doi it.Pref_space.doi;
-            cost =
-              (if chosen = [] then it.Pref_space.cost
-               else params.Params.cost +. it.Pref_space.cost);
-            size =
-              (if Estimate.base_size ps.Pref_space.estimate > 0. then
-                 params.Params.size *. it.Pref_space.size
-                 /. Estimate.base_size ps.Pref_space.estimate
-               else 0.);
-          }
-        in
+           itself — [params_with_id] handles both through [n]. *)
+        let with_params = Space.params_with_id space ~n params i in
         (* Include-first: high-doi sets are reached early, making the
            optimistic bound effective. *)
-        go (i + 1) (i :: chosen) with_params;
-        go (i + 1) chosen params
+        go (i + 1) (i :: chosen) (n + 1) with_params;
+        go (i + 1) chosen n params
       end
     end
   in
-  go 0 [] (Space.params_of_ids space []);
+  go 0 [] 0 (Space.params_of_ids space []);
+  if !budget <= 0 then Cqp_obs.Metrics.incr "solver.budget_exhausted";
   let result = Option.map (Solution.of_ids space) !best in
   Instrument.publish stats;
   result
 
 (* Greedy repair towards a size interval: add the preference that costs
    least while [size > smax] (more conjuncts shrink the answer), drop
-   the lowest-doi one while [size < smin]. *)
+   the lowest-doi one while [size < smin].  Candidates are sorted once
+   up front and membership is a bit per id, so a repair is
+   O(k log k + k·|ids|) instead of re-filtering, re-sorting and
+   [List.mem]-scanning the candidate list on every iteration. *)
 let repair_size space (constraints : Params.constraints) ids =
   let k = Space.k space in
   let params ids = Space.params_of_ids space ids in
+  let member = Array.make k false in
+  List.iter (fun id -> member.(id) <- true) ids;
+  let by_cost =
+    List.init k Fun.id
+    |> List.sort (fun a b ->
+           Stdlib.compare
+             (Space.item space a).Pref_space.cost
+             (Space.item space b).Pref_space.cost)
+  in
   let rec grow ids =
     let p = params ids in
     match constraints.Params.smax with
     | Some smax when p.Params.size > smax -> (
-        let candidates =
-          List.filter (fun id -> not (List.mem id ids)) (List.init k Fun.id)
-          |> List.sort
-               (fun a b ->
-                 Stdlib.compare
-                   (Space.item space a).Pref_space.cost
-                   (Space.item space b).Pref_space.cost)
-        in
         let viable =
           List.find_opt
             (fun id ->
+              (not member.(id))
+              &&
               let p' = params (id :: ids) in
               (not (Params.violates_cost constraints p'))
               && not
                    (match constraints.Params.smin with
                    | Some smin -> p'.Params.size < smin
                    | None -> false))
-            candidates
+            by_cost
         in
         match viable with
-        | Some id -> grow (id :: ids)
+        | Some id ->
+            member.(id) <- true;
+            grow (id :: ids)
         | None -> ids)
     | _ -> ids
   in
+  (* Dropping the lowest-doi member never changes the relative order of
+     the rest: sort once by increasing doi and shed from the head. *)
   let rec shed ids =
     let p = params ids in
     match constraints.Params.smin with
     | Some smin when p.Params.size < smin -> (
-        match
-          List.sort
-            (fun a b ->
-              Stdlib.compare
-                (Space.item space a).Pref_space.doi
-                (Space.item space b).Pref_space.doi)
-            ids
-        with
-        | lowest :: _ -> shed (List.filter (fun id -> id <> lowest) ids)
-        | [] -> ids)
+        match ids with _lowest :: rest -> shed rest | [] -> ids)
     | _ -> ids
   in
-  shed (grow ids)
+  shed
+    (List.sort
+       (fun a b ->
+         Stdlib.compare
+           (Space.item space a).Pref_space.doi
+           (Space.item space b).Pref_space.doi)
+       (grow ids))
 
 (* A Problem-2-shaped view of a size-constrained problem: per-item cost
    becomes -log frac so that "size >= smin" is "Σ cost' <= cmax'". *)

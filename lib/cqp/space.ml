@@ -9,6 +9,7 @@ type t = {
   item_frac : float array;
   base_cost : float;
   base_size : float;
+  use_mask : bool;  (** k fits the State.mask int encoding *)
   stats : Instrument.t;
 }
 
@@ -41,6 +42,7 @@ let create ?(order = By_cost) ps =
         ps.items;
     base_cost = Estimate.base_cost ps.estimate;
     base_size = Estimate.base_size ps.estimate;
+    use_mask = Array.length positions <= State.max_mask_bits;
     stats = Instrument.create ();
   }
 
@@ -92,3 +94,207 @@ let params_of_ids t ids =
 let params t state = params_of_ids t (List.map (fun pos -> t.positions.(pos)) state)
 
 let item t id = t.ps.Pref_space.items.(id)
+let uses_mask t = t.use_mask
+let estimate t = t.ps.Pref_space.estimate
+
+(* ------------------------------------------------------------------ *)
+(* Incremental evaluation: a state carried together with its bitmask
+   and parameters, updated in O(1) per transition instead of re-folding
+   the whole id list (Section 5's "incrementally computable" promise).
+   [mask] is 0 when k exceeds the int encoding; consult [uses_mask]. *)
+
+type valued = { state : State.t; mask : int; params : Params.t }
+
+let empty_params t = { Params.doi = 0.; cost = t.base_cost; size = t.base_size }
+
+let entry_words v =
+  State.group_size v.state + Instrument.entry_overhead_words
+
+let mem_pos t v pos =
+  if t.use_mask then v.mask land (1 lsl pos) <> 0 else State.mem pos v.state
+
+let value t s =
+  {
+    state = s;
+    mask = (if t.use_mask then State.mask s else 0);
+    params = params t s;
+  }
+
+let value_singleton t pos =
+  Instrument.incr_update t.stats;
+  let id = t.positions.(pos) in
+  {
+    state = State.singleton pos;
+    mask = (if t.use_mask then 1 lsl pos else 0);
+    params =
+      {
+        Params.doi =
+          Estimate.combine_doi_incr t.ps.Pref_space.estimate 0.
+            t.item_doi.(id);
+        cost = t.item_cost.(id);
+        size = t.base_size *. t.item_frac.(id);
+      };
+  }
+
+(* Horizontal/Horizontal2 step: one insertion.  Exact: applied in
+   ascending-position DFS order it reproduces the from-scratch fold of
+   [params] bit for bit (cost adds, size multiplies, doi extends). *)
+let with_pos t v pos =
+  Instrument.incr_update t.stats;
+  let id = t.positions.(pos) in
+  {
+    state = State.add pos v.state;
+    mask = (if t.use_mask then v.mask lor (1 lsl pos) else 0);
+    params =
+      {
+        Params.doi =
+          Estimate.combine_doi_incr t.ps.Pref_space.estimate
+            v.params.Params.doi t.item_doi.(id);
+        cost = v.params.Params.cost +. t.item_cost.(id);
+        size = v.params.Params.size *. t.item_frac.(id);
+      };
+  }
+
+(* Removal: cost subtracts, size divides, doi retracts by division
+   (noisy-or) — each falling back to an O(group) recompute when the
+   inverse is undefined (frac 0, doi 1, or Max_combine retracting the
+   maximum), which keeps results exact in every case. *)
+let remove_params t v pos ~(removed : State.t) =
+  Instrument.incr_update t.stats;
+  let id = t.positions.(pos) in
+  let ids () = List.map (fun p -> t.positions.(p)) removed in
+  let cost = v.params.Params.cost -. t.item_cost.(id) in
+  let f = t.item_frac.(id) in
+  let size =
+    if f > 0. then v.params.Params.size /. f
+    else begin
+      Instrument.eval t.stats;
+      size_of_ids t (ids ())
+    end
+  in
+  let doi =
+    match
+      Estimate.combine_doi_retract t.ps.Pref_space.estimate
+        v.params.Params.doi t.item_doi.(id)
+    with
+    | Some d -> d
+    | None ->
+        Instrument.eval t.stats;
+        doi_of_ids t (ids ())
+  in
+  { Params.doi; cost; size }
+
+let remove_pos t v pos =
+  match List.filter (fun x -> x <> pos) v.state with
+  | [] -> invalid_arg "Space.remove_pos: states are non-empty"
+  | [ q ] -> value_singleton t q
+  | removed ->
+      {
+        state = removed;
+        mask = (if t.use_mask then v.mask land lnot (1 lsl pos) else 0);
+        params = remove_params t v pos ~removed;
+      }
+
+(* Vertical step: replace [p] with [q = p + 1] — one removal plus one
+   insertion; a singleton short-circuits to the exact re-derivation. *)
+let replace_pos t v p q =
+  if State.group_size v.state = 1 then value_singleton t q
+  else begin
+    let removed = List.filter (fun x -> x <> p) v.state in
+    let mid = remove_params t v p ~removed in
+    let idq = t.positions.(q) in
+    {
+      state = State.add q removed;
+      mask =
+        (if t.use_mask then (v.mask land lnot (1 lsl p)) lor (1 lsl q)
+         else 0);
+      params =
+        {
+          Params.doi =
+            Estimate.combine_doi_incr t.ps.Pref_space.estimate
+              mid.Params.doi t.item_doi.(idq);
+          cost = mid.Params.cost +. t.item_cost.(idq);
+          size = mid.Params.size *. t.item_frac.(idq);
+        };
+    }
+  end
+
+let horizontal_v t v =
+  let k = Array.length t.positions in
+  let i = State.max_pos v.state in
+  if i + 1 >= k then None else Some (with_pos t v (i + 1))
+
+let vertical_v t v =
+  let k = Array.length t.positions in
+  List.filter_map
+    (fun p ->
+      if p + 1 < k && not (mem_pos t v (p + 1)) then
+        Some (replace_pos t v p (p + 1))
+      else None)
+    v.state
+
+let horizontal2_v t v =
+  let k = Array.length t.positions in
+  let rec go p =
+    if p >= k then []
+    else if mem_pos t v p then go (p + 1)
+    else with_pos t v p :: go (p + 1)
+  in
+  go 0
+
+(* Set extension/retraction over preference ids (order-independent
+   callers: branch-and-bound, exhaustive DFS, metaheuristics).  [n] is
+   the current set size, needed because the empty set is priced as Q
+   itself (base cost) while non-empty sets cost the plain item sum. *)
+let params_with_id t ~n (p : Params.t) id =
+  Instrument.incr_update t.stats;
+  {
+    Params.doi =
+      Estimate.combine_doi_incr t.ps.Pref_space.estimate p.Params.doi
+        t.item_doi.(id);
+    cost =
+      (if n = 0 then t.item_cost.(id) else p.Params.cost +. t.item_cost.(id));
+    size = p.Params.size *. t.item_frac.(id);
+  }
+
+let params_without_id t ~n (p : Params.t) id =
+  if n <= 1 then Some (empty_params t)
+  else
+    let f = t.item_frac.(id) in
+    match
+      Estimate.combine_doi_retract t.ps.Pref_space.estimate p.Params.doi
+        t.item_doi.(id)
+    with
+    | Some doi when f > 0. ->
+        Instrument.incr_update t.stats;
+        Some
+          {
+            Params.doi;
+            cost = p.Params.cost -. t.item_cost.(id);
+            size = p.Params.size /. f;
+          }
+    | _ -> None
+
+(* Visited sets keyed on the bitmask (single int hash) while k permits,
+   falling back to polymorphic hashing of the position list. *)
+module Visited = struct
+  type table =
+    | Mask of (int, unit) Hashtbl.t
+    | Keys of (State.t, unit) Hashtbl.t
+
+  type t = table
+
+  let create space n =
+    if space.use_mask then Mask (Hashtbl.create n)
+    else Keys (Hashtbl.create n)
+
+  let mem t v =
+    match t with
+    | Mask h -> Hashtbl.mem h v.mask
+    | Keys h -> Hashtbl.mem h v.state
+
+  let add t v =
+    match t with
+    | Mask h -> Hashtbl.replace h v.mask ()
+    | Keys h -> Hashtbl.replace h v.state ()
+end

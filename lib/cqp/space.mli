@@ -46,3 +46,78 @@ val params_of_ids : t -> int list -> Params.t
 
 val item : t -> int -> Pref_space.item
 (** Item by {e preference id} (not position). *)
+
+val uses_mask : t -> bool
+(** Whether [k <= State.max_mask_bits], i.e. valued states carry a
+    meaningful bitmask and visited sets are int-keyed. *)
+
+val estimate : t -> Estimate.t
+
+(** {1 Incremental state evaluation}
+
+    A [valued] couples a state with its bitmask and its three query
+    parameters.  Transition functions update the parameters in O(1) —
+    cost additively, size multiplicatively, doi via
+    {!Estimate.combine_doi_incr}/[combine_doi_retract] — instead of
+    re-folding the whole id list per visited node.  Removals fall back
+    to an O(group) recompute when the inverse is undefined (zero size
+    fraction, doi 1 under noisy-or, or retracting the maximum under
+    [Max_combine]), so results stay exact.  [mask] is 0 when the space
+    does not use masks ({!uses_mask}). *)
+
+type valued = { state : State.t; mask : int; params : Params.t }
+
+val value : t -> State.t -> valued
+(** From-scratch evaluation (counts one parameter evaluation). *)
+
+val value_singleton : t -> int -> valued
+(** The singleton state of a position, derived in O(1). *)
+
+val entry_words : valued -> int
+(** Words a stored valued state accounts for — same memory model as
+    {!Instrument.hold} (group size plus entry overhead), so switching
+    queues to valued states leaves the paper's Figure-13 numbers
+    unchanged. *)
+
+val mem_pos : t -> valued -> int -> bool
+(** Position membership: an O(1) bit test while masks are in use. *)
+
+val with_pos : t -> valued -> int -> valued
+(** Insert an absent position (Horizontal2 step).
+    @raise Invalid_argument if present. *)
+
+val remove_pos : t -> valued -> int -> valued
+(** Drop a present position of a state with group size at least 2
+    (states are non-empty). *)
+
+val horizontal_v : t -> valued -> valued option
+(** Valued {!State.horizontal}. *)
+
+val vertical_v : t -> valued -> valued list
+(** Valued {!State.vertical}, same neighbor order. *)
+
+val horizontal2_v : t -> valued -> valued list
+(** Valued {!State.horizontal2}, same neighbor order. *)
+
+val params_with_id : t -> n:int -> Params.t -> int -> Params.t
+(** Extend the parameters of an [n]-element id set with one more
+    preference id in O(1).  Applied in ascending id order this
+    reproduces the from-scratch {!params_of_ids} fold bit for bit. *)
+
+val params_without_id : t -> n:int -> Params.t -> int -> Params.t option
+(** Retract one preference id from an [n]-element set in O(1); [None]
+    when not invertible from the accumulated parameters (caller
+    recomputes from scratch). *)
+
+(** Visited sets keyed on the state bitmask (one int hash per lookup)
+    while {!uses_mask} holds, falling back to hashing position lists. *)
+module Visited : sig
+  type space := t
+  type t
+
+  val create : space -> int -> t
+  (** [create space size_hint]. *)
+
+  val mem : t -> valued -> bool
+  val add : t -> valued -> unit
+end

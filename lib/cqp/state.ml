@@ -39,6 +39,8 @@ let dominates a b =
 
 let subset a b = List.for_all (fun x -> mem x b) a
 
+let max_mask_bits = Sys.int_size - 2
+
 let mask t =
   List.fold_left
     (fun acc p ->

@@ -27,6 +27,9 @@ val add : int -> t -> t
 (** Insert a position keeping the strictly-increasing invariant.
     @raise Invalid_argument if already present. *)
 
+val max_pos : t -> int
+(** Largest position of the state, [-1] when empty. *)
+
 val horizontal : k:int -> t -> t option
 (** [Horizontal(Cx) = Cx ∪ {c_(i+1)}] where [i] is the largest position
     of [Cx]; [None] at the last position.  [k] is the size of [P]. *)
@@ -46,6 +49,11 @@ val dominates : t -> t -> bool
     test used to prune nodes lying below a known boundary. *)
 
 val subset : t -> t -> bool
+
+val max_mask_bits : int
+(** Largest [k] for which states fit the {!mask} encoding
+    ([Sys.int_size - 2], i.e. 61 on 64-bit platforms).  Visited sets
+    switch to int-keyed tables while [k] stays at or below this. *)
 
 (** Bitmask encoding (position [p] → bit [p]); usable while [k] fits a
     native int (the library caps K far below 62).  [subset a b] is

@@ -18,3 +18,18 @@ let combine_incr ?(r = Noisy_or) acc d =
 
 let combine ?(r = Noisy_or) dois =
   List.fold_left (combine_incr ~r) 0. (List.map check dois)
+
+let combine_retract ?(r = Noisy_or) acc d =
+  match r with
+  | Noisy_or ->
+      (* 1 - (1 - acc') (1 - d) = acc  inverts by division while d < 1;
+         the clamp absorbs rounding of the division so the result stays
+         a valid doi. *)
+      let rest = 1. -. d in
+      if rest <= 0. then None
+      else Some (Float.min 1. (Float.max 0. (1. -. ((1. -. acc) /. rest))))
+  | Max_combine ->
+      (* Removing a non-maximal element leaves the max unchanged; when
+         the retracted doi reaches the max, the second-largest is not
+         recoverable from the accumulator alone. *)
+      if d < acc then Some acc else None

@@ -36,3 +36,11 @@ val combine_incr : ?r:combine -> float -> float -> float
 
 val compose_incr : ?f:compose -> float -> float -> float
 (** Extend a composition with one more step. *)
+
+val combine_retract : ?r:combine -> float -> float -> float option
+(** [combine_retract acc d] undoes one {!combine_incr} step in O(1)
+    when the conjunction operator admits it: for noisy-or it inverts by
+    division, [1 − (1 − acc)/(1 − d)] (defined while [d < 1]); for
+    [Max_combine] it returns [acc] unchanged while [d < acc].  [None]
+    means the removal is not invertible from the accumulator alone and
+    the caller must recompute over the remaining dois. *)

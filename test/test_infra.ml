@@ -11,9 +11,12 @@ let checki = Alcotest.check Alcotest.int
 
 (* --- Rq: the two-ended work queue -------------------------------------- *)
 
+(* Entries here are raw states: price them like the algorithms do. *)
+let state_words s = C.State.group_size s + C.Instrument.entry_overhead_words
+
 let test_rq_fifo_tail () =
   let stats = C.Instrument.create () in
-  let rq = C.Rq.create stats in
+  let rq = C.Rq.create ~words:state_words stats in
   C.Rq.push_tail rq [ 0 ];
   C.Rq.push_tail rq [ 1 ];
   C.Rq.push_tail rq [ 2 ];
@@ -23,14 +26,14 @@ let test_rq_fifo_tail () =
 
 let test_rq_lifo_head () =
   let stats = C.Instrument.create () in
-  let rq = C.Rq.create stats in
+  let rq = C.Rq.create ~words:state_words stats in
   C.Rq.push_head rq [ 0 ];
   C.Rq.push_head rq [ 1 ];
   checkb "lifo" true (C.Rq.pop rq = Some [ 1 ] && C.Rq.pop rq = Some [ 0 ])
 
 let test_rq_mixed_ends () =
   let stats = C.Instrument.create () in
-  let rq = C.Rq.create stats in
+  let rq = C.Rq.create ~words:state_words stats in
   C.Rq.push_tail rq [ 1 ];
   C.Rq.push_head rq [ 0 ];
   C.Rq.push_tail rq [ 2 ];
@@ -41,7 +44,7 @@ let test_rq_mixed_ends () =
 
 let test_rq_instruments_memory () =
   let stats = C.Instrument.create () in
-  let rq = C.Rq.create stats in
+  let rq = C.Rq.create ~words:state_words stats in
   C.Rq.push_tail rq [ 0; 1; 2 ];
   let peak_after_push = stats.C.Instrument.peak_words in
   checkb "held" true (peak_after_push > 0);
@@ -89,6 +92,17 @@ let test_instrument_peak_bytes_arith () =
   List.iter (C.Instrument.release t) states;
   checki "live back to zero" 0 t.C.Instrument.live_words;
   checki "peak unchanged after drain" words t.C.Instrument.peak_words
+
+let test_instrument_underflow_counted () =
+  let t = C.Instrument.create () in
+  C.Instrument.hold t [ 0 ];
+  C.Instrument.release t [ 0; 1; 2 ];
+  checki "live clamps at zero" 0 t.C.Instrument.live_words;
+  checki "underflow counted" 1 t.C.Instrument.hold_underflows;
+  C.Instrument.release t [ 4 ];
+  checki "second underflow" 2 t.C.Instrument.hold_underflows;
+  let snap = C.Instrument.snapshot t in
+  checki "snapshot carries underflows" 2 snap.C.Instrument.hold_underflows
 
 let test_instrument_snapshot_isolated () =
   let t = C.Instrument.create () in
@@ -178,6 +192,8 @@ let () =
           Alcotest.test_case "peak bytes arithmetic" `Quick
             test_instrument_peak_bytes_arith;
           Alcotest.test_case "snapshot" `Quick test_instrument_snapshot_isolated;
+          Alcotest.test_case "release underflow" `Quick
+            test_instrument_underflow_counted;
         ] );
       ("io", [ Alcotest.test_case "reset/cost" `Quick test_io_reset ]);
       ( "rowset",

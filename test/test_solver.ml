@@ -203,6 +203,66 @@ let prop_solver_feasible =
           | Some sol -> feasible problem sol)
         problems)
 
+(* Seeded small-K sweep: on every space the five Section-5 algorithms
+   and the generic solver on all six Table-1 problems are compared
+   against exhaustive enumeration.  The exact algorithms/problems must
+   match the optimal objective; the heuristics must stay feasible and
+   never beat it.  This pins the incremental state valuation to the
+   from-scratch semantics across the whole solving surface. *)
+let test_small_k_sweep () =
+  for seed = 0 to 24 do
+    let rng = Cqp_util.Rng.create (1000 + seed) in
+    let k = 2 + (seed mod 6) in
+    let ps = Testlib.random_space rng ~k in
+    let base = C.Estimate.base_size ps.C.Pref_space.estimate in
+    let supreme = C.Pref_space.supreme_cost ps in
+    let cmax = (0.2 +. Cqp_util.Rng.float rng 0.6) *. supreme in
+    let opt = C.Algorithm.run C.Algorithm.Exhaustive ps ~cmax in
+    let opt_doi = opt.C.Solution.params.C.Params.doi in
+    List.iter
+      (fun (algo, exact) ->
+        let sol = C.Algorithm.run algo ps ~cmax in
+        let doi = sol.C.Solution.params.C.Params.doi in
+        let name = Printf.sprintf "seed %d %s" seed (C.Algorithm.name algo) in
+        checkb (name ^ " feasible") true
+          (sol.C.Solution.pref_ids = []
+          || sol.C.Solution.params.C.Params.cost <= cmax +. 1e-9);
+        if exact then checkf (name ^ " optimal") opt_doi doi
+        else checkb (name ^ " <= optimal") true (doi <= opt_doi +. 1e-9))
+      [
+        (C.Algorithm.C_boundaries, true);
+        (C.Algorithm.D_maxdoi, true);
+        (C.Algorithm.C_maxbounds, false);
+        (C.Algorithm.D_singlemaxdoi, false);
+        (C.Algorithm.D_heurdoi, false);
+      ];
+    let smin = 1e-9 and smax = (0.4 +. Cqp_util.Rng.float rng 0.6) *. base in
+    let dmin = 0.3 +. Cqp_util.Rng.float rng 0.5 in
+    List.iter
+      (fun (label, problem, exact) ->
+        let name = Printf.sprintf "seed %d %s" seed label in
+        let sol, oracle = solve_and_oracle ps problem in
+        match sol, oracle with
+        | None, None -> ()
+        | Some sol, Some oracle ->
+            checkb (name ^ " feasible") true (feasible problem sol);
+            if exact then
+              checkf
+                (name ^ " objective")
+                (C.Problem.objective_value problem oracle.C.Solution.params)
+                (C.Problem.objective_value problem sol.C.Solution.params)
+        | Some _, None -> Alcotest.fail (name ^ ": solver beat exhaustive")
+        | None, Some _ -> Alcotest.fail (name ^ ": solver missed a solution"))
+      [
+        ("P1", C.Problem.problem1 ~smin ~smax, false);
+        ("P2", C.Problem.problem2 ~cmax, true);
+        ("P3", C.Problem.problem3 ~cmax ~smin ~smax, true);
+        ("P4", C.Problem.problem4 ~dmin, true);
+        ("P5", C.Problem.problem5 ~dmin ~smin ~smax, true);
+        ("P6", C.Problem.problem6 ~smin ~smax, true);
+      ]
+  done
+
 let qc = QCheck_alcotest.to_alcotest
 
 let () =
@@ -220,6 +280,8 @@ let () =
           Alcotest.test_case "problem 6" `Quick test_problem6;
           Alcotest.test_case "infeasible" `Quick test_infeasible_returns_none;
           Alcotest.test_case "describe" `Quick test_describe;
+          Alcotest.test_case "small-K sweep vs exhaustive" `Quick
+            test_small_k_sweep;
         ] );
       ( "properties",
         [

@@ -127,6 +127,113 @@ let prop_transitions_closed =
            (fun h2 -> valid h2 && C.State.group_size h2 = C.State.group_size st + 1)
            (C.State.horizontal2 ~k st))
 
+(* Incremental valuation: walking the space with O(1) parameter updates
+   must agree with the from-scratch [params_of_ids] fold, whatever the
+   doi operators, and the carried bitmask must stay in sync with the
+   position list.  Random walks mix Horizontal, Vertical, Horizontal2
+   and explicit removals so extension, replacement and retraction
+   (including the non-invertible Max_combine fallback) are all
+   exercised. *)
+let close a b = abs_float (a -. b) < 1e-9
+
+let params_agree (a : C.Params.t) (b : C.Params.t) =
+  close a.C.Params.doi b.C.Params.doi
+  && close a.C.Params.cost b.C.Params.cost
+  && close a.C.Params.size b.C.Params.size
+
+let prop_incremental_matches_scratch =
+  let module Doi = Cqp_prefs.Doi in
+  QCheck.Test.make ~name:"incremental params = from-scratch fold" ~count:150
+    QCheck.(pair (int_range 1 10) (int_range 0 1_000_000))
+    (fun (k, seed) ->
+      List.for_all
+        (fun (r, f) ->
+          let rng = Cqp_util.Rng.create seed in
+          let ps = Testlib.random_space ~f ~r rng ~k in
+          let space = C.Space.create ~order:C.Space.By_doi ps in
+          let ok = ref true in
+          let check (v : C.Space.valued) =
+            if C.Space.uses_mask space then
+              ok := !ok && v.C.Space.mask = C.State.mask v.C.Space.state;
+            ok :=
+              !ok
+              && params_agree v.C.Space.params
+                   (C.Space.params space v.C.Space.state)
+          in
+          let v = ref (C.Space.value_singleton space (Cqp_util.Rng.int rng k)) in
+          check !v;
+          for _ = 1 to 30 do
+            let group = C.State.group_size !v.C.Space.state in
+            (match Cqp_util.Rng.int rng 4 with
+            | 0 -> (
+                match C.Space.horizontal_v space !v with
+                | Some v' -> v := v'
+                | None -> ())
+            | 1 -> (
+                match C.Space.vertical_v space !v with
+                | [] -> ()
+                | vs -> v := List.nth vs (Cqp_util.Rng.int rng (List.length vs)))
+            | 2 -> (
+                match C.Space.horizontal2_v space !v with
+                | [] -> ()
+                | vs -> v := List.nth vs (Cqp_util.Rng.int rng (List.length vs)))
+            | _ ->
+                if group > 1 then
+                  let arr = Array.of_list !v.C.Space.state in
+                  v :=
+                    C.Space.remove_pos space !v
+                      arr.(Cqp_util.Rng.int rng group));
+            check !v
+          done;
+          !ok)
+        [
+          (Doi.Noisy_or, Doi.Product);
+          (Doi.Noisy_or, Doi.Min_compose);
+          (Doi.Max_combine, Doi.Product);
+          (Doi.Max_combine, Doi.Min_compose);
+        ])
+
+(* Same agreement for the id-set form used by the solver BnBs and the
+   metaheuristic probes: a random add/remove chain over preference ids
+   tracks [params_of_ids] (removal falls back to a from-scratch fold
+   when the retraction is not invertible, signalled by [None]). *)
+let prop_id_chain_matches_scratch =
+  let module Doi = Cqp_prefs.Doi in
+  QCheck.Test.make ~name:"id add/remove chain = from-scratch fold" ~count:150
+    QCheck.(pair (int_range 1 10) (int_range 0 1_000_000))
+    (fun (k, seed) ->
+      List.for_all
+        (fun r ->
+          let rng = Cqp_util.Rng.create seed in
+          let ps = Testlib.random_space ~r rng ~k in
+          let space = C.Space.create ~order:C.Space.By_doi ps in
+          let members = Array.make k false in
+          let ids () =
+            List.filter (fun id -> members.(id)) (List.init k Fun.id)
+          in
+          let p = ref (C.Space.params_of_ids space []) in
+          let n = ref 0 in
+          let ok = ref true in
+          for _ = 1 to 40 do
+            let id = Cqp_util.Rng.int rng k in
+            if members.(id) then begin
+              members.(id) <- false;
+              (p :=
+                 match C.Space.params_without_id space ~n:!n !p id with
+                 | Some p' -> p'
+                 | None -> C.Space.params_of_ids space (ids ()));
+              decr n
+            end
+            else begin
+              members.(id) <- true;
+              p := C.Space.params_with_id space ~n:!n !p id;
+              incr n
+            end;
+            ok := !ok && params_agree !p (C.Space.params_of_ids space (ids ()))
+          done;
+          !ok)
+        [ Doi.Noisy_or; Doi.Max_combine ])
+
 let qc = QCheck_alcotest.to_alcotest
 
 let () =
@@ -147,5 +254,10 @@ let () =
           Alcotest.test_case "table 4 (cost space)" `Quick test_table4_cost_transitions;
           Alcotest.test_case "table 5 (doi space)" `Quick test_table5_doi_transitions;
           qc prop_transitions_closed;
+        ] );
+      ( "incremental valuation",
+        [
+          qc prop_incremental_matches_scratch;
+          qc prop_id_chain_matches_scratch;
         ] );
     ]

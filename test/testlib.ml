@@ -17,11 +17,11 @@ let tiny_catalog () =
    sorted into decreasing-doi order (the D invariant); the C and S
    vectors are derived exactly as Pref_space.build does.  Paths are
    dummy selections on t.a, distinct per item. *)
-let fabricate ?(catalog = tiny_catalog ()) ~costs ~dois ~fracs () =
+let fabricate ?(catalog = tiny_catalog ()) ?f ?r ~costs ~dois ~fracs () =
   let k = Array.length costs in
   assert (Array.length dois = k && Array.length fracs = k);
   let query = Cqp_sql.Parser.parse "select a from t" in
-  let estimate = C.Estimate.create catalog query in
+  let estimate = C.Estimate.create ?f ?r catalog query in
   let base_size = C.Estimate.base_size estimate in
   let items =
     Array.init k (fun i ->
@@ -67,12 +67,12 @@ let figure6_space () =
     ()
 
 (* Random space generator for qcheck-style equivalence tests. *)
-let random_space rng ~k =
+let random_space ?f ?r rng ~k =
   let module Rng = Cqp_util.Rng in
   let costs = Array.init k (fun _ -> 5. +. Rng.float rng 100.) in
   let dois = Array.init k (fun _ -> 0.05 +. Rng.float rng 0.9) in
   let fracs = Array.init k (fun _ -> 0.05 +. Rng.float rng 0.9) in
-  fabricate ~costs ~dois ~fracs ()
+  fabricate ?f ?r ~costs ~dois ~fracs ()
 
 let sorted_ids (sol : C.Solution.t) = List.sort compare sol.C.Solution.pref_ids
 

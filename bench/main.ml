@@ -796,6 +796,69 @@ let scaling () =
     " lets personalization run per-request in front of a large database)\n%!"
 
 (* ---------------------------------------------------------------- *)
+(* Serve: multi-user batch driver, caches on vs off                   *)
+(* ---------------------------------------------------------------- *)
+
+let serve_bench () =
+  section_header "Serve"
+    "multi-user workload through cqp_serve: cross-request caches on vs off";
+  let catalog = catalog () in
+  let entries =
+    Cqp_serve.Workload.generate ~users:6 ~requests:48 ~updates:2
+      ~rng:(Cqp_util.Rng.create !mode.seed) catalog
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.
+    else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+  in
+  let passes = 3 in
+  Printf.printf "%-10s %6s %12s %12s %10s %10s %10s\n" "caches" "pass"
+    "total(ms)" "req/s" "p50(ms)" "p90(ms)" "p99(ms)";
+  let run_config caching =
+    let server = Cqp_serve.Serve.create ~caching catalog in
+    let total = ref 0. in
+    for pass = 1 to passes do
+      let t0 = Unix.gettimeofday () in
+      let responses = Cqp_serve.Workload.replay server entries in
+      let elapsed = (Unix.gettimeofday () -. t0) *. 1000. in
+      if pass > 1 then total := !total +. elapsed;
+      let lat =
+        Array.of_list
+          (List.map (fun r -> r.Cqp_serve.Serve.latency_ms) responses)
+      in
+      Array.sort compare lat;
+      let n = Array.length lat in
+      Printf.printf "%-10s %6d %12.1f %12.1f %10.3f %10.3f %10.3f\n%!"
+        (if caching then "on" else "off")
+        pass elapsed
+        (if elapsed > 0. then 1000. *. float_of_int n /. elapsed else 0.)
+        (percentile lat 0.50) (percentile lat 0.90) (percentile lat 0.99)
+    done;
+    (match Cqp_serve.Serve.cache server with
+    | Some c ->
+        let s = C.Cache.extraction_stats c in
+        let mlk, mht = C.Cache.memo_stats c in
+        Printf.printf
+          "           pref_space: %d/%d hits, %d entries, %d bytes; \
+           estimate memo: %d/%d hits\n%!"
+          s.Cqp_util.Lru.hits s.Cqp_util.Lru.lookups
+          (C.Cache.extraction_entries c) (C.Cache.bytes_held c) mht mlk
+    | None -> ());
+    !total
+  in
+  let warm_off = run_config false in
+  let warm_on = run_config true in
+  if warm_on > 0. then
+    Printf.printf
+      "warm-pass speedup with caches: %.2fx (%.1f ms -> %.1f ms over %d \
+       passes)\n%!"
+      (warm_off /. warm_on) warm_off warm_on (passes - 1);
+  Printf.printf
+    "(identical responses either way — test/test_serve_diff.ml holds the\n";
+  Printf.printf " caches to bit-identical solutions, params, and SQL)\n%!"
+
+(* ---------------------------------------------------------------- *)
 (* The [12] evaluation setting: doi distributions and deviations      *)
 (* ---------------------------------------------------------------- *)
 
@@ -1068,6 +1131,7 @@ let sections =
     ("pareto_front", pareto_front);
     ("doi_distributions", doi_distributions);
     ("scaling", scaling);
+    ("serve", serve_bench);
   ]
 
 let () =

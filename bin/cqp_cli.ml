@@ -11,6 +11,8 @@
      pareto    print the doi/cost Pareto front of personalizations
      sql       execute a plain SQL query against the synthetic database
      profile   print a generated profile
+     serve     replay (or generate) a multi-user workload through the
+               batch personalization server with cross-request caches
 
    Profiles can be loaded from a file of lines "<doi> <condition>",
    e.g.:  0.8 director.name = 'W. Allen' *)
@@ -312,6 +314,146 @@ let profile_cmd =
       $ verbose $ seed $ movies $ profile_file $ query_arg $ problem_arg $ cmax_arg
       $ dmin_arg $ smin_arg $ smax_arg $ max_k_arg $ algo_arg $ trace_arg $ metrics_arg)
 
+(* --- serve: batch multi-user workload replay --------------------- *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let serve_action verbose seed movies workload_file save_file users requests
+    updates repeat no_cache capacity execute trace metrics =
+  setup_logs verbose;
+  if trace <> None then Cqp_obs.Trace.enable ();
+  if metrics <> None then Cqp_obs.Metrics.enable ();
+  try
+    let catalog = catalog_of ~movies ~seed in
+    let entries =
+      match workload_file with
+      | Some f -> Cqp_serve.Workload.load f
+      | None ->
+          Cqp_serve.Workload.generate ~users ~requests ~updates ~execute
+            ~rng:(Cqp_util.Rng.create seed) catalog
+    in
+    (match save_file with
+    | Some f ->
+        Cqp_serve.Workload.save f entries;
+        Format.eprintf "workload (%d entries) -> %s@." (List.length entries) f
+    | None -> ());
+    let server =
+      Cqp_serve.Serve.create ~caching:(not no_cache)
+        ?pref_space_capacity:capacity catalog
+    in
+    for rep = 1 to repeat do
+      let t0 = Unix.gettimeofday () in
+      let responses = Cqp_serve.Workload.replay server entries in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let lat =
+        Array.of_list
+          (List.map (fun r -> r.Cqp_serve.Serve.latency_ms) responses)
+      in
+      Array.sort compare lat;
+      let n = Array.length lat in
+      Format.printf
+        "pass %d/%d: %d requests in %.1f ms (%.1f req/s)  latency ms \
+         p50=%.2f p90=%.2f p99=%.2f@."
+        rep repeat n (elapsed *. 1000.)
+        (if elapsed > 0. then float_of_int n /. elapsed else 0.)
+        (percentile lat 0.50) (percentile lat 0.90) (percentile lat 0.99)
+    done;
+    (match Cqp_serve.Serve.cache server with
+    | Some c ->
+        let s = Cqp_core.Cache.extraction_stats c in
+        let mlk, mht = Cqp_core.Cache.memo_stats c in
+        Format.printf
+          "pref_space cache: %d/%d hits (%d entries, %d bytes); estimate \
+           memo: %d/%d hits@."
+          s.Cqp_util.Lru.hits s.Cqp_util.Lru.lookups
+          (Cqp_core.Cache.extraction_entries c)
+          (Cqp_core.Cache.bytes_held c) mht mlk
+    | None -> Format.printf "caches disabled@.");
+    (match trace with
+    | Some file -> Cqp_obs.Trace.write_chrome ~file
+    | None -> ());
+    (match metrics with
+    | Some file ->
+        Cqp_obs.Metrics.write_json ~file;
+        Format.eprintf "metrics -> %s@." file
+    | None -> ());
+    0
+  with
+  | Failure msg | Invalid_argument msg | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Cqp_sql.Parser.Parse_error (msg, pos) ->
+      Printf.eprintf "SQL parse error at %d: %s\n" pos msg;
+      1
+  | Cqp_sql.Analyzer.Semantic_error msg ->
+      Printf.eprintf "SQL semantic error: %s\n" msg;
+      1
+
+let serve_cmd =
+  let doc =
+    "Replay a multi-user personalization workload through the batch server."
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "workload" ] ~docv:"FILE"
+          ~doc:"Workload file to replay (default: generate one).")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Write the (generated or loaded) workload to $(docv).")
+  in
+  let users_arg =
+    Arg.(value & opt int 3 & info [ "users" ] ~doc:"Generated users.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 20 & info [ "requests" ] ~doc:"Generated requests.")
+  in
+  let updates_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "updates" ]
+          ~doc:"Interleaved profile updates (exercise cache invalidation).")
+  in
+  let repeat_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "repeat" ]
+          ~doc:"Replay passes; pass 2+ runs against warm caches.")
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable both caches.")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-capacity" ]
+          ~doc:"Pref_space extraction LRU capacity (default 128).")
+  in
+  let execute_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "execute" ]
+          ~doc:"Mark generated requests for engine execution.")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve_action
+      $ verbose $ seed $ movies $ workload_arg $ save_arg $ users_arg
+      $ requests_arg $ updates_arg $ repeat_arg $ no_cache_arg $ capacity_arg
+      $ execute_arg $ trace_arg $ metrics_arg)
+
 let () =
   let doc = "Constrained Query Personalization (SIGMOD 2005) toolkit" in
   let info = Cmd.info "cqp" ~version:"1.0.0" ~doc in
@@ -320,5 +462,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; explain_cmd; rank_cmd; plan_cmd; pareto_cmd; sql_cmd;
-            profile_cmd;
+            profile_cmd; serve_cmd;
           ]))

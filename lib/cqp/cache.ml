@@ -1,0 +1,118 @@
+module Lru = Cqp_util.Lru
+module Path = Cqp_prefs.Path
+module Profile = Cqp_prefs.Profile
+module Metrics = Cqp_obs.Metrics
+
+type t = {
+  catalog : Cqp_relal.Catalog.t;
+  extraction : (string, Path.t list) Lru.t;
+  memo : Estimate.Memo.t option;
+  mutable published : Lru.stats;  (** extraction stats at last publish *)
+  mutable memo_published : int * int;  (** memo (lookups, hits) ditto *)
+}
+
+(* Approximate retained size of an extraction entry, in words: one
+   selection record plus one join record per hop, with headers. *)
+let path_weight paths =
+  List.fold_left (fun acc p -> acc + 8 + (8 * List.length p.Path.joins)) 1 paths
+
+let create ?(pref_space_capacity = 128) ?(memo_estimates = true) catalog =
+  {
+    catalog;
+    extraction = Lru.create ~weight:path_weight ~capacity:pref_space_capacity ();
+    memo = (if memo_estimates then Some (Estimate.Memo.create ()) else None);
+    published =
+      { lookups = 0; hits = 0; misses = 0; inserts = 0; evictions = 0;
+        removals = 0 };
+    memo_published = (0, 0);
+  }
+
+let catalog t = t.catalog
+let memo t = t.memo
+
+let extraction_key ?(constraints = Params.unconstrained) ?max_path_length
+    ~fingerprint estimate =
+  (* Everything Pref_space.extract's output can depend on, besides the
+     catalog (fixed per cache): the profile, Q's anchor relation set,
+     the path-length bound, and the chain-viability inputs cmax and
+     base_cost (the latter covers Q's relation multiset and block_ms).
+     Floats in hex so the key is exact. *)
+  let anchors =
+    Cqp_sql.Ast.tables_of (Estimate.query estimate)
+    |> List.map fst
+    |> List.sort_uniq String.compare
+    |> String.concat ","
+  in
+  let cmax =
+    match constraints.Params.cmax with
+    | None -> "-"
+    | Some c -> Printf.sprintf "%h" c
+  in
+  let mpl =
+    match max_path_length with None -> "d" | Some n -> string_of_int n
+  in
+  Printf.sprintf "%s|%s|%s|%h|%h|%s" fingerprint anchors cmax
+    (Estimate.base_cost estimate)
+    (Estimate.block_ms estimate)
+    mpl
+
+let pref_space t ?constraints ?max_k ?max_path_length ?orders estimate profile
+    =
+  let fingerprint = Profile.fingerprint profile in
+  let key = extraction_key ?constraints ?max_path_length ~fingerprint estimate in
+  let paths =
+    Lru.find_or_add t.extraction key (fun () ->
+        Pref_space.extract ?constraints ?max_path_length estimate profile)
+  in
+  Pref_space.assemble ?constraints ?max_k ?orders estimate paths
+
+let invalidate_fingerprint t fingerprint =
+  let prefix = fingerprint ^ "|" in
+  let plen = String.length prefix in
+  Lru.remove_if t.extraction (fun key ->
+      String.length key >= plen && String.sub key 0 plen = prefix)
+
+let invalidate_profile t profile =
+  invalidate_fingerprint t (Profile.fingerprint profile)
+
+let clear t = Lru.clear t.extraction
+let extraction_stats t = Lru.stats t.extraction
+let extraction_entries t = Lru.length t.extraction
+
+let bytes_held t =
+  (* Lru weights are in words. *)
+  8 * Lru.weight_held t.extraction
+
+let memo_stats t =
+  match t.memo with
+  | None -> (0, 0)
+  | Some m -> (Estimate.Memo.lookups m, Estimate.Memo.hits m)
+
+let publish_metrics t =
+  if Metrics.is_enabled () then begin
+    let s = Lru.stats t.extraction in
+    let p = t.published in
+    let d name now last = if now - last > 0 then Metrics.add name (now - last) in
+    d "serve.cache.pref_space.lookups" s.Lru.lookups p.Lru.lookups;
+    d "serve.cache.pref_space.hits" s.Lru.hits p.Lru.hits;
+    d "serve.cache.pref_space.misses" s.Lru.misses p.Lru.misses;
+    d "serve.cache.pref_space.inserts" s.Lru.inserts p.Lru.inserts;
+    d "serve.cache.pref_space.evictions" s.Lru.evictions p.Lru.evictions;
+    d "serve.cache.pref_space.removals" s.Lru.removals p.Lru.removals;
+    t.published <- s;
+    Metrics.gauge "serve.cache.pref_space.entries"
+      (float_of_int (extraction_entries t));
+    Metrics.gauge "serve.cache.pref_space.bytes_held"
+      (float_of_int (bytes_held t));
+    (match t.memo with
+    | None -> ()
+    | Some m ->
+        let lk = Estimate.Memo.lookups m and ht = Estimate.Memo.hits m in
+        let plk, pht = t.memo_published in
+        d "serve.cache.estimate.lookups" lk plk;
+        d "serve.cache.estimate.hits" ht pht;
+        d "serve.cache.estimate.misses" (lk - ht) (plk - pht);
+        t.memo_published <- (lk, ht);
+        Metrics.gauge "serve.cache.estimate.entries"
+          (float_of_int (Estimate.Memo.entries m)))
+  end

@@ -1,0 +1,75 @@
+(** Cross-request caches for batched personalization (the serve layer).
+
+    Two caches, both scoped to {e one} catalog:
+
+    - an LRU over {!Pref_space.extract} results, keyed by (profile
+      fingerprint, Q's anchor relation set, cmax, Q's base cost,
+      block_ms, path-length bound).  Only the graph walk is cached;
+      {!Pref_space.assemble} re-prices candidates per request, because
+      item cost/size depend on Q's full WHERE clause.  Keys embed the
+      {!Cqp_prefs.Profile.fingerprint}, so a changed profile can never
+      hit a stale entry — {!invalidate_profile} exists to release the
+      memory eagerly, not for correctness.
+    - an optional {!Estimate.Memo} shared by every estimator built for
+      this catalog, memoizing pure per-predicate selectivity / distinct
+      / block-count lookups.
+
+    Neither cache can change results: the differential tests in
+    [test/test_serve_diff.ml] assert bit-identical output with caches
+    on and off.  Metrics are published as [serve.cache.pref_space.*]
+    and [serve.cache.estimate.*] deltas via {!publish_metrics}. *)
+
+type t
+
+val create :
+  ?pref_space_capacity:int -> ?memo_estimates:bool -> Cqp_relal.Catalog.t -> t
+(** [pref_space_capacity] (default 128) bounds the extraction LRU; [0]
+    disables it (every request re-extracts).  [memo_estimates] (default
+    [true]) attaches the estimate memo.  The cache must only serve
+    queries over the given catalog. *)
+
+val catalog : t -> Cqp_relal.Catalog.t
+
+val memo : t -> Estimate.Memo.t option
+(** Pass to {!Estimate.create} for every request served through this
+    cache. *)
+
+val pref_space :
+  t ->
+  ?constraints:Params.constraints ->
+  ?max_k:int ->
+  ?max_path_length:int ->
+  ?orders:Pref_space.orders ->
+  Estimate.t ->
+  Cqp_prefs.Profile.t ->
+  Pref_space.t
+(** Drop-in replacement for {!Pref_space.build} that reuses a cached
+    extraction when one matches. *)
+
+val invalidate_profile : t -> Cqp_prefs.Profile.t -> int
+(** Drop every extraction cached for this profile's fingerprint;
+    returns the number of entries dropped.  Call on profile update to
+    release memory held for the superseded profile (content-addressed
+    keys already prevent stale hits). *)
+
+val invalidate_fingerprint : t -> string -> int
+(** Same, from a previously saved {!Cqp_prefs.Profile.fingerprint} —
+    for callers that no longer hold the old profile value. *)
+
+val clear : t -> unit
+
+val extraction_stats : t -> Cqp_util.Lru.stats
+val extraction_entries : t -> int
+
+val bytes_held : t -> int
+(** Approximate bytes retained by cached extractions. *)
+
+val memo_stats : t -> int * int
+(** Estimate-memo [(lookups, hits)]; [(0, 0)] when disabled. *)
+
+val publish_metrics : t -> unit
+(** Emit counter deltas since the previous call plus current gauges
+    into {!Cqp_obs.Metrics} (no-op while metrics are disabled):
+    [serve.cache.pref_space.{lookups,hits,misses,inserts,evictions,
+    removals,entries,bytes_held}] and
+    [serve.cache.estimate.{lookups,hits,misses,entries}]. *)

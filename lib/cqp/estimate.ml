@@ -6,6 +6,45 @@ module Path = Cqp_prefs.Path
 module Profile = Cqp_prefs.Profile
 module Doi = Cqp_prefs.Doi
 
+module Memo = struct
+  (* Cross-request memo for the pure per-predicate catalog lookups.
+     Every entry is a function of (catalog contents, key) only, so as
+     long as one memo serves one catalog the cached value is the value
+     the raw fold would have produced — memoization cannot change any
+     estimate.  The serve layer owns that pairing. *)
+  type t = {
+    sel : (string * string * Ast.binop * Value.t, float) Hashtbl.t;
+    dst : (string * string, int) Hashtbl.t;
+    blk : (string, int) Hashtbl.t;
+    mutable lookups : int;
+    mutable hits : int;
+  }
+
+  let create () =
+    {
+      sel = Hashtbl.create 256;
+      dst = Hashtbl.create 64;
+      blk = Hashtbl.create 64;
+      lookups = 0;
+      hits = 0;
+    }
+
+  let lookups t = t.lookups
+  let hits t = t.hits
+  let entries t = Hashtbl.length t.sel + Hashtbl.length t.dst + Hashtbl.length t.blk
+
+  let get m tbl key compute =
+    m.lookups <- m.lookups + 1;
+    match Hashtbl.find_opt tbl key with
+    | Some v ->
+        m.hits <- m.hits + 1;
+        v
+    | None ->
+        let v = compute () in
+        Hashtbl.add tbl key v;
+        v
+end
+
 type t = {
   catalog : Catalog.t;
   query : Ast.query;
@@ -15,13 +54,15 @@ type t = {
   query_rels : (string * string) list;  (** alias, relation name *)
   base_cost : float;
   base_size : float;
+  memo : Memo.t option;
 }
 
 let catalog t = t.catalog
 let query t = t.query
+let block_ms t = t.block_ms
 
 (* Selectivity of a literal comparison against catalog stats. *)
-let condition_selectivity catalog rel attr op (v : Value.t) =
+let raw_condition_selectivity catalog rel attr op (v : Value.t) =
   let stats = Catalog.stats catalog rel in
   match op with
   | Ast.Eq -> Stats.eq_selectivity stats attr v
@@ -29,10 +70,29 @@ let condition_selectivity catalog rel attr op (v : Value.t) =
   | Ast.Lt | Ast.Le -> Stats.range_selectivity stats attr ~hi:v ()
   | Ast.Gt | Ast.Ge -> Stats.range_selectivity stats attr ~lo:v ()
 
+let condition_selectivity ?memo catalog rel attr op v =
+  match memo with
+  | None -> raw_condition_selectivity catalog rel attr op v
+  | Some m ->
+      Memo.get m m.Memo.sel (rel, attr, op, v) (fun () ->
+          raw_condition_selectivity catalog rel attr op v)
+
+let distinct_of ?memo catalog rel attr =
+  match memo with
+  | None -> Stats.distinct (Catalog.stats catalog rel) attr
+  | Some m ->
+      Memo.get m m.Memo.dst (rel, attr) (fun () ->
+          Stats.distinct (Catalog.stats catalog rel) attr)
+
+let blocks_of ?memo catalog rel =
+  match memo with
+  | None -> Catalog.blocks catalog rel
+  | Some m -> Memo.get m m.Memo.blk rel (fun () -> Catalog.blocks catalog rel)
+
 (* Estimate |Q| for a select block: product of cardinalities, scaled by
    equi-join selectivities (1 / max distinct) and literal-condition
    selectivities, System-R style. *)
-let estimate_block_size catalog (b : Ast.select_block) =
+let estimate_block_size ?memo catalog (b : Ast.select_block) =
   let aliases =
     List.filter_map
       (function
@@ -76,14 +136,14 @@ let estimate_block_size catalog (b : Ast.select_block) =
     | Ast.Cmp (Ast.Eq, Ast.Col (q1, a1), Ast.Col (q2, a2)) -> (
         match rel_of_col q1 a1, rel_of_col q2 a2 with
         | Some r1, Some r2 ->
-            let d1 = max 1 (Stats.distinct (Catalog.stats catalog r1) a1) in
-            let d2 = max 1 (Stats.distinct (Catalog.stats catalog r2) a2) in
+            let d1 = max 1 (distinct_of ?memo catalog r1 a1) in
+            let d2 = max 1 (distinct_of ?memo catalog r2 a2) in
             1. /. float_of_int (max d1 d2)
         | _ -> 0.1)
     | Ast.Cmp (op, Ast.Col (q, a), Ast.Lit v)
     | Ast.Cmp (op, Ast.Lit v, Ast.Col (q, a)) -> (
         match rel_of_col q a with
-        | Some rel -> condition_selectivity catalog rel a op v
+        | Some rel -> condition_selectivity ?memo catalog rel a op v
         | None -> 0.1)
     | Ast.In_list (Ast.Col (q, a), vs) -> (
         match rel_of_col q a with
@@ -99,8 +159,8 @@ let estimate_block_size catalog (b : Ast.select_block) =
   in
   List.fold_left (fun acc c -> acc *. sel_of_conjunct c) card conjuncts
 
-let create ?(block_ms = 1.0) ?(f = Doi.Product) ?(r = Doi.Noisy_or) catalog
-    query =
+let create ?memo ?(block_ms = 1.0) ?(f = Doi.Product) ?(r = Doi.Noisy_or)
+    catalog query =
   let tables = Ast.tables_of query in
   List.iter
     (fun (name, _) ->
@@ -115,24 +175,26 @@ let create ?(block_ms = 1.0) ?(f = Doi.Product) ?(r = Doi.Noisy_or) catalog
     block_ms
     *. float_of_int
          (List.fold_left
-            (fun acc (_, name) -> acc + Catalog.blocks catalog name)
+            (fun acc (_, name) -> acc + blocks_of ?memo catalog name)
             0 query_rels)
   in
   let base_size =
     match query with
-    | Ast.Select b -> estimate_block_size catalog b
+    | Ast.Select b -> estimate_block_size ?memo catalog b
     | Ast.Union_all qs ->
         List.fold_left
           (fun acc sub ->
             match sub with
-            | Ast.Select b -> acc +. estimate_block_size catalog b
+            | Ast.Select b -> acc +. estimate_block_size ?memo catalog b
             | Ast.Union_all _ -> acc)
           0. qs
   in
-  { catalog; query; block_ms; f; r; query_rels; base_cost; base_size }
+  { catalog; query; block_ms; f; r; query_rels; base_cost; base_size; memo }
 
 let base_cost t = t.base_cost
 let base_size t = t.base_size
+let blocks t rel = blocks_of ?memo:t.memo t.catalog rel
+let memo t = t.memo
 
 (* One counter tick per per-item estimator call; [item_size] and
    [params_of] are counted through the primitives they delegate to. *)
@@ -151,7 +213,7 @@ let item_cost t path =
   +. t.block_ms
      *. float_of_int
           (List.fold_left
-             (fun acc rel -> acc + Catalog.blocks t.catalog rel)
+             (fun acc rel -> acc + blocks_of ?memo:t.memo t.catalog rel)
              0 extra)
 
 let item_frac t path =
@@ -159,8 +221,8 @@ let item_frac t path =
   (* Walk the path from the terminal selection back to the anchor. *)
   let sel = path.Path.sel in
   let sel_frac =
-    condition_selectivity t.catalog sel.Profile.s_rel sel.Profile.s_attr
-      sel.Profile.s_op sel.Profile.s_value
+    condition_selectivity ?memo:t.memo t.catalog sel.Profile.s_rel
+      sel.Profile.s_attr sel.Profile.s_op sel.Profile.s_value
   in
   let frac =
     List.fold_right
@@ -176,8 +238,7 @@ let item_frac t path =
             let distinct =
               float_of_int
                 (max 1
-                   (Stats.distinct
-                      (Catalog.stats t.catalog to_rel)
+                   (distinct_of ?memo:t.memo t.catalog to_rel
                       j.Profile.j_to_attr))
             in
             min 1. (downstream *. (card /. distinct)))

@@ -27,17 +27,50 @@
 
 type t
 
+(** Cross-request memo for the per-predicate catalog lookups
+    (selectivity of an atomic comparison, distinct count of an
+    attribute, block count of a relation).  Every memoized entry is a
+    pure function of the catalog and its key, so sharing a memo across
+    estimators over the {e same} catalog cannot change any estimate —
+    it only skips the fold that recomputes it.  One memo must never be
+    shared across catalogs; the serve layer owns that pairing. *)
+module Memo : sig
+  type t
+
+  val create : unit -> t
+
+  val lookups : t -> int
+  (** Probes since creation (monotone; the serve layer publishes deltas
+      as [serve.cache.estimate.lookups]). *)
+
+  val hits : t -> int
+  val entries : t -> int
+end
+
 val create :
+  ?memo:Memo.t ->
   ?block_ms:float ->
   ?f:Cqp_prefs.Doi.compose ->
   ?r:Cqp_prefs.Doi.combine ->
   Cqp_relal.Catalog.t ->
   Cqp_sql.Ast.query ->
   t
-(** @raise Invalid_argument when [Q] references unknown relations. *)
+(** [memo], when given, memoizes this estimator's per-predicate catalog
+    lookups across requests; it must have been created for (or only
+    ever used with) the same catalog.
+    @raise Invalid_argument when [Q] references unknown relations. *)
 
 val catalog : t -> Cqp_relal.Catalog.t
 val query : t -> Cqp_sql.Ast.query
+
+val memo : t -> Memo.t option
+
+val block_ms : t -> float
+(** The configured per-block I/O cost [b] in milliseconds. *)
+
+val blocks : t -> string -> int
+(** Block count of a relation, through the memo when one is attached
+    (used by {!Pref_space} chain-viability pruning). *)
 
 val base_cost : t -> float
 (** Estimated cost of executing [Q] itself (one scan of its relations). *)

@@ -11,8 +11,13 @@ type outcome = {
   real_cost_ms : float;
 }
 
-let personalize_query ?(algorithm = Algorithm.C_boundaries) ?max_k catalog
-    profile ~query ~problem =
+let personalize_query ?(algorithm = Algorithm.C_boundaries) ?max_k ?cache
+    catalog profile ~query ~problem =
+  (match cache with
+  | Some c when not (Cache.catalog c == catalog) ->
+      invalid_arg
+        "Personalizer.personalize_query: cache built for a different catalog"
+  | _ -> ());
   Cqp_obs.Trace.with_span ~name:"personalize"
     ~attrs:(fun () ->
       [
@@ -28,12 +33,19 @@ let personalize_query ?(algorithm = Algorithm.C_boundaries) ?max_k catalog
         (Problem.describe problem));
   let estimate =
     Cqp_obs.Trace.with_span ~name:"estimate.create" (fun () ->
-        Estimate.create catalog query)
+        let memo = Option.bind cache Cache.memo in
+        Estimate.create ?memo catalog query)
   in
   let ps =
-    Pref_space.build ~constraints:problem.Problem.constraints ?max_k
-      ~orders:(Algorithm.required_orders algorithm)
-      estimate profile
+    match cache with
+    | Some c ->
+        Cache.pref_space c ~constraints:problem.Problem.constraints ?max_k
+          ~orders:(Algorithm.required_orders algorithm)
+          estimate profile
+    | None ->
+        Pref_space.build ~constraints:problem.Problem.constraints ?max_k
+          ~orders:(Algorithm.required_orders algorithm)
+          estimate profile
   in
   Log.debug (fun m ->
       m "preference space: K = %d, supreme cost %.1f ms" (Pref_space.k ps)
@@ -72,14 +84,14 @@ let ranked_results ?mode catalog outcome =
   in
   Ranker.rank_solution ?mode catalog outcome.original space outcome.solution
 
-let run ?algorithm ?max_k ?(execute = true) catalog profile ~sql ~problem ()
-    =
+let run ?algorithm ?max_k ?cache ?(execute = true) catalog profile ~sql
+    ~problem () =
   let query =
     Cqp_obs.Trace.with_span ~name:"sql.parse" (fun () ->
         Cqp_sql.Parser.parse sql)
   in
   let ps, solution, personalized =
-    personalize_query ?algorithm ?max_k catalog profile ~query ~problem
+    personalize_query ?algorithm ?max_k ?cache catalog profile ~query ~problem
   in
   let rows, real_cost_ms =
     if execute then begin

@@ -30,6 +30,7 @@ type outcome = {
 val run :
   ?algorithm:Algorithm.t ->
   ?max_k:int ->
+  ?cache:Cache.t ->
   ?execute:bool ->
   Cqp_relal.Catalog.t ->
   Cqp_prefs.Profile.t ->
@@ -43,8 +44,14 @@ val run :
     problem is infeasible the query runs unpersonalized (empty
     solution).
 
+    [cache], when given, serves preference-space extraction and
+    estimate lookups from cross-request caches (see {!Cache}); results
+    are bit-identical with or without it.
+
     @raise Cqp_sql.Parser.Parse_error on bad SQL.
-    @raise Cqp_sql.Analyzer.Semantic_error on invalid queries. *)
+    @raise Cqp_sql.Analyzer.Semantic_error on invalid queries.
+    @raise Invalid_argument when [cache] was built for a different
+    catalog. *)
 
 val ranked_results :
   ?mode:Ranker.mode -> Cqp_relal.Catalog.t -> outcome -> Ranker.result
@@ -56,6 +63,7 @@ val ranked_results :
 val personalize_query :
   ?algorithm:Algorithm.t ->
   ?max_k:int ->
+  ?cache:Cache.t ->
   Cqp_relal.Catalog.t ->
   Cqp_prefs.Profile.t ->
   query:Cqp_sql.Ast.query ->

@@ -38,8 +38,7 @@ let chain_viable est (constraints : Params.constraints) rev_joins tail_rel =
       in
       let blocks =
         List.fold_left
-          (fun acc rel ->
-            acc + Cqp_relal.Catalog.blocks (Estimate.catalog est) rel)
+          (fun acc rel -> acc + Estimate.blocks est rel)
           0
           (List.sort_uniq String.compare rels)
       in
@@ -49,9 +48,15 @@ let complete_of_chain rev_joins sel =
   (* rev_joins = [j_n; ...; j_1] where j_1 starts at the anchor. *)
   List.fold_left (fun p j -> Path.extend j p) (Path.atomic sel) rev_joins
 
-let build ?(constraints = Params.unconstrained) ?max_k ?max_path_length
-    ?(orders = All_orders) estimate profile =
-  Cqp_obs.Trace.with_span ~name:"pref_space.build" @@ fun () ->
+(* The personalization-graph walk alone.  Its output depends only on
+   the profile, Q's anchor relation set, the path-length bound, and
+   chain-viability pruning (cmax against base_cost and per-relation
+   block counts) — NOT on Q's WHERE clause — which is exactly what
+   makes it shareable across requests; the serve layer caches this list
+   keyed on those inputs and re-runs {!assemble} per request. *)
+let extract ?(constraints = Params.unconstrained) ?max_path_length estimate
+    profile =
+  Cqp_obs.Trace.with_span ~name:"pref_space.extract" @@ fun () ->
   let catalog = Estimate.catalog estimate in
   let max_path_length =
     match max_path_length with
@@ -64,10 +69,11 @@ let build ?(constraints = Params.unconstrained) ?max_k ?max_path_length
   in
   (* The paper pops candidates best-first by doi.  Because doi along a
      chain is non-increasing (Formula 2), emitting depth-first and
-     sorting at the end yields exactly the same P and D vector while
-     keeping the traversal allocation-free; constraint pruning is
-     applied at generation time either way. *)
+     sorting after pricing yields exactly the same P and D vector while
+     keeping the traversal allocation-free; chain pruning is applied at
+     generation time either way. *)
   let results = ref [] in
+  let emitted = ref 0 in
   let seen_paths = Hashtbl.create 64 in
   let max_depth = ref 0 in
   let rec expand rev_joins tail_rel depth =
@@ -79,11 +85,8 @@ let build ?(constraints = Params.unconstrained) ?max_k ?max_path_length
           let key = Format.asprintf "%a" Path.pp path in
           if not (Hashtbl.mem seen_paths key) then begin
             Hashtbl.add seen_paths key ();
-            let doi = Estimate.item_doi estimate path in
-            let cost = Estimate.item_cost estimate path in
-            let size = Estimate.item_size estimate path in
-            if item_viable constraints ~cost ~size then
-              results := { path; doi; cost; size } :: !results
+            incr emitted;
+            results := path :: !results
           end)
         (Profile.selections_on profile tail_rel);
       if depth < max_path_length then
@@ -103,26 +106,47 @@ let build ?(constraints = Params.unconstrained) ?max_k ?max_path_length
   in
   (* The walk order is the trace's span order: one child span per
      anchor relation of Q, attributed with how deep the join-chain
-     expansion went and how many viable candidates it emitted. *)
+     expansion went and how many candidates it emitted. *)
   List.iter
     (fun anchor ->
       Cqp_obs.Trace.with_span ~name:"pref_space.expand"
         ~attrs:(fun () -> [ Cqp_obs.Attr.str "anchor" anchor ])
         (fun () ->
-          let before = List.length !results in
+          let before = !emitted in
           max_depth := 0;
           expand [] anchor 1;
           Cqp_obs.Trace.add_attr (Cqp_obs.Attr.int "depth" !max_depth);
           Cqp_obs.Trace.add_attr
-            (Cqp_obs.Attr.int "emitted" (List.length !results - before))))
+            (Cqp_obs.Attr.int "emitted" (!emitted - before))))
     anchors;
+  if Cqp_obs.Metrics.is_enabled () then
+    Cqp_obs.Metrics.add "pref_space.candidates" (Hashtbl.length seen_paths);
+  Cqp_obs.Trace.add_attr (Cqp_obs.Attr.int "anchors" (List.length anchors));
+  List.rev !results
+
+let assemble ?(constraints = Params.unconstrained) ?max_k
+    ?(orders = All_orders) estimate paths =
+  (* Price every candidate with THIS request's estimator (cost and size
+     depend on Q's full WHERE clause through base_cost/base_size, so
+     they must not be cached with the walk), filter, sort, truncate. *)
+  let priced =
+    List.filter_map
+      (fun path ->
+        let doi = Estimate.item_doi estimate path in
+        let cost = Estimate.item_cost estimate path in
+        let size = Estimate.item_size estimate path in
+        if item_viable constraints ~cost ~size then
+          Some { path; doi; cost; size }
+        else None)
+      paths
+  in
   let all =
     List.sort
       (fun a b ->
         match Stdlib.compare b.doi a.doi with
         | 0 -> Path.compare a.path b.path
         | c -> c)
-      !results
+      priced
   in
   let all = match max_k with
     | None -> all
@@ -156,13 +180,15 @@ let build ?(constraints = Params.unconstrained) ?max_k ?max_path_length
           s;
         (c, s)
   in
-  if Cqp_obs.Metrics.is_enabled () then begin
+  if Cqp_obs.Metrics.is_enabled () then
     Cqp_obs.Metrics.add "pref_space.prefs_extracted" k;
-    Cqp_obs.Metrics.add "pref_space.candidates" (Hashtbl.length seen_paths)
-  end;
   Cqp_obs.Trace.add_attr (Cqp_obs.Attr.int "k" k);
-  Cqp_obs.Trace.add_attr (Cqp_obs.Attr.int "anchors" (List.length anchors));
   { estimate; items; d; c; s }
+
+let build ?constraints ?max_k ?max_path_length ?orders estimate profile =
+  Cqp_obs.Trace.with_span ~name:"pref_space.build" @@ fun () ->
+  let paths = extract ?constraints ?max_path_length estimate profile in
+  assemble ?constraints ?max_k ?orders estimate paths
 
 let k t = Array.length t.items
 

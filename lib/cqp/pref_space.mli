@@ -43,7 +43,39 @@ val build :
     doi (the experiments' K parameter); [max_path_length] bounds
     implicit-preference length (default: number of catalog relations);
     [orders = D_only] skips building [C] and [S] (the cheaper variant
-    timed as D_PrefSelTime in Figure 12(b)). *)
+    timed as D_PrefSelTime in Figure 12(b)).
+
+    Equivalent to {!assemble} of {!extract} — the serve layer uses the
+    split form to cache the walk across requests. *)
+
+val extract :
+  ?constraints:Params.constraints ->
+  ?max_path_length:int ->
+  Estimate.t ->
+  Cqp_prefs.Profile.t ->
+  Cqp_prefs.Path.t list
+(** The personalization-graph walk alone: every deduplicated candidate
+    path reachable from Q's anchor relations, in deterministic emission
+    order, {e un}-priced and {e un}-filtered except for chain-viability
+    pruning.  The result depends only on (profile, Q's relation set and
+    base cost, [constraints.cmax], [max_path_length], catalog) — not on
+    Q's WHERE clause — so it may be reused across requests agreeing on
+    those; {!Cache} exploits exactly this. *)
+
+val assemble :
+  ?constraints:Params.constraints ->
+  ?max_k:int ->
+  ?orders:orders ->
+  Estimate.t ->
+  Cqp_prefs.Path.t list ->
+  t
+(** Price the candidate paths with this request's estimator (cost/size
+    depend on Q's full WHERE clause, hence are never cached with the
+    walk), drop items violating [constraints], sort by decreasing doi
+    (ties by {!Cqp_prefs.Path.compare} — a total order, so the result
+    is independent of the input list's order), truncate to [max_k], and
+    build the pointer vectors.  [build e p = assemble e (extract e p)]
+    bit-for-bit. *)
 
 val k : t -> int
 (** Cardinality of [P]. *)

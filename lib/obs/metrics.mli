@@ -5,7 +5,13 @@
     boolean test and records nothing, so instrumented hot paths are
     unaffected.  Instruments are created on first use and keyed by
     name; dotted names ([solver.states_visited], [engine.block_reads])
-    are the convention. *)
+    are the convention.  Subsystems with several instruments namespace
+    one level deeper: the serve layer publishes
+    [serve.cache.pref_space.{lookups,hits,misses,inserts,evictions,
+    removals}] and [serve.cache.estimate.{lookups,hits,misses}] as
+    counters, [serve.cache.pref_space.{entries,bytes_held}] and
+    [serve.cache.estimate.entries] as gauges, plus the [serve.requests]
+    counter and [serve.latency_us] histogram. *)
 
 val enable : unit -> unit
 val disable : unit -> unit

@@ -119,6 +119,41 @@ let validate catalog t =
     t.jns;
   match !problems with [] -> Ok () | ps -> Error (List.rev ps)
 
+let fingerprint t =
+  (* Canonical full-precision dump: floats in hex so the digest changes
+     iff the profile changes semantically.  Preference order is part of
+     the identity — it is cheap, and a reordered profile is a different
+     profile object anyway. *)
+  let buf = Buffer.create 256 in
+  let value_repr = function
+    | Value.Null -> "n"
+    | Value.Int i -> Printf.sprintf "i%d" i
+    | Value.Float f -> Printf.sprintf "f%h" f
+    | Value.String s -> Printf.sprintf "s%d:%s" (String.length s) s
+    | Value.Bool b -> if b then "bt" else "bf"
+  in
+  let op_repr = function
+    | Ast.Eq -> "eq"
+    | Ast.Neq -> "ne"
+    | Ast.Lt -> "lt"
+    | Ast.Le -> "le"
+    | Ast.Gt -> "gt"
+    | Ast.Ge -> "ge"
+  in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "s|%s|%s|%s|%s|%h\n" s.s_rel s.s_attr
+           (op_repr s.s_op) (value_repr s.s_value) s.s_doi))
+    t.sels;
+  List.iter
+    (fun j ->
+      Buffer.add_string buf
+        (Printf.sprintf "j|%s|%s|%s|%s|%h\n" j.j_from_rel j.j_from_attr
+           j.j_to_rel j.j_to_attr j.j_doi))
+    t.jns;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let op_to_string = function
   | Ast.Eq -> "="
   | Ast.Neq -> "<>"

@@ -63,6 +63,14 @@ val joins_from : t -> string -> join list
 (** Join preferences leaving the given relation, i.e. the graph edges a
     best-first traversal may extend a path with. *)
 
+val fingerprint : t -> string
+(** Content digest (hex) of the profile at full float precision: two
+    profiles share a fingerprint iff they hold the same atomic
+    preferences in the same order.  The serve layer keys its Pref_space
+    cache on this, which makes stale hits after a profile change
+    structurally impossible — a changed profile hashes to a different
+    key. *)
+
 val validate : Cqp_relal.Catalog.t -> t -> (unit, string list) result
 (** Check every referenced relation/attribute exists and value types are
     compatible; returns the list of problems otherwise. *)

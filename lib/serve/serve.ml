@@ -1,0 +1,80 @@
+module Profile = Cqp_prefs.Profile
+module Cache = Cqp_core.Cache
+module Personalizer = Cqp_core.Personalizer
+module Metrics = Cqp_obs.Metrics
+
+type request = {
+  user : string;
+  sql : string;
+  problem : Cqp_core.Problem.t;
+  max_k : int option;
+  algorithm : Cqp_core.Algorithm.t;
+  execute : bool;
+}
+
+type response = {
+  request : request;
+  outcome : Personalizer.outcome;
+  latency_ms : float;
+}
+
+type t = {
+  catalog : Cqp_relal.Catalog.t;
+  cache : Cache.t option;
+  profiles : (string, Profile.t) Hashtbl.t;
+  mutable served : int;
+}
+
+exception Unknown_user of string
+
+let create ?(caching = true) ?pref_space_capacity ?memo_estimates catalog =
+  {
+    catalog;
+    cache =
+      (if caching then
+         Some (Cache.create ?pref_space_capacity ?memo_estimates catalog)
+       else None);
+    profiles = Hashtbl.create 16;
+    served = 0;
+  }
+
+let catalog t = t.catalog
+let cache t = t.cache
+
+let set_profile t ~user profile =
+  (* Invalidate only on a semantic change: cache keys embed the content
+     fingerprint, so re-installing an identical profile (e.g. replaying
+     a workload against warm caches) must not drop its entries, while a
+     real update releases the superseded profile's memory. *)
+  (match (t.cache, Hashtbl.find_opt t.profiles user) with
+  | Some c, Some old
+    when Profile.fingerprint old <> Profile.fingerprint profile ->
+      ignore (Cache.invalidate_profile c old)
+  | _ -> ());
+  Hashtbl.replace t.profiles user profile
+
+let profile t user = Hashtbl.find_opt t.profiles user
+
+let serve t req =
+  let profile =
+    match Hashtbl.find_opt t.profiles req.user with
+    | Some p -> p
+    | None -> raise (Unknown_user req.user)
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    Personalizer.run ~algorithm:req.algorithm ?max_k:req.max_k ?cache:t.cache
+      ~execute:req.execute t.catalog profile ~sql:req.sql
+      ~problem:req.problem ()
+  in
+  let latency_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  t.served <- t.served + 1;
+  if Metrics.is_enabled () then begin
+    Metrics.incr "serve.requests";
+    Metrics.observe "serve.latency_us" (latency_ms *. 1000.)
+  end;
+  (match t.cache with Some c -> Cache.publish_metrics c | None -> ());
+  { request = req; outcome; latency_ms }
+
+let serve_batch t reqs = List.map (serve t) reqs
+let requests_served t = t.served

@@ -1,0 +1,65 @@
+(** Batch personalization server.
+
+    Holds per-user profiles and serves (user, query, problem) requests
+    through the {!Cqp_core.Cache} cross-request caches — the first
+    component of this repository that behaves like a server rather
+    than a one-shot experiment.  Results are bit-identical with
+    caching on or off (enforced by [test/test_serve_diff.ml]); the
+    caches only buy latency.
+
+    Per request, when metrics are enabled, the server increments
+    [serve.requests], observes [serve.latency_us], and republishes the
+    cache counters ([serve.cache.*], see
+    {!Cqp_core.Cache.publish_metrics}). *)
+
+type request = {
+  user : string;
+  sql : string;
+  problem : Cqp_core.Problem.t;
+  max_k : int option;
+  algorithm : Cqp_core.Algorithm.t;
+  execute : bool;
+}
+
+type response = {
+  request : request;
+  outcome : Cqp_core.Personalizer.outcome;
+  latency_ms : float;  (** wall-clock serve time *)
+}
+
+type t
+
+exception Unknown_user of string
+
+val create :
+  ?caching:bool ->
+  ?pref_space_capacity:int ->
+  ?memo_estimates:bool ->
+  Cqp_relal.Catalog.t ->
+  t
+(** [caching:false] disables both caches (the differential baseline);
+    the capacity knobs are forwarded to {!Cqp_core.Cache.create}. *)
+
+val catalog : t -> Cqp_relal.Catalog.t
+
+val cache : t -> Cqp_core.Cache.t option
+(** [None] when created with [caching:false]. *)
+
+val set_profile : t -> user:string -> Cqp_prefs.Profile.t -> unit
+(** Install or replace a user's profile.  On replacement, extractions
+    cached for the superseded profile are invalidated (released —
+    fingerprint keys already make stale hits impossible). *)
+
+val profile : t -> string -> Cqp_prefs.Profile.t option
+
+val serve : t -> request -> response
+(** @raise Unknown_user when no profile was installed for the
+    requesting user.
+    @raise Cqp_sql.Parser.Parse_error /
+    [Cqp_sql.Analyzer.Semantic_error] as {!Cqp_core.Personalizer.run}
+    does. *)
+
+val serve_batch : t -> request list -> response list
+(** Serve in order; a raised exception aborts the rest of the batch. *)
+
+val requests_served : t -> int

@@ -1,0 +1,190 @@
+module Rng = Cqp_util.Rng
+module Problem = Cqp_core.Problem
+module Params = Cqp_core.Params
+module Algorithm = Cqp_core.Algorithm
+module Profile_gen = Cqp_workload.Profile_gen
+module Query_gen = Cqp_workload.Query_gen
+
+type entry =
+  | Set_profile of { user : string; seed : int }
+  | Request of Serve.request
+
+let algorithms =
+  [| Algorithm.C_boundaries; Algorithm.C_maxbounds; Algorithm.D_maxdoi |]
+
+let gen_problem rng =
+  match Rng.int rng 4 with
+  | 0 | 1 -> Problem.problem2 ~cmax:(float_of_int (Rng.int_in rng 300 3000))
+  | 2 ->
+      Problem.problem3
+        ~cmax:(float_of_int (Rng.int_in rng 300 3000))
+        ~smin:1.
+        ~smax:(float_of_int (Rng.int_in rng 200 5000))
+  | _ -> Problem.problem4 ~dmin:(0.2 +. Rng.float rng 0.6)
+
+let user_name u = Printf.sprintf "u%02d" u
+
+let generate ?(users = 3) ?(requests = 20) ?(updates = 0) ?(execute = false)
+    ~rng catalog =
+  if users <= 0 then invalid_arg "Workload.generate: users must be positive";
+  (* Key spaces: [1, users] for the initial profiles, [1000, ...) for
+     requests, [500_000, ...) for interleaved updates.  Each entry
+     derives everything from its own split, so the entry at index [i]
+     is independent of the rest of the batch. *)
+  let installs =
+    List.init users (fun u ->
+        Set_profile
+          { user = user_name u; seed = Rng.int (Rng.split rng (u + 1)) 1_000_000 })
+  in
+  let reqs =
+    List.init requests (fun i ->
+        let r = Rng.split rng (1000 + i) in
+        let user = user_name (Rng.int r users) in
+        let sql =
+          Cqp_sql.Printer.to_string (Query_gen.generate_serve ~rng:r catalog)
+        in
+        let problem = gen_problem r in
+        (* Always bounded: an unbounded K over a 50-selection profile
+           sends the exact searches into their node-budget worst case,
+           which is no workload for a server. *)
+        let max_k = Some (Rng.int_in r 8 16) in
+        let algorithm = algorithms.(Rng.int r (Array.length algorithms)) in
+        ( float_of_int i,
+          Request { user; sql; problem; max_k; algorithm; execute } ))
+  in
+  let upds =
+    List.init updates (fun j ->
+        let r = Rng.split rng (500_000 + j) in
+        (* +0.5: lands between two requests, after the one it follows. *)
+        ( float_of_int (Rng.int r (max 1 requests)) +. 0.5,
+          Set_profile
+            { user = user_name (Rng.int r users); seed = Rng.int r 1_000_000 }
+        ))
+  in
+  let interleaved =
+    List.stable_sort
+      (fun (a, _) (b, _) -> Float.compare a b)
+      (reqs @ upds)
+    |> List.map snd
+  in
+  installs @ interleaved
+
+let replay server entries =
+  List.filter_map
+    (function
+      | Set_profile { user; seed } ->
+          let profile =
+            Profile_gen.generate ~rng:(Rng.create seed)
+              (Serve.catalog server)
+          in
+          Serve.set_profile server ~user profile;
+          None
+      | Request req -> Some (Serve.serve server req))
+    entries
+
+(* --- on-disk format --- *)
+
+let problem_to_field (p : Problem.t) =
+  let c = p.Problem.constraints in
+  let parts =
+    List.filter_map
+      (fun (name, v) ->
+        Option.map (fun v -> Printf.sprintf "%s=%h" name v) v)
+      [
+        ("cmax", c.Params.cmax);
+        ("dmin", c.Params.dmin);
+        ("smin", c.Params.smin);
+        ("smax", c.Params.smax);
+      ]
+  in
+  Printf.sprintf "%d:%s" p.Problem.number (String.concat "," parts)
+
+let problem_of_field s =
+  match String.index_opt s ':' with
+  | None -> failwith ("Workload: bad problem field: " ^ s)
+  | Some i ->
+      let number = int_of_string (String.sub s 0 i) in
+      if number < 1 || number > 6 then
+        failwith ("Workload: bad problem number: " ^ s);
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let fields =
+        if rest = "" then []
+        else
+          List.map
+            (fun kv ->
+              match String.index_opt kv '=' with
+              | None -> failwith ("Workload: bad constraint: " ^ kv)
+              | Some j ->
+                  ( String.sub kv 0 j,
+                    float_of_string
+                      (String.sub kv (j + 1) (String.length kv - j - 1)) ))
+            (String.split_on_char ',' rest)
+      in
+      let get name = List.assoc_opt name fields in
+      {
+        Problem.number;
+        objective =
+          (if number <= 3 then Problem.Maximize_doi else Problem.Minimize_cost);
+        constraints =
+          {
+            Params.cmax = get "cmax";
+            dmin = get "dmin";
+            smin = get "smin";
+            smax = get "smax";
+          };
+      }
+
+let entry_to_line = function
+  | Set_profile { user; seed } -> Printf.sprintf "user\t%s\t%d" user seed
+  | Request r ->
+      Printf.sprintf "req\t%s\t%s\t%s\t%s\t%s\t%s" r.Serve.user
+        (problem_to_field r.Serve.problem)
+        (match r.Serve.max_k with None -> "-" | Some k -> string_of_int k)
+        (Algorithm.name r.Serve.algorithm)
+        (if r.Serve.execute then "x" else "-")
+        r.Serve.sql
+
+let entry_of_line line =
+  match String.split_on_char '\t' line with
+  | [ "user"; user; seed ] -> Set_profile { user; seed = int_of_string seed }
+  | "req" :: user :: problem :: max_k :: algorithm :: execute :: sql_parts
+    when sql_parts <> [] ->
+      let sql = String.concat "\t" sql_parts in
+      Request
+        {
+          Serve.user;
+          sql;
+          problem = problem_of_field problem;
+          max_k =
+            (match max_k with "-" -> None | k -> Some (int_of_string k));
+          algorithm =
+            (match Algorithm.of_name algorithm with
+            | Some a -> a
+            | None -> failwith ("Workload: unknown algorithm: " ^ algorithm));
+          execute = (execute = "x");
+        }
+  | _ -> failwith ("Workload: malformed line: " ^ line)
+
+let save file entries =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          output_string oc (entry_to_line e);
+          output_char oc '\n')
+        entries)
+
+let load file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | "" -> go acc
+        | line -> go (entry_of_line line :: acc)
+      in
+      go [])

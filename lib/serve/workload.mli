@@ -1,0 +1,54 @@
+(** Multi-user serve workloads: generation, a tab-separated on-disk
+    format, and replay against a {!Serve.t}.
+
+    A workload is an ordered list of entries — profile installations
+    (stored as generator seeds, not materialized profiles, so files
+    stay small and replay is deterministic) interleaved with
+    personalization requests.  Mid-stream [Set_profile] entries for an
+    already-known user exercise the cache-invalidation path.
+
+    Generation derives all per-entry randomness with
+    {!Cqp_util.Rng.split} keyed by entry index, so entry [i] is the
+    same regardless of how many entries surround it. *)
+
+type entry =
+  | Set_profile of { user : string; seed : int }
+      (** install [Cqp_workload.Profile_gen.generate] with a fresh
+          generator seeded by [seed] as [user]'s profile *)
+  | Request of Serve.request
+
+val generate :
+  ?users:int ->
+  ?requests:int ->
+  ?updates:int ->
+  ?execute:bool ->
+  rng:Cqp_util.Rng.t ->
+  Cqp_relal.Catalog.t ->
+  entry list
+(** [users] (default 3) profile installations up front, then
+    [requests] (default 20) requests over {!Cqp_workload.Query_gen}
+    serve templates with problems drawn from the paper's family
+    (2, 3 and 4), with [updates] (default 0) profile re-installations
+    interleaved at deterministic positions.  [execute] (default
+    [false]) marks every request for engine execution. *)
+
+val replay : Serve.t -> entry list -> Serve.response list
+(** Apply entries in order; [Set_profile] installs (returning
+    nothing), [Request] serves. *)
+
+(** {1 On-disk format}
+
+    One entry per line, tab-separated; floats in hex so constraint
+    bounds round-trip exactly:
+    {v
+    user<TAB>alice<TAB>91234
+    req<TAB>alice<TAB>2:cmax=0x1.9p+9<TAB>16<TAB>C_Boundaries<TAB>-<TAB>select title from movie
+    v} *)
+
+val entry_to_line : entry -> string
+
+val entry_of_line : string -> entry
+(** @raise Failure on a malformed line. *)
+
+val save : string -> entry list -> unit
+val load : string -> entry list

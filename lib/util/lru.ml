@@ -1,0 +1,146 @@
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable w : int;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type stats = {
+  lookups : int;
+  hits : int;
+  misses : int;
+  inserts : int;
+  evictions : int;
+  removals : int;
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  weight : 'v -> int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable mru : ('k, 'v) node option;  (** head: most recently used *)
+  mutable lru : ('k, 'v) node option;  (** tail: eviction victim *)
+  mutable held : int;
+  mutable lookups : int;
+  mutable hits : int;
+  mutable inserts : int;
+  mutable evictions : int;
+  mutable removals : int;
+}
+
+let create ?(weight = fun _ -> 1) ~capacity () =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  {
+    capacity;
+    weight;
+    tbl = Hashtbl.create (max 16 capacity);
+    mru = None;
+    lru = None;
+    held = 0;
+    lookups = 0;
+    hits = 0;
+    inserts = 0;
+    evictions = 0;
+    removals = 0;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.tbl
+let weight_held t = t.held
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.mru;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+(* Unlink + forget; the caller accounts the drop as eviction/removal. *)
+let drop t n =
+  unlink t n;
+  Hashtbl.remove t.tbl n.key;
+  t.held <- t.held - n.w
+
+let find t k =
+  t.lookups <- t.lookups + 1;
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      unlink t n;
+      push_front t n;
+      Some n.value
+  | None -> None
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let add t k v =
+  if t.capacity > 0 then begin
+    match Hashtbl.find_opt t.tbl k with
+    | Some n ->
+        t.held <- t.held - n.w;
+        n.value <- v;
+        n.w <- t.weight v;
+        t.held <- t.held + n.w;
+        unlink t n;
+        push_front t n
+    | None ->
+        let n = { key = k; value = v; w = t.weight v; prev = None; next = None } in
+        Hashtbl.add t.tbl k n;
+        push_front t n;
+        t.held <- t.held + n.w;
+        t.inserts <- t.inserts + 1;
+        if Hashtbl.length t.tbl > t.capacity then begin
+          match t.lru with
+          | Some victim ->
+              drop t victim;
+              t.evictions <- t.evictions + 1
+          | None -> assert false
+        end
+  end
+
+let find_or_add t k compute =
+  match find t k with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      add t k v;
+      v
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+      drop t n;
+      t.removals <- t.removals + 1;
+      true
+  | None -> false
+
+let remove_if t p =
+  let victims =
+    Hashtbl.fold (fun k n acc -> if p k then n :: acc else acc) t.tbl []
+  in
+  List.iter (fun n -> drop t n) victims;
+  let n = List.length victims in
+  t.removals <- t.removals + n;
+  n
+
+let clear t =
+  t.removals <- t.removals + Hashtbl.length t.tbl;
+  Hashtbl.reset t.tbl;
+  t.mru <- None;
+  t.lru <- None;
+  t.held <- 0
+
+let stats t =
+  {
+    lookups = t.lookups;
+    hits = t.hits;
+    misses = t.lookups - t.hits;
+    inserts = t.inserts;
+    evictions = t.evictions;
+    removals = t.removals;
+  }

@@ -1,0 +1,62 @@
+(** Bounded map with least-recently-used eviction.
+
+    The serve layer's cross-request caches are built on this: O(1)
+    lookup, insertion and eviction (hash table + intrusive doubly
+    linked list), an approximate weight account for "bytes held"
+    reporting, and a running statistics record that the cache layer
+    publishes as [serve.cache.*] metrics.
+
+    Keys are compared structurally.  Not thread-safe: the serve layer
+    drives one cache per context. *)
+
+type ('k, 'v) t
+
+type stats = {
+  lookups : int;  (** [find] / [find_or_add] probes *)
+  hits : int;
+  misses : int;  (** [lookups = hits + misses] always holds *)
+  inserts : int;
+      (** entries actually stored; a capacity-0 cache stores none and
+          replacing an existing key is not a new insert *)
+  evictions : int;  (** capacity-driven drops; [evictions <= inserts] *)
+  removals : int;  (** explicit [remove] / [remove_if] / [clear] drops *)
+}
+
+val create : ?weight:('v -> int) -> capacity:int -> unit -> ('k, 'v) t
+(** [capacity] is the maximum number of entries; [0] disables storage
+    entirely (every lookup misses, nothing is ever retained).
+    [weight] prices a stored value in words for {!weight_held}
+    (default [fun _ -> 1]).
+    @raise Invalid_argument when [capacity < 0]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val weight_held : ('k, 'v) t -> int
+(** Sum of the stored values' weights (words). *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Probe; a hit promotes the entry to most-recently-used. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Recency- and statistics-neutral membership test. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert (or replace) as most-recently-used, evicting the
+    least-recently-used entry when over capacity.  No-op at
+    capacity 0. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find], and on a miss compute the value, [add] it, return it. *)
+
+val remove : ('k, 'v) t -> 'k -> bool
+(** Drop one entry; [false] when absent. *)
+
+val remove_if : ('k, 'v) t -> ('k -> bool) -> int
+(** Drop every entry whose key satisfies the predicate (explicit
+    invalidation); returns the number dropped. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop everything (counted as removals); statistics are kept. *)
+
+val stats : ('k, 'v) t -> stats

@@ -2,10 +2,8 @@ type t = { mutable state : int64 }
 
 let create seed = { state = Int64.of_int seed }
 
-let next t =
-  (* splitmix64 *)
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
+(* splitmix64 finalizer *)
+let mix z =
   let z =
     Int64.mul
       (Int64.logxor z (Int64.shift_right_logical z 30))
@@ -18,7 +16,24 @@ let next t =
   in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let split t = { state = next t }
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  mix t.state
+
+let split t key =
+  if key < 0 then invalid_arg "Rng.split: negative key";
+  (* Derived from the parent's *current* state and the key only — the
+     parent is not advanced, so the stream a key yields is independent
+     of how many other splits happened before it.  Batch drivers rely
+     on this: request [i] sees the same stream whether it is served
+     first, last, or in a different batch ordering. *)
+  {
+    state =
+      mix
+        (Int64.logxor
+           (Int64.add t.state 0x9E3779B97F4A7C15L)
+           (Int64.mul (Int64.of_int (key + 1)) 0xD1B54A32D192ED03L));
+  }
 
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";

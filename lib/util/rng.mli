@@ -10,8 +10,15 @@ type t
 val create : int -> t
 (** Generator seeded with the given integer. *)
 
-val split : t -> t
-(** Derive an independent generator (advances the parent). *)
+val split : t -> int -> t
+(** [split t key] derives an independent generator from [t]'s current
+    state and [key] {e without advancing} [t]: the same key always
+    yields the same stream no matter how many other splits were taken
+    before it, or in which order.  This is the batch-serving contract —
+    request [i] of a workload draws from [split base i] and gets
+    identical randomness whether requests run one at a time, reordered,
+    or interleaved with cache-warming replays.
+    @raise Invalid_argument when [key < 0]. *)
 
 val int : t -> int -> int
 (** [int t n] is uniform in [[0, n-1]]. @raise Invalid_argument if

@@ -30,11 +30,33 @@ let instantiate template year =
   go 0;
   Buffer.contents buf
 
-let generate ~rng catalog =
-  let template = List.nth templates (Rng.int rng (List.length templates)) in
+(* The multi-user serve workload also exercises ORDER BY / LIMIT
+   shapes (their clauses move to the rewrite wrapper, so they stress a
+   different personalization path).  Kept separate from [templates]:
+   seeded experiment workloads must not change under them.  Every ORDER
+   BY lists exactly the projected columns, so result order is total and
+   differential tests can compare row lists bit-for-bit. *)
+let serve_templates =
+  [
+    "select title from movie";
+    "select title, year from movie";
+    "select title from movie where year >= %Y";
+    "select title, duration from movie where year <= %Y";
+    "select title, year from movie order by year desc, title limit 25";
+    "select title from movie where year >= %Y order by title limit 40";
+    "select title, year, duration from movie \
+     order by year, title, duration limit 50";
+    "select title, duration from movie where year <= %Y \
+     order by duration desc, title";
+  ]
+
+let generate_from ~rng catalog pool =
+  let template = List.nth pool (Rng.int rng (List.length pool)) in
   let year = string_of_int (Rng.int_in rng 1960 2010) in
   let q = Cqp_sql.Parser.parse (instantiate template year) in
   Cqp_sql.Analyzer.check catalog q;
   q
 
+let generate ~rng catalog = generate_from ~rng catalog templates
+let generate_serve ~rng catalog = generate_from ~rng catalog serve_templates
 let generate_many ~rng catalog n = List.init n (fun _ -> generate ~rng catalog)

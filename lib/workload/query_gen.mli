@@ -6,6 +6,20 @@
 val templates : string list
 (** The SQL templates ([%Y] is replaced by a year). *)
 
+val serve_templates : string list
+(** The multi-user serve workload's pool: projection/selection shapes
+    plus ORDER BY / LIMIT variants (kept separate from [templates] so
+    seeded experiment workloads are unaffected).  Only columns unique
+    to [movie] appear, so projections stay unambiguous after the
+    rewrite joins in other mid-bearing relations; each ORDER BY lists
+    exactly the projected columns, making result order total —
+    differential tests compare row lists bit-for-bit. *)
+
 val generate : rng:Cqp_util.Rng.t -> Cqp_relal.Catalog.t -> Cqp_sql.Ast.query
+
+val generate_serve :
+  rng:Cqp_util.Rng.t -> Cqp_relal.Catalog.t -> Cqp_sql.Ast.query
+(** Like {!generate}, drawing from {!serve_templates}. *)
+
 val generate_many :
   rng:Cqp_util.Rng.t -> Cqp_relal.Catalog.t -> int -> Cqp_sql.Ast.query list

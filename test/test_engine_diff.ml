@@ -65,7 +65,7 @@ let sources_pool =
     { rel = "r"; alias = "r2"; cols = [ ("a", V.Tint); ("b", V.Tint); ("s", V.Tstring) ] };
   ]
 
-let random_query rng =
+let random_query ?(ordered = false) rng =
   let n_sources = 1 + Rng.int rng 3 in
   let pool = Array.of_list sources_pool in
   Rng.shuffle rng pool;
@@ -105,14 +105,27 @@ let random_query rng =
       conjuncts := Ast.Cmp (op, col_of s1 c1, Ast.Lit lit) :: !conjuncts
     end
   done;
-  let items =
+  let e1, e2 =
     let s, c = Rng.choice rng (Array.of_list all_cols) in
     let s2, c2 = Rng.choice rng (Array.of_list all_cols) in
-    [ Ast.Item (col_of s c, Some "x"); Ast.Item (col_of s2 c2, Some "y") ]
+    (col_of s c, col_of s2 c2)
+  in
+  let items = [ Ast.Item (e1, Some "x"); Ast.Item (e2, Some "y") ] in
+  (* ORDER BY lists exactly the projected expressions, so tied rows are
+     identical and the ordered output (with LIMIT applied) is uniquely
+     determined — exact list comparison is meaningful. *)
+  let order_by =
+    if ordered then
+      let dir () = if Rng.bool rng then Ast.Asc else Ast.Desc in
+      Some [ (e1, dir ()); (e2, dir ()) ]
+    else None
+  in
+  let limit =
+    if ordered && Rng.bool rng then Some (Rng.int rng 13) else None
   in
   Ast.simple_select
     ?where:(match !conjuncts with [] -> None | cs -> Some (Ast.conj cs))
-    items
+    ?order_by ?limit items
     (List.map (fun s -> Ast.Table (s.rel, Some s.alias)) chosen)
 
 (* --- reference evaluator ----------------------------------------------- *)
@@ -167,6 +180,42 @@ let reference_execute q =
           |> Array.of_list)
         filtered
 
+(* Reference DISTINCT / ORDER BY / LIMIT on top of [reference_execute].
+   Only queries whose ORDER BY is a prefix-free list of exactly the
+   projected expressions (in projection order) are supported: the sort
+   key then IS the output row, so position [i] of the key is column [i]
+   of the row and ties are identical rows. *)
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+let reference_full q =
+  match q with
+  | Ast.Union_all _ -> assert false
+  | Ast.Select b ->
+      let rows = reference_execute q in
+      let deduped =
+        if b.Ast.distinct then List.sort_uniq Tuple.compare rows else rows
+      in
+      let dirs = List.map snd b.Ast.order_by in
+      let cmp r1 r2 =
+        let rec go i = function
+          | [] -> 0
+          | dir :: rest ->
+              let c = V.compare r1.(i) r2.(i) in
+              let c = match dir with Ast.Asc -> c | Ast.Desc -> -c in
+              if c <> 0 then c else go (i + 1) rest
+        in
+        go 0 dirs
+      in
+      let sorted = if dirs = [] then deduped else List.sort cmp deduped in
+      (match b.Ast.limit with None -> sorted | Some k -> take k sorted)
+
+let rendered rows =
+  List.map
+    (fun r -> String.concat "," (List.map V.to_string (Tuple.to_list r)))
+    rows
+
 let canonical rows =
   List.sort Tuple.compare rows
   |> List.map (fun r -> String.concat "," (List.map V.to_string (Tuple.to_list r)))
@@ -181,6 +230,59 @@ let prop_engine_matches_reference =
       let engine_rows = (Engine.execute catalog q).Engine.rows in
       let ref_rows = reference_execute q in
       canonical engine_rows = canonical ref_rows)
+
+(* With ORDER BY + LIMIT the output is an exact list, not a multiset:
+   compare without canonicalizing so the engine's sort order and cut
+   point are themselves under test.  The serve workload generator emits
+   exactly this shape (ORDER BY over all projected columns). *)
+let prop_engine_matches_reference_ordered =
+  QCheck.Test.make
+    ~name:"engine = naive reference on ordered/limited SPJ (exact lists)"
+    ~count:300
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let q = random_query ~ordered:true rng in
+      Cqp_sql.Analyzer.check catalog q;
+      let engine_rows = (Engine.execute catalog q).Engine.rows in
+      rendered engine_rows = rendered (reference_full q))
+
+(* --- directed duplicate-row cases -------------------------------------- *)
+
+(* Projections onto small domains produce many duplicate rows; ORDER BY
+   and LIMIT must treat each duplicate as a distinct row (keep all of
+   them, count each against the limit), while DISTINCT collapses them
+   before the sort.  These shapes pin that down explicitly. *)
+let duplicate_row_cases =
+  [
+    (* single narrow column: heavy duplication, NULLs included *)
+    "select b from r order by b desc limit 5";
+    "select s from r order by s limit 7";
+    (* limit 0 and limit beyond cardinality *)
+    "select b from r order by b limit 0";
+    "select s from u order by s desc limit 500";
+    (* join fan-out duplicates whole output rows *)
+    "select r1.a, t1.a from r r1, t t1 where r1.a = t1.a \
+     order by r1.a desc, t1.a limit 9";
+    (* DISTINCT collapses duplicates before ORDER BY / LIMIT *)
+    "select distinct b from r order by b limit 3";
+    "select distinct r1.s, u1.s from r r1, u u1 \
+     order by r1.s, u1.s desc limit 6";
+    (* no limit: full ordered duplicate-bearing output *)
+    "select t1.c from t t1 order by t1.c desc";
+  ]
+
+let test_duplicate_rows_ordered () =
+  List.iter
+    (fun sql ->
+      let q = Cqp_sql.Parser.parse sql in
+      Cqp_sql.Analyzer.check catalog q;
+      let engine_rows = (Engine.execute catalog q).Engine.rows in
+      Alcotest.(check (list string))
+        sql
+        (rendered (reference_full q))
+        (rendered engine_rows))
+    duplicate_row_cases
 
 (* --- aggregation differential ------------------------------------------ *)
 
@@ -267,6 +369,18 @@ let prop_roundtrip_same_result =
       let rows q = canonical (Engine.execute catalog q).Engine.rows in
       rows q = rows q')
 
+let prop_roundtrip_ordered_same_result =
+  QCheck.Test.make
+    ~name:"print/parse roundtrip preserves ordered/limited results"
+    ~count:100
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let q = random_query ~ordered:true rng in
+      let q' = Cqp_sql.Parser.parse (Cqp_sql.Printer.to_string q) in
+      let rows q = rendered (Engine.execute catalog q).Engine.rows in
+      rows q = rows q')
+
 let qc = QCheck_alcotest.to_alcotest
 
 let () =
@@ -275,7 +389,11 @@ let () =
       ( "differential",
         [
           qc prop_engine_matches_reference;
+          qc prop_engine_matches_reference_ordered;
           qc prop_group_by_matches_reference;
           qc prop_roundtrip_same_result;
+          qc prop_roundtrip_ordered_same_result;
+          Alcotest.test_case "duplicate rows under ORDER BY / LIMIT / DISTINCT"
+            `Quick test_duplicate_rows_ordered;
         ] );
     ]

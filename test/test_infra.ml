@@ -174,6 +174,60 @@ let test_solution_of_ids_dedups () =
   let sol = C.Solution.of_ids space [ 1; 0; 1 ] in
   Alcotest.(check (list int)) "sorted unique" [ 0; 1 ] sol.C.Solution.pref_ids
 
+(* --- Rng.split: order-independent keyed derivation ---------------------- *)
+
+module Rng = Cqp_util.Rng
+
+let stream rng n = List.init n (fun _ -> Rng.int rng 1_000_000)
+
+let test_split_order_independent () =
+  (* Request #3 of a batch draws the same stream no matter how many
+     other requests were split off before it, or in what order. *)
+  let direct = stream (Rng.split (Rng.create 42) 3) 16 in
+  let after_others =
+    let base = Rng.create 42 in
+    ignore (stream (Rng.split base 7) 5);
+    ignore (stream (Rng.split base 0) 9);
+    stream (Rng.split base 3) 16
+  in
+  let reordered =
+    let base = Rng.create 42 in
+    let r3 = Rng.split base 3 in
+    ignore (stream (Rng.split base 1) 4);
+    stream r3 16
+  in
+  Alcotest.(check (list int)) "same stream regardless of batch position"
+    direct after_others;
+  Alcotest.(check (list int)) "same stream when split early, drawn late"
+    direct reordered
+
+let test_split_does_not_advance_parent () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  ignore (Rng.split a 11);
+  ignore (Rng.split a 12);
+  Alcotest.(check (list int)) "parent stream untouched by splits"
+    (stream b 8) (stream a 8)
+
+let test_split_keys_distinct () =
+  let base = Rng.create 1 in
+  let s0 = stream (Rng.split base 0) 8 in
+  let s1 = stream (Rng.split base 1) 8 in
+  checkb "distinct keys, distinct streams" false (s0 = s1);
+  checkb "negative key rejected" true
+    (match Rng.split base (-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_split_depends_on_parent_state () =
+  (* Splits from different parent positions differ — the key alone is
+     not the whole identity, the parent's state participates. *)
+  let a = Rng.create 5 in
+  let s_before = stream (Rng.split a 2) 8 in
+  ignore (Rng.int a 10);
+  let s_after = stream (Rng.split a 2) 8 in
+  checkb "advanced parent yields a different child" false
+    (s_before = s_after)
+
 let () =
   Alcotest.run "infra"
     [
@@ -204,4 +258,15 @@ let () =
         ] );
       ( "solution",
         [ Alcotest.test_case "dedup ids" `Quick test_solution_of_ids_dedups ] );
+      ( "rng",
+        [
+          Alcotest.test_case "split order-independent" `Quick
+            test_split_order_independent;
+          Alcotest.test_case "split leaves parent alone" `Quick
+            test_split_does_not_advance_parent;
+          Alcotest.test_case "split keys distinct" `Quick
+            test_split_keys_distinct;
+          Alcotest.test_case "split tracks parent state" `Quick
+            test_split_depends_on_parent_state;
+        ] );
     ]

@@ -322,7 +322,7 @@ let percentile sorted p =
   else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
 
 let serve_action verbose seed movies workload_file save_file users requests
-    updates repeat no_cache capacity execute trace metrics =
+    updates repeat domains no_cache capacity execute trace metrics =
   setup_logs verbose;
   if trace <> None then Cqp_obs.Trace.enable ();
   if metrics <> None then Cqp_obs.Metrics.enable ();
@@ -344,9 +344,14 @@ let serve_action verbose seed movies workload_file save_file users requests
       Cqp_serve.Serve.create ~caching:(not no_cache)
         ?pref_space_capacity:capacity catalog
     in
+    let pool =
+      if domains > 1 then Some (Cqp_par.Pool.create ~domains ()) else None
+    in
+    Fun.protect ~finally:(fun () -> Option.iter Cqp_par.Pool.shutdown pool)
+    @@ fun () ->
     for rep = 1 to repeat do
       let t0 = Unix.gettimeofday () in
-      let responses = Cqp_serve.Workload.replay server entries in
+      let responses = Cqp_serve.Workload.replay ?pool server entries in
       let elapsed = Unix.gettimeofday () -. t0 in
       let lat =
         Array.of_list
@@ -355,23 +360,44 @@ let serve_action verbose seed movies workload_file save_file users requests
       Array.sort compare lat;
       let n = Array.length lat in
       Format.printf
-        "pass %d/%d: %d requests in %.1f ms (%.1f req/s)  latency ms \
-         p50=%.2f p90=%.2f p99=%.2f@."
-        rep repeat n (elapsed *. 1000.)
+        "pass %d/%d (%d domain%s): %d requests in %.1f ms (%.1f req/s)  \
+         latency ms p50=%.2f p90=%.2f p99=%.2f@."
+        rep repeat domains
+        (if domains = 1 then "" else "s")
+        n (elapsed *. 1000.)
         (if elapsed > 0. then float_of_int n /. elapsed else 0.)
         (percentile lat 0.50) (percentile lat 0.90) (percentile lat 0.99)
     done;
-    (match Cqp_serve.Serve.cache server with
-    | Some c ->
-        let s = Cqp_core.Cache.extraction_stats c in
-        let mlk, mht = Cqp_core.Cache.memo_stats c in
-        Format.printf
-          "pref_space cache: %d/%d hits (%d entries, %d bytes); estimate \
-           memo: %d/%d hits@."
-          s.Cqp_util.Lru.hits s.Cqp_util.Lru.lookups
-          (Cqp_core.Cache.extraction_entries c)
-          (Cqp_core.Cache.bytes_held c) mht mlk
-    | None -> Format.printf "caches disabled@.");
+    (* Fleet-wide cache summary: the parent cache plus every shard's
+       domain-local cache (sequential runs have no shards). *)
+    (let caches =
+       (match Cqp_serve.Serve.cache server with Some c -> [ c ] | None -> [])
+       @ Cqp_serve.Serve.shard_caches server
+     in
+     match caches with
+     | [] -> Format.printf "caches disabled@."
+     | caches ->
+         let sum f = List.fold_left (fun acc c -> acc + f c) 0 caches in
+         let hits =
+           sum (fun c ->
+               (Cqp_core.Cache.extraction_stats c).Cqp_util.Lru.hits)
+         in
+         let lookups =
+           sum (fun c ->
+               (Cqp_core.Cache.extraction_stats c).Cqp_util.Lru.lookups)
+         in
+         let mlk = sum (fun c -> fst (Cqp_core.Cache.memo_stats c)) in
+         let mht = sum (fun c -> snd (Cqp_core.Cache.memo_stats c)) in
+         Format.printf
+           "pref_space cache: %d/%d hits (%d entries, %d bytes%s); estimate \
+            memo: %d/%d hits@."
+           hits lookups
+           (sum Cqp_core.Cache.extraction_entries)
+           (sum Cqp_core.Cache.bytes_held)
+           (match List.length caches with
+           | 1 -> ""
+           | n -> Printf.sprintf " across %d caches" n)
+           mht mlk);
     (match trace with
     | Some file -> Cqp_obs.Trace.write_chrome ~file
     | None -> ());
@@ -430,6 +456,17 @@ let serve_cmd =
       & info [ "repeat" ]
           ~doc:"Replay passes; pass 2+ runs against warm caches.")
   in
+  let domains_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "Total parallelism for replay: requests are partitioned by user \
+             across this many domains, each serving through its own \
+             domain-local caches.  Responses are bit-identical to \
+             $(b,--domains 1).")
+  in
   let no_cache_arg =
     Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable both caches.")
   in
@@ -451,8 +488,8 @@ let serve_cmd =
     Term.(
       const serve_action
       $ verbose $ seed $ movies $ workload_arg $ save_arg $ users_arg
-      $ requests_arg $ updates_arg $ repeat_arg $ no_cache_arg $ capacity_arg
-      $ execute_arg $ trace_arg $ metrics_arg)
+      $ requests_arg $ updates_arg $ repeat_arg $ domains_arg $ no_cache_arg
+      $ capacity_arg $ execute_arg $ trace_arg $ metrics_arg)
 
 let () =
   let doc = "Constrained Query Personalization (SIGMOD 2005) toolkit" in

@@ -116,3 +116,23 @@ let publish_metrics t =
         Metrics.gauge "serve.cache.estimate.entries"
           (float_of_int (Estimate.Memo.entries m)))
   end
+
+let publish_gauge_totals caches =
+  if Metrics.is_enabled () then begin
+    (* The [serve.cache.*] counters are published as deltas, so several
+       caches (e.g. one per serve shard) sum exactly into the shared
+       registry on their own; the gauges are absolute values, so a
+       sharded server re-publishes them here as sums at drain time. *)
+    let sum f = List.fold_left (fun acc c -> acc + f c) 0 caches in
+    Metrics.gauge "serve.cache.pref_space.entries"
+      (float_of_int (sum extraction_entries));
+    Metrics.gauge "serve.cache.pref_space.bytes_held"
+      (float_of_int (sum bytes_held));
+    if List.exists (fun c -> c.memo <> None) caches then
+      Metrics.gauge "serve.cache.estimate.entries"
+        (float_of_int
+           (sum (fun c ->
+                match c.memo with
+                | None -> 0
+                | Some m -> Estimate.Memo.entries m)))
+  end

@@ -73,3 +73,11 @@ val publish_metrics : t -> unit
     [serve.cache.pref_space.{lookups,hits,misses,inserts,evictions,
     removals,entries,bytes_held}] and
     [serve.cache.estimate.{lookups,hits,misses,entries}]. *)
+
+val publish_gauge_totals : t list -> unit
+(** Re-publish the absolute [serve.cache.*.entries] / [bytes_held]
+    gauges as sums over several caches.  The counter metrics are delta
+    published and therefore already sum exactly across caches; a
+    sharded server (one domain-local cache per shard) calls this at
+    drain time so the gauges reflect the fleet rather than whichever
+    shard published last. *)

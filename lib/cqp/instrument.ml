@@ -6,9 +6,18 @@ type t = {
   mutable peak_words : int;
   mutable hold_underflows : int;
   mutable wall_seconds : float;
+  hold_lock : Mutex.t;
 }
 
 let entry_overhead_words = 3
+
+(* hold/release touch three fields that must move together (live, peak,
+   underflows), so a shared instrument — e.g. one memory account fed by
+   several pool domains — is guarded per-record.  Contended
+   acquisitions are counted globally so parallel layers can see when
+   memory accounting itself serializes. *)
+let contentions = Atomic.make 0
+let hold_lock_contentions () = Atomic.get contentions
 
 let create () =
   {
@@ -19,17 +28,28 @@ let create () =
     peak_words = 0;
     hold_underflows = 0;
     wall_seconds = 0.;
+    hold_lock = Mutex.create ();
   }
 
 let visit t = t.states_visited <- t.states_visited + 1
 let eval t = t.param_evals <- t.param_evals + 1
 let incr_update t = t.incr_updates <- t.incr_updates + 1
 
+let locked t f =
+  if not (Mutex.try_lock t.hold_lock) then begin
+    Atomic.incr contentions;
+    Mutex.lock t.hold_lock
+  end;
+  f ();
+  Mutex.unlock t.hold_lock
+
 let hold_words t words =
+  locked t @@ fun () ->
   t.live_words <- t.live_words + words;
   if t.live_words > t.peak_words then t.peak_words <- t.live_words
 
 let release_words t words =
+  locked t @@ fun () ->
   if words > t.live_words then begin
     (* A release without a matching hold would push live_words below
        zero and silently corrupt the high-water mark; count it so the
@@ -55,6 +75,7 @@ let snapshot t =
     peak_words = t.peak_words;
     hold_underflows = t.hold_underflows;
     wall_seconds = t.wall_seconds;
+    hold_lock = Mutex.create ();
   }
 
 let publish ?(prefix = "solver") t =

@@ -19,11 +19,23 @@ type t = {
   mutable hold_underflows : int;
       (** releases without a matching hold (accounting bugs) *)
   mutable wall_seconds : float;  (** filled in by the solver wrapper *)
+  hold_lock : Mutex.t;
+      (** serializes {!hold_words}/{!release_words}: live, peak and
+          underflow move as one transaction, so a memory account
+          shared across domains loses no updates and reports no
+          spurious underflows *)
 }
 
 val entry_overhead_words : int
 val create : unit -> t
+
 val visit : t -> unit
+(** [visit]/[eval]/[incr_update] remain single-writer by design: every
+    search owns its space's instrument and runs in one domain, and
+    taking a lock per visited state would tax the solver hot path.
+    Only the multi-field memory account ({!hold_words} and friends) is
+    mutex-guarded, because the parallel layers legitimately share it. *)
+
 val eval : t -> unit
 
 val incr_update : t -> unit
@@ -43,6 +55,11 @@ val hold : t -> State.t -> unit
 
 val release : t -> State.t -> unit
 (** Record that a stored state was dropped. *)
+
+val hold_lock_contentions : unit -> int
+(** Global count of {!hold_words}/{!release_words} acquisitions that
+    found the record's mutex held by another domain (monotone; the
+    uncontended fast path is a single [try_lock]). *)
 
 val peak_bytes : t -> int
 val peak_kbytes : t -> float

@@ -274,6 +274,17 @@ let log_size_space ps =
 let log_size_pref_space = log_size_space
 let run_doi_max algorithm ps ~cmax = Algorithm.run algorithm ps ~cmax
 
+(* Accept a solution as-is when feasible, otherwise try repairing the
+   size interval and re-check. *)
+let check_feasible constraints space (sol : Solution.t) =
+  if Params.satisfies constraints sol.Solution.params then Some sol
+  else begin
+    let ids = repair_size space constraints sol.Solution.pref_ids in
+    let sol' = Solution.of_ids space ids in
+    if Params.satisfies constraints sol'.Solution.params then Some sol'
+    else None
+  end
+
 let solve ?(algorithm = Algorithm.C_boundaries) ps (problem : Problem.t) =
   Cqp_obs.Trace.with_span ~name:"solver.solve"
     ~attrs:(fun () ->
@@ -284,16 +295,7 @@ let solve ?(algorithm = Algorithm.C_boundaries) ps (problem : Problem.t) =
       ])
   @@ fun () ->
   let constraints = problem.Problem.constraints in
-  let check_feasible space (sol : Solution.t) =
-    if Params.satisfies constraints sol.Solution.params then Some sol
-    else begin
-      (* Try repairing the size interval; re-check afterwards. *)
-      let ids = repair_size space constraints sol.Solution.pref_ids in
-      let sol' = Solution.of_ids space ids in
-      if Params.satisfies constraints sol'.Solution.params then Some sol'
-      else None
-    end
-  in
+  let check_feasible space sol = check_feasible constraints space sol in
   match problem.Problem.number with
   | 2 -> (
       match constraints.Params.cmax with
@@ -327,3 +329,211 @@ let solve ?(algorithm = Algorithm.C_boundaries) ps (problem : Problem.t) =
       let space = Space.create ~order:Space.By_doi ps in
       min_cost_bnb space constraints
   | n -> invalid_arg (Printf.sprintf "Solver.solve: unknown problem %d" n)
+
+(* --- portfolio ------------------------------------------------------- *)
+
+(* Deterministic order on preference-id sets, used to break objective
+   ties so the merged winner never depends on which pool domain
+   finished first: smaller state bitmask wins while ids fit in one
+   (k <= State.max_mask_bits), lexicographic ascending-sorted ids
+   otherwise. *)
+let ids_precede k a b =
+  if k <= State.max_mask_bits then
+    let mask ids = List.fold_left (fun m id -> m lor (1 lsl id)) 0 ids in
+    mask a < mask b
+  else
+    Stdlib.compare
+      (List.sort Stdlib.compare a)
+      (List.sort Stdlib.compare b)
+    < 0
+
+(* Left fold over candidates in member order: strictly better objective
+   replaces, an exact tie replaces only when the id set precedes.  Both
+   inputs and fold order are index-determined, so the result is
+   independent of scheduling. *)
+let merge_candidates problem k candidates =
+  Array.fold_left
+    (fun acc (label, sol) ->
+      match (sol, acc) with
+      | None, _ -> acc
+      | Some s, None -> Some (label, s)
+      | Some (s : Solution.t), Some (_, (b : Solution.t)) ->
+          let v = Problem.objective_value problem s.Solution.params in
+          let bv = Problem.objective_value problem b.Solution.params in
+          if
+            Problem.better problem v bv
+            || (not (Problem.better problem bv v))
+               && ids_precede k s.Solution.pref_ids b.Solution.pref_ids
+          then Some (label, s)
+          else acc)
+    None candidates
+
+let run_members ?pool members =
+  let jobs =
+    Array.map (fun (label, run) () -> (label, run ())) (Array.of_list members)
+  in
+  match pool with
+  | Some pool -> Cqp_par.Pool.map pool (fun job -> job ()) jobs
+  | None -> Array.map (fun job -> job ()) jobs
+
+(* The metaheuristic probes solve the Problem-2 shape (doi under a cost
+   cap); the size-interval problems run them with the cap (or none) and
+   rely on [check_feasible]'s repair to pull the answer into the
+   interval. *)
+let probe_members ~rng ~label_suffix ps ~cmax ~finish =
+  let probe name f = (name ^ label_suffix, f) in
+  [
+    probe "SA" (fun () ->
+        let rng = Cqp_util.Rng.split rng 0 in
+        let space = Space.create ~order:Space.By_doi ps in
+        finish (Metaheuristics.simulated_annealing ~rng space ~cmax));
+    probe "Tabu" (fun () ->
+        let rng = Cqp_util.Rng.split rng 1 in
+        let space = Space.create ~order:Space.By_doi ps in
+        finish (Metaheuristics.tabu ~rng space ~cmax));
+  ]
+
+let portfolio ?pool ?(seed = 0x5EED) ps (problem : Problem.t) =
+  Cqp_obs.Trace.with_span ~name:"solver.portfolio"
+    ~attrs:(fun () ->
+      [
+        Cqp_obs.Attr.int "problem" problem.Problem.number;
+        Cqp_obs.Attr.int "k" (Pref_space.k ps);
+      ])
+  @@ fun () ->
+  let constraints = problem.Problem.constraints in
+  let k = Pref_space.k ps in
+  let rng = Cqp_util.Rng.create seed in
+  let finish_on base_ps sol =
+    (* Evaluate (and if needed repair) the candidate on a space of its
+       own: spaces carry single-writer instrumentation, so racing
+       members must not share one. *)
+    let space = Space.create ~order:Space.By_doi base_ps in
+    check_feasible constraints space
+      (Solution.of_ids space sol.Solution.pref_ids)
+  in
+  let members =
+    match problem.Problem.number with
+    | 2 -> (
+        match constraints.Params.cmax with
+        | None -> invalid_arg "Solver.portfolio: Problem 2 requires cmax"
+        | Some cmax ->
+            List.map
+              (fun a ->
+                ( Algorithm.name a,
+                  fun () -> finish_on ps (run_doi_max a ps ~cmax) ))
+              Algorithm.all
+            @ probe_members ~rng ~label_suffix:"" ps ~cmax
+                ~finish:(finish_on ps))
+    | 1 when constraints.Params.smax = None -> (
+        match constraints.Params.smin with
+        | None -> invalid_arg "Solver.portfolio: Problem 1 requires smin"
+        | Some smin ->
+            let base = Estimate.base_size ps.Pref_space.estimate in
+            if base < smin then []
+            else begin
+              let cmax' = log (base /. smin) in
+              let ps' = log_size_space ps in
+              List.map
+                (fun a ->
+                  ( Algorithm.name a,
+                    fun () -> finish_on ps (run_doi_max a ps' ~cmax:cmax') ))
+                Algorithm.all
+              @ probe_members ~rng ~label_suffix:"(log)" ps' ~cmax:cmax'
+                  ~finish:(finish_on ps)
+            end)
+    | 1 | 3 ->
+        if problem.Problem.number = 3 && constraints.Params.cmax = None then
+          invalid_arg "Solver.portfolio: Problem 3 requires cmax";
+        let cmax =
+          match constraints.Params.cmax with
+          | Some cmax -> cmax
+          | None -> infinity
+        in
+        ( "Max_doi_bnb",
+          fun () ->
+            max_doi_bnb (Space.create ~order:Space.By_doi ps) constraints )
+        :: probe_members ~rng ~label_suffix:"" ps ~cmax ~finish:(finish_on ps)
+    | 4 | 5 | 6 ->
+        [
+          ( "Min_cost_bnb",
+            fun () ->
+              min_cost_bnb (Space.create ~order:Space.By_doi ps) constraints
+          );
+        ]
+    | n ->
+        invalid_arg (Printf.sprintf "Solver.portfolio: unknown problem %d" n)
+  in
+  Cqp_obs.Metrics.incr "solver.portfolio.races";
+  Cqp_obs.Metrics.add "solver.portfolio.members" (List.length members);
+  let candidates = run_members ?pool members in
+  match merge_candidates problem k candidates with
+  | None -> None
+  | Some (label, sol) ->
+      Cqp_obs.Metrics.incr ("solver.portfolio.win." ^ label);
+      Some sol
+
+(* --- parallel exhaustive oracle -------------------------------------- *)
+
+(* All 2^K subsets, partitioned by the membership pattern of the low
+   [b] preference ids.  The partition scheme is fixed (never derived
+   from the pool size), each shard's enumeration threads parameters in
+   ascending id order exactly like [Exhaustive.iter_subsets], and both
+   the shard-local best and the final merge use the same
+   objective-then-[ids_precede] rule — so the oracle's answer is a
+   deterministic function of the problem alone, with any pool or none. *)
+let parallel_oracle ?pool ps (problem : Problem.t) =
+  let k = Pref_space.k ps in
+  if k > Exhaustive.max_k then
+    invalid_arg
+      (Printf.sprintf "Solver.parallel_oracle: K = %d exceeds the %d-bit cap"
+         k Exhaustive.max_k);
+  let b = min k 4 in
+  let better_entry (ids, v) = function
+    | None -> true
+    | Some (bids, bv) ->
+        Problem.better problem v bv
+        || ((not (Problem.better problem bv v)) && ids_precede k ids bids)
+  in
+  let shard pattern =
+    let space = Space.create ~order:Space.By_doi ps in
+    let stats = Space.stats space in
+    let best = ref None in
+    let consider ids p =
+      Instrument.visit stats;
+      if Params.satisfies problem.Problem.constraints p then begin
+        let v = Problem.objective_value problem p in
+        if better_entry (ids, v) !best then best := Some (ids, v)
+      end
+    in
+    let rec go i ids n p =
+      consider ids p;
+      for j = i to k - 1 do
+        go (j + 1) (j :: ids) (n + 1) (Space.params_with_id space ~n p j)
+      done
+    in
+    let fixed =
+      List.filter
+        (fun id -> pattern land (1 lsl id) <> 0)
+        (List.init b Fun.id)
+    in
+    go b (List.rev fixed) (List.length fixed) (Space.params_of_ids space fixed);
+    !best
+  in
+  let jobs = Array.init (1 lsl b) (fun pattern () -> shard pattern) in
+  let results =
+    match pool with
+    | Some pool -> Cqp_par.Pool.map pool (fun job -> job ()) jobs
+    | None -> Array.map (fun job -> job ()) jobs
+  in
+  let best =
+    Array.fold_left
+      (fun acc -> function
+        | Some entry when better_entry entry acc -> Some entry
+        | _ -> acc)
+      None results
+  in
+  Option.map
+    (fun (ids, _) ->
+      Solution.of_ids (Space.create ~order:Space.By_doi ps) ids)
+    best

@@ -53,3 +53,51 @@ val max_doi_bnb :
 (** The Problems-1/3 branch-and-bound, exposed for tests: maximal-doi
     subset satisfying the constraints (ties broken towards lower
     cost). *)
+
+(** {1 Portfolio mode}
+
+    Rather than committing to one algorithm, {!portfolio} races every
+    member applicable to the problem — the five Section-5 algorithms
+    (directly for Problem 2, through the log-size reduction for
+    Problem 1 without [smax]), the exact branch-and-bounds, and
+    simulated-annealing/tabu probes — across the domains of a
+    {!Cqp_par.Pool.t}, then merges.
+
+    The merge is deterministic by construction: every member runs to
+    completion (no first-finisher cancellation), member randomness is
+    split per member index, and candidates are folded in member order
+    picking the strictly better objective value with exact ties broken
+    towards the smaller state bitmask (lexicographic sorted ids when
+    [k] exceeds {!State.max_mask_bits}).  The answer is therefore a
+    function of [(ps, problem, seed)] alone — bit-identical with any
+    pool size, or with no pool at all ([test/test_par_diff.ml] checks
+    this against {!solve} and {!parallel_oracle}). *)
+
+val portfolio :
+  ?pool:Cqp_par.Pool.t ->
+  ?seed:int ->
+  Pref_space.t ->
+  Problem.t ->
+  Solution.t option
+(** Feasibility-checked (and size-repaired, like {!solve}) winner of
+    the race; [None] when no member finds a feasible subset.  Publishes
+    [solver.portfolio.races], [solver.portfolio.members] and a
+    [solver.portfolio.win.<member>] counter for the merged winner.
+    [seed] (default [0x5EED]) feeds the metaheuristic probes.
+    @raise Invalid_argument as {!solve}. *)
+
+val parallel_oracle :
+  ?pool:Cqp_par.Pool.t ->
+  Pref_space.t ->
+  Problem.t ->
+  Solution.t option
+(** Exhaustive ground truth for any Table-1 problem, fanned out as
+    [2^min(k,4)] enumeration shards partitioned by the membership
+    pattern of the low preference ids.  The partitioning is fixed (not
+    derived from the pool size) and shard merging uses the same
+    objective-then-bitmask order as {!portfolio}, so the result is
+    deterministic for any pool size.  May differ from
+    [Exhaustive.solve_problem] in {e which} optimal subset it returns
+    (first-found vs. smallest-mask tie-break) but never in objective
+    value.
+    @raise Invalid_argument when [k] exceeds [Exhaustive.max_k]. *)

@@ -12,10 +12,33 @@ type instrument =
 let enabled = ref false
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
 
+(* One mutex guards the registry and every instrument mutation, so
+   concurrent publishes from pool domains lose no updates.  The guards
+   below ([if !enabled then ...]) stay outside it: while the registry
+   is disabled no lock is ever taken, preserving the zero-cost
+   contract (test_par_stress asserts [lock_acquisitions] stays flat
+   while disabled).  Acquisitions and contended acquisitions are
+   counted so parallel layers can see when metric publishing itself
+   becomes a bottleneck. *)
+let lock = Mutex.create ()
+let acquisitions = Atomic.make 0
+let contentions = Atomic.make 0
+
+let locked f =
+  if not (Mutex.try_lock lock) then begin
+    Atomic.incr contentions;
+    Mutex.lock lock
+  end;
+  Atomic.incr acquisitions;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let lock_acquisitions () = Atomic.get acquisitions
+let lock_contentions () = Atomic.get contentions
+
 let enable () = enabled := true
 let disable () = enabled := false
 let is_enabled () = !enabled
-let reset () = Hashtbl.reset registry
+let reset () = locked (fun () -> Hashtbl.reset registry)
 
 let find_or_create name make =
   match Hashtbl.find_opt registry name with
@@ -30,6 +53,7 @@ let find_or_create name make =
    path while disabled) and an out-of-line slow path. *)
 
 let record_add name by =
+  locked @@ fun () ->
   match find_or_create name (fun () -> Counter { n = 0 }) with
   | Counter c -> c.n <- c.n + by
   | _ -> invalid_arg ("Metrics.add: " ^ name ^ " is not a counter")
@@ -38,6 +62,7 @@ let[@inline] add name by = if !enabled then record_add name by
 let[@inline] incr name = if !enabled then record_add name 1
 
 let record_gauge name v =
+  locked @@ fun () ->
   match find_or_create name (fun () -> Gauge { v }) with
   | Gauge g -> g.v <- v
   | _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
@@ -52,6 +77,7 @@ let bucket_upper_bound i =
   if i >= n_buckets - 1 then infinity else Float.pow 2. (float_of_int i)
 
 let record_observe name v =
+  locked @@ fun () ->
   match
     find_or_create name (fun () ->
         Histogram { count = 0; sum = 0.; buckets = Array.make n_buckets 0 })
@@ -66,16 +92,19 @@ let record_observe name v =
 let[@inline] observe name v = if !enabled then record_observe name v
 
 let counter_value name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (Counter c) -> c.n
   | _ -> 0
 
 let gauge_value name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (Gauge g) -> Some g.v
   | _ -> None
 
 let histogram_count name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (Histogram h) -> h.count
   | _ -> 0
@@ -83,6 +112,7 @@ let histogram_count name =
 (* --- export ---------------------------------------------------------- *)
 
 let sorted_instruments () =
+  locked @@ fun () ->
   Hashtbl.fold (fun name i acc -> (name, i) :: acc) registry []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 

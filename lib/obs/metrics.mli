@@ -20,6 +20,26 @@ val is_enabled : unit -> bool
 val reset : unit -> unit
 (** Drop every instrument. *)
 
+(** {1 Thread safety}
+
+    All recording and reading entry points are serialized by one
+    internal mutex, so counters and histograms published concurrently
+    from several domains (pool workers, sharded serve caches) lose no
+    updates.  The mutex is only ever taken {e behind} the enabled
+    guard: while the registry is disabled, recording remains a single
+    boolean test and acquires nothing — the zero-cost contract is
+    unchanged.  Export ({!to_json}, {!pp}) snapshots under the lock
+    but should still be called from a quiescent point (end of run).
+
+    The lock counters below let parallel layers detect when metric
+    publishing itself contends. *)
+
+val lock_acquisitions : unit -> int
+(** Total mutex acquisitions since program start (monotone). *)
+
+val lock_contentions : unit -> int
+(** Acquisitions that found the mutex already held and had to block. *)
+
 (** {1 Recording} *)
 
 val add : string -> int -> unit

@@ -1,9 +1,15 @@
 let enabled = ref false
 
-(* Completed and in-flight spans in start order (cons-reversed), the
-   stack of open spans, and a capacity guard for long runs. *)
+(* Completed and in-flight spans in start order (cons-reversed) and a
+   capacity guard for long runs.  The buffer and its counters are
+   shared across domains and guarded by [lock]; nothing here runs
+   unless tracing is enabled, so the disabled path stays lock-free.
+   The stack of open spans is per-domain (DLS): a span's parent is the
+   innermost span opened by the *same* domain, which keeps parent
+   links meaningful when pool workers trace concurrently. *)
+let lock = Mutex.create ()
 let buffer : Span.t list ref = ref []
-let stack : Span.t list ref = ref []
+let stack_key = Domain.DLS.new_key (fun () -> ref [])
 let count = ref 0
 let next_id = ref 0
 let capacity = ref 1_000_000
@@ -12,11 +18,15 @@ let dropped_count = ref 0
 let is_enabled () = !enabled
 
 let reset () =
+  Mutex.lock lock;
   buffer := [];
-  stack := [];
   count := 0;
   next_id := 0;
-  dropped_count := 0
+  dropped_count := 0;
+  Mutex.unlock lock;
+  (* Only the calling domain's stack can be cleared; worker domains
+     are expected to be quiescent (no open spans) across a reset. *)
+  Domain.DLS.get stack_key := []
 
 let enable () =
   enabled := true;
@@ -24,16 +34,23 @@ let enable () =
 
 let disable () = enabled := false
 let set_capacity n = capacity := max 1 n
-let span_count () = !count
-let dropped () = !dropped_count
-let spans () = List.rev !buffer
+let under_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let span_count () = under_lock (fun () -> !count)
+let dropped () = under_lock (fun () -> !dropped_count)
+let spans () = List.rev (under_lock (fun () -> !buffer))
 
 let open_span ~name attrs =
+  let stack = Domain.DLS.get stack_key in
   let parent, depth =
     match !stack with
     | [] -> (-1, 0)
     | s :: _ -> (s.Span.id, s.Span.depth + 1)
   in
+  let attrs = match attrs with None -> [] | Some thunk -> thunk () in
+  Mutex.lock lock;
   let id = !next_id in
   incr next_id;
   let sp =
@@ -44,7 +61,7 @@ let open_span ~name attrs =
       name;
       start_us = Clock.now_us ();
       dur_us = -1.;
-      attrs = (match attrs with None -> [] | Some thunk -> thunk ());
+      attrs;
     }
   in
   if !count < !capacity then begin
@@ -52,10 +69,12 @@ let open_span ~name attrs =
     incr count
   end
   else incr dropped_count;
+  Mutex.unlock lock;
   sp
 
 let close_span sp =
   sp.Span.dur_us <- Clock.now_us () -. sp.Span.start_us;
+  let stack = Domain.DLS.get stack_key in
   match !stack with
   | s :: rest when s == sp -> stack := rest
   | _ ->
@@ -72,6 +91,7 @@ let with_span ~name ?attrs f =
   if not !enabled then f ()
   else begin
     let sp = open_span ~name attrs in
+    let stack = Domain.DLS.get stack_key in
     stack := sp :: !stack;
     match f () with
     | v ->
@@ -84,7 +104,7 @@ let with_span ~name ?attrs f =
 
 let add_attr attr =
   if !enabled then
-    match !stack with
+    match !(Domain.DLS.get stack_key) with
     | [] -> ()
     | sp :: _ -> sp.Span.attrs <- attr :: sp.Span.attrs
 

@@ -5,10 +5,14 @@
     nothing, so instrumented hot paths cost nothing beyond the branch.
 
     When enabled, {!with_span} records a span per call, nested under
-    the innermost open span of the (single-threaded) run.  The buffer
-    can be exported as Chrome [trace_event] JSON — loadable in
-    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto} — or
-    pretty-printed as an indented tree. *)
+    the innermost open span {e of the calling domain}: the open-span
+    stack is domain-local, so spans emitted by {!Cqp_par.Pool} workers
+    parent correctly within their own domain, while the shared span
+    buffer itself is mutex-guarded (enabled-only — the disabled path
+    never touches the lock).  The buffer can be exported as Chrome
+    [trace_event] JSON — loadable in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto} — or pretty-printed as an
+    indented tree. *)
 
 val enable : unit -> unit
 (** Start recording; also re-anchors the trace clock origin. *)

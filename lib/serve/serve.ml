@@ -23,6 +23,13 @@ type t = {
   cache : Cache.t option;
   profiles : (string, Profile.t) Hashtbl.t;
   mutable served : int;
+  caching : bool;
+  pref_space_capacity : int option;
+  memo_estimates : bool option;
+  mutable shards : t array;
+      (* domain-local sub-servers for parallel replay; [||] until
+         [shards] is first called, then persistent so a later replay
+         over the same pool finds its caches warm *)
 }
 
 exception Unknown_user of string
@@ -36,6 +43,10 @@ let create ?(caching = true) ?pref_space_capacity ?memo_estimates catalog =
        else None);
     profiles = Hashtbl.create 16;
     served = 0;
+    caching;
+    pref_space_capacity;
+    memo_estimates;
+    shards = [||];
   }
 
 let catalog t = t.catalog
@@ -78,3 +89,39 @@ let serve t req =
 
 let serve_batch t reqs = List.map (serve t) reqs
 let requests_served t = t.served
+
+(* --- sharding (parallel replay support) ------------------------------ *)
+
+let shards t n =
+  if n < 1 then invalid_arg "Serve.shards: need at least one shard";
+  if Array.length t.shards <> n then
+    (* A size change rebuilds the fleet (cold caches); the usual case —
+       same pool across replay passes — reuses warm shards. *)
+    t.shards <-
+      Array.init n (fun _ ->
+          create ~caching:t.caching ?pref_space_capacity:t.pref_space_capacity
+            ?memo_estimates:t.memo_estimates t.catalog);
+  (* Sync the parent's current profiles down.  [set_profile] only
+     invalidates on a fingerprint change, so re-pushing unchanged
+     profiles before a warm pass costs nothing. *)
+  Array.iter
+    (fun shard ->
+      Hashtbl.iter (fun user p -> set_profile shard ~user p) t.profiles)
+    t.shards;
+  t.shards
+
+let drain_shards t ~served =
+  Array.iter
+    (fun shard ->
+      Hashtbl.iter (fun user p -> set_profile t ~user p) shard.profiles)
+    t.shards;
+  t.served <- t.served + served;
+  if Metrics.is_enabled () then begin
+    let caches =
+      List.filter_map (fun s -> s.cache) (t :: Array.to_list t.shards)
+    in
+    Cache.publish_gauge_totals caches
+  end
+
+let shard_caches t =
+  List.filter_map (fun s -> s.cache) (Array.to_list t.shards)

@@ -63,3 +63,31 @@ val serve_batch : t -> request list -> response list
 (** Serve in order; a raised exception aborts the rest of the batch. *)
 
 val requests_served : t -> int
+
+(** {1 Sharding}
+
+    Parallel replay ({!Workload.replay} with a pool) partitions users
+    over a fleet of {e shard} servers — full [Serve.t]s sharing the
+    catalog but owning domain-local caches, so no cache is ever
+    touched by two domains.  Responses are bit-identical to a
+    sequential replay because caches cannot change results (the
+    [test_serve_diff] invariant) and each user's entry order is
+    preserved within its shard. *)
+
+val shards : t -> int -> t array
+(** The parent's persistent shard fleet, created on first use (and
+    recreated, cold, when [n] changes) with the parent's caching
+    configuration.  Every call syncs the parent's current profiles
+    down; unchanged profiles do not disturb warm shard caches.
+    @raise Invalid_argument when [n < 1]. *)
+
+val drain_shards : t -> served:int -> unit
+(** Merge shard state back after a parallel replay: re-install every
+    shard profile on the parent (so subsequent sequential serves see
+    mid-replay updates), add [served] to the parent's request count,
+    and re-publish the [serve.cache.*] gauges as fleet-wide totals
+    ({!Cqp_core.Cache.publish_gauge_totals}). *)
+
+val shard_caches : t -> Cqp_core.Cache.t list
+(** The shard fleet's caches (empty before {!shards} or with caching
+    off) — for summary output that reports fleet totals. *)

@@ -69,18 +69,71 @@ let generate ?(users = 3) ?(requests = 20) ?(updates = 0) ?(execute = false)
   in
   installs @ interleaved
 
-let replay server entries =
+let install server ~user seed =
+  let profile =
+    Profile_gen.generate ~rng:(Rng.create seed) (Serve.catalog server)
+  in
+  Serve.set_profile server ~user profile
+
+let replay_sequential server entries =
   List.filter_map
     (function
       | Set_profile { user; seed } ->
-          let profile =
-            Profile_gen.generate ~rng:(Rng.create seed)
-              (Serve.catalog server)
-          in
-          Serve.set_profile server ~user profile;
+          install server ~user seed;
           None
       | Request req -> Some (Serve.serve server req))
     entries
+
+(* Parallel replay: partition entries by user over one shard server per
+   pool domain.  Per-user entry order (profile installs vs. requests)
+   is preserved inside a shard, and each response is written into the
+   slot of its original position, so the response list is the
+   sequential one bit for bit — only latencies and cache hit/miss
+   splits (domain-local caches) may differ, and caches cannot change
+   results.  The user→shard map hashes the user name, never the pool
+   size-independent entry order, so it is stable for a given domain
+   count. *)
+let replay_parallel pool server entries =
+  let nshards = Cqp_par.Pool.domains pool in
+  let shards = Serve.shards server nshards in
+  let shard_of user = Hashtbl.hash user mod nshards in
+  let per_shard = Array.make nshards [] in
+  let slots = ref 0 in
+  List.iter
+    (fun entry ->
+      let user, tagged =
+        match entry with
+        | Set_profile { user; seed } -> (user, `Install (user, seed))
+        | Request req ->
+            let slot = !slots in
+            incr slots;
+            (req.Serve.user, `Serve (slot, req))
+      in
+      let s = shard_of user in
+      per_shard.(s) <- tagged :: per_shard.(s))
+    entries;
+  let responses = Array.make !slots None in
+  let job s =
+    let shard = shards.(s) in
+    List.iter
+      (function
+        | `Install (user, seed) -> install shard ~user seed
+        | `Serve (slot, req) ->
+            responses.(slot) <- Some (Serve.serve shard req))
+      (List.rev per_shard.(s))
+  in
+  (* An exception in any shard (e.g. [Serve.Unknown_user]) aborts the
+     replay after the batch drains, like a sequential replay aborts its
+     remainder — the pool re-raises the lowest-shard failure. *)
+  Cqp_par.Pool.run_all pool (Array.init nshards (fun s _index -> job s));
+  Serve.drain_shards server ~served:!slots;
+  Array.to_list responses |> List.filter_map Fun.id
+
+let replay ?pool server entries =
+  match pool with
+  | Some pool when Cqp_par.Pool.domains pool > 1 ->
+      replay_parallel pool server entries
+  | Some _ | None -> replay_sequential server entries
 
 (* --- on-disk format --- *)
 

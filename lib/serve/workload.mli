@@ -32,9 +32,20 @@ val generate :
     interleaved at deterministic positions.  [execute] (default
     [false]) marks every request for engine execution. *)
 
-val replay : Serve.t -> entry list -> Serve.response list
+val replay : ?pool:Cqp_par.Pool.t -> Serve.t -> entry list -> Serve.response list
 (** Apply entries in order; [Set_profile] installs (returning
-    nothing), [Request] serves. *)
+    nothing), [Request] serves.
+
+    With a [pool] of more than one domain, entries are partitioned by
+    user over the server's persistent {!Serve.shards} fleet (one shard
+    per domain, each with domain-local caches) and replayed in
+    parallel.  Responses come back in entry order and are
+    bit-identical to the sequential replay — caches cannot change
+    results and per-user entry order is preserved within a shard —
+    while per-request latencies and the hit/miss split across the
+    domain-local caches naturally differ ([test/test_par_diff.ml]
+    checks both claims).  A shard exception aborts the replay after
+    the in-flight batch drains, re-raising the lowest-shard failure. *)
 
 (** {1 On-disk format}
 

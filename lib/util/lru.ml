@@ -18,6 +18,10 @@ type stats = {
 type ('k, 'v) t = {
   capacity : int;
   weight : 'v -> int;
+  lock : Mutex.t;
+      (** serializes every operation: list surgery, table mutation and
+          the stats fields all move together, so a cache shared across
+          domains stays structurally sound and loses no stat updates *)
   tbl : ('k, ('k, 'v) node) Hashtbl.t;
   mutable mru : ('k, 'v) node option;  (** head: most recently used *)
   mutable lru : ('k, 'v) node option;  (** tail: eviction victim *)
@@ -34,6 +38,7 @@ let create ?(weight = fun _ -> 1) ~capacity () =
   {
     capacity;
     weight;
+    lock = Mutex.create ();
     tbl = Hashtbl.create (max 16 capacity);
     mru = None;
     lru = None;
@@ -45,9 +50,13 @@ let create ?(weight = fun _ -> 1) ~capacity () =
     removals = 0;
   }
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let capacity t = t.capacity
-let length t = Hashtbl.length t.tbl
-let weight_held t = t.held
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+let weight_held t = locked t (fun () -> t.held)
 
 let unlink t n =
   (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
@@ -67,6 +76,7 @@ let drop t n =
   t.held <- t.held - n.w
 
 let find t k =
+  locked t @@ fun () ->
   t.lookups <- t.lookups + 1;
   match Hashtbl.find_opt t.tbl k with
   | Some n ->
@@ -76,9 +86,10 @@ let find t k =
       Some n.value
   | None -> None
 
-let mem t k = Hashtbl.mem t.tbl k
+let mem t k = locked t (fun () -> Hashtbl.mem t.tbl k)
 
 let add t k v =
+  locked t @@ fun () ->
   if t.capacity > 0 then begin
     match Hashtbl.find_opt t.tbl k with
     | Some n ->
@@ -103,6 +114,11 @@ let add t k v =
         end
   end
 
+(* [compute] runs outside the lock: a slow fill must not serialize
+   unrelated operations on a shared cache.  Two domains missing the
+   same key may both compute; the later [add] replaces the earlier
+   value in place (not counted as a second insert), which is safe for
+   the pure computations cached here. *)
 let find_or_add t k compute =
   match find t k with
   | Some v -> v
@@ -112,6 +128,7 @@ let find_or_add t k compute =
       v
 
 let remove t k =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.tbl k with
   | Some n ->
       drop t n;
@@ -120,6 +137,7 @@ let remove t k =
   | None -> false
 
 let remove_if t p =
+  locked t @@ fun () ->
   let victims =
     Hashtbl.fold (fun k n acc -> if p k then n :: acc else acc) t.tbl []
   in
@@ -129,6 +147,7 @@ let remove_if t p =
   n
 
 let clear t =
+  locked t @@ fun () ->
   t.removals <- t.removals + Hashtbl.length t.tbl;
   Hashtbl.reset t.tbl;
   t.mru <- None;
@@ -136,6 +155,7 @@ let clear t =
   t.held <- 0
 
 let stats t =
+  locked t @@ fun () ->
   {
     lookups = t.lookups;
     hits = t.hits;

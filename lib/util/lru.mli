@@ -6,8 +6,15 @@
     reporting, and a running statistics record that the cache layer
     publishes as [serve.cache.*] metrics.
 
-    Keys are compared structurally.  Not thread-safe: the serve layer
-    drives one cache per context. *)
+    Keys are compared structurally.  Thread-safe: every operation
+    (including the stats fields, which previously raced) is serialized
+    by one internal mutex, so a cache shared across domains stays
+    structurally sound and its counters reconcile exactly —
+    [test/test_par_stress.ml] hammers one cache from four domains.
+    {!find_or_add} runs its compute function {e outside} the lock: two
+    domains missing the same key may both compute, and the later store
+    replaces the earlier value (not counted as a second insert), which
+    is safe for the pure derivations cached here. *)
 
 type ('k, 'v) t
 
@@ -47,7 +54,9 @@ val add : ('k, 'v) t -> 'k -> 'v -> unit
     capacity 0. *)
 
 val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
-(** [find], and on a miss compute the value, [add] it, return it. *)
+(** [find], and on a miss compute the value, [add] it, return it.
+    The compute function runs without the cache lock held (see the
+    module note on concurrent double-computes). *)
 
 val remove : ('k, 'v) t -> 'k -> bool
 (** Drop one entry; [false] when absent. *)

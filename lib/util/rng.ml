@@ -35,6 +35,10 @@ let split t key =
            (Int64.mul (Int64.of_int (key + 1)) 0xD1B54A32D192ED03L));
   }
 
+let streams t n =
+  if n < 0 then invalid_arg "Rng.streams: negative count";
+  Array.init n (split t)
+
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   let v = Int64.to_int (Int64.shift_right_logical (next t) 2) land max_int in

@@ -20,6 +20,16 @@ val split : t -> int -> t
     or interleaved with cache-warming replays.
     @raise Invalid_argument when [key < 0]. *)
 
+val streams : t -> int -> t array
+(** [streams t n] is [n] independent generators, [split t] keyed by
+    index.  The parallel layers hand stream [i] to job [i] of a fan-out
+    — randomness then depends on the job's index alone, never on which
+    domain runs it or in what order, so parallel runs draw bit-identical
+    numbers to sequential ones.  A single [t] must never be shared
+    across domains (its state advances unsynchronized); split first,
+    then fan out.
+    @raise Invalid_argument when [n < 0]. *)
+
 val int : t -> int -> int
 (** [int t n] is uniform in [[0, n-1]]. @raise Invalid_argument if
     [n <= 0]. *)

@@ -227,9 +227,10 @@ let test_memory_ordering () =
   let d_heur = peak C.Algorithm.D_heurdoi in
   checkb "D_MaxDoi uses more memory than D_HeurDoi" true (d_maxdoi > d_heur)
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Testlib.qc
 
 let () =
+  Testlib.seed_banner "algorithms";
   Alcotest.run "algorithms"
     [
       ( "worked examples",

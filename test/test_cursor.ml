@@ -139,9 +139,10 @@ let prop_cursor_matches_engine =
       in
       same_results sql)
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Testlib.qc
 
 let () =
+  Testlib.seed_banner "cursor";
   Alcotest.run "cursor"
     [
       ( "equivalence",

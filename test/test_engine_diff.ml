@@ -14,44 +14,7 @@ module Rowset = Cqp_exec.Rowset
 module Eval = Cqp_exec.Eval
 module Rng = Cqp_util.Rng
 
-let catalog =
-  let c = Cqp_relal.Catalog.create () in
-  let rng = Rng.create 1234 in
-  let add name cols mk n =
-    Cqp_relal.Catalog.add c
-      (Cqp_relal.Relation.of_tuples ~block_size:256
-         (Cqp_relal.Schema.make name cols)
-         (List.init n (mk rng)))
-  in
-  add "r"
-    [ ("a", V.Tint, 8); ("b", V.Tint, 8); ("s", V.Tstring, 8) ]
-    (fun rng _ ->
-      Tuple.make
-        [
-          V.Int (Rng.int rng 8);
-          (if Rng.int rng 10 = 0 then V.Null else V.Int (Rng.int rng 5));
-          V.String (String.make 1 (Char.chr (97 + Rng.int rng 4)));
-        ])
-    25;
-  add "t"
-    [ ("a", V.Tint, 8); ("c", V.Tint, 8) ]
-    (fun rng _ ->
-      Tuple.make
-        [
-          V.Int (Rng.int rng 8);
-          (if Rng.int rng 10 = 0 then V.Null else V.Int (Rng.int rng 6));
-        ])
-    20;
-  add "u"
-    [ ("c", V.Tint, 8); ("s", V.Tstring, 8) ]
-    (fun rng _ ->
-      Tuple.make
-        [
-          V.Int (Rng.int rng 6);
-          V.String (String.make 1 (Char.chr (97 + Rng.int rng 4)));
-        ])
-    15;
-  c
+let catalog = Testlib.rtu_catalog ()
 
 (* --- random query generation ------------------------------------------ *)
 
@@ -381,9 +344,10 @@ let prop_roundtrip_ordered_same_result =
       let rows q = rendered (Engine.execute catalog q).Engine.rows in
       rows q = rows q')
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Testlib.qc
 
 let () =
+  Testlib.seed_banner "engine_diff";
   Alcotest.run "engine_diff"
     [
       ( "differential",

@@ -169,9 +169,10 @@ let prop_fabricated_orders =
               && sub.C.Params.size >= full.C.Params.size -. 1e-12)
         (C.State.all_states ~k:6))
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Testlib.qc
 
 let () =
+  Testlib.seed_banner "estimate";
   Alcotest.run "estimate"
     [
       ( "cost",

@@ -304,9 +304,10 @@ let prop_like_prefix =
       String.contains s '%' || String.contains s '_'
       || Eval.like_match ~pattern:(s ^ "%") (s ^ suffix))
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Testlib.qc
 
 let () =
+  Testlib.seed_banner "exec";
   Alcotest.run "exec"
     [
       ( "operators",

@@ -502,9 +502,10 @@ let test_state_mask () =
     (let a = C.State.mask [ 1; 3 ] and b = C.State.mask [ 0; 1; 3 ] in
      a land b = a)
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Testlib.qc
 
 let () =
+  Testlib.seed_banner "extensions";
   Alcotest.run "extensions"
     [
       ( "ranker",

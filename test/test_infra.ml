@@ -229,6 +229,7 @@ let test_split_depends_on_parent_state () =
     (s_before = s_after)
 
 let () =
+  Testlib.seed_banner "infra";
   Alcotest.run "infra"
     [
       ( "rq",

@@ -165,6 +165,7 @@ let test_figure1_scenario () =
        outcome.C.Personalizer.rows)
 
 let () =
+  Testlib.seed_banner "integration";
   Alcotest.run "integration"
     [
       ( "pipeline",

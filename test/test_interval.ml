@@ -127,9 +127,10 @@ let test_match_rate_reasonable () =
     true
     (!total > 10 && float_of_int !matched >= 0.7 *. float_of_int !total)
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Testlib.qc
 
 let () =
+  Testlib.seed_banner "interval";
   Alcotest.run "interval"
     [
       ( "dual boundaries",

@@ -85,6 +85,7 @@ let test_empty_space () =
     runs
 
 let () =
+  Testlib.seed_banner "metaheuristics";
   Alcotest.run "metaheuristics"
     [
       ( "baselines",

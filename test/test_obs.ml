@@ -267,6 +267,7 @@ let test_instrument_publish () =
     (Metrics.counter_value "solver.states_visited")
 
 let () =
+  Testlib.seed_banner "obs";
   Alcotest.run "obs"
     [
       ( "trace",

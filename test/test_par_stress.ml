@@ -1,0 +1,153 @@
+(* Concurrency stress tests: hammer the shared observability and cache
+   structures from four domains at once and assert exact totals — a
+   lost update, a spurious underflow or a broken stats reconciliation
+   is a race made visible.  Complements test_par_diff (which proves
+   determinism of results); this file proves the shared mutable state
+   underneath is sound. *)
+
+module C = Cqp_core
+module Pool = Cqp_par.Pool
+module Lru = Cqp_util.Lru
+module Metrics = Cqp_obs.Metrics
+
+let domains = 4
+let jobs = 8
+let iters = 20_000
+
+let hammer f =
+  Pool.with_pool ~domains (fun pool ->
+      Pool.run_all pool
+        (Array.init jobs (fun job _index ->
+             for i = 0 to iters - 1 do
+               f job i
+             done)))
+
+(* --- metrics registry -------------------------------------------------- *)
+
+let test_counters_exact () =
+  Metrics.enable ();
+  Metrics.reset ();
+  hammer (fun _job i ->
+      Metrics.incr "stress.counter";
+      Metrics.add "stress.bulk" 3;
+      Metrics.observe "stress.hist" (float_of_int (i land 1023)));
+  Alcotest.(check int)
+    "no increment lost" (jobs * iters)
+    (Metrics.counter_value "stress.counter");
+  Alcotest.(check int)
+    "no bulk add lost" (3 * jobs * iters)
+    (Metrics.counter_value "stress.bulk");
+  Alcotest.(check int)
+    "no observation lost" (jobs * iters)
+    (Metrics.histogram_count "stress.hist");
+  Metrics.disable ();
+  Metrics.reset ()
+
+let test_disabled_takes_no_lock () =
+  Metrics.disable ();
+  let before = Metrics.lock_acquisitions () in
+  for _ = 1 to 10_000 do
+    Metrics.incr "stress.disabled";
+    Metrics.observe "stress.disabled.h" 1.0
+  done;
+  Alcotest.(check int)
+    "disabled recording never touches the mutex" before
+    (Metrics.lock_acquisitions ());
+  Alcotest.(check int)
+    "and records nothing" 0
+    (Metrics.counter_value "stress.disabled")
+
+(* --- instrument memory account ---------------------------------------- *)
+
+let test_hold_release_exact () =
+  let stats = C.Instrument.create () in
+  hammer (fun _job _i ->
+      C.Instrument.hold_words stats 5;
+      C.Instrument.release_words stats 5);
+  Alcotest.(check int) "all holds released" 0 stats.C.Instrument.live_words;
+  Alcotest.(check int)
+    "no spurious underflow" 0 stats.C.Instrument.hold_underflows;
+  Alcotest.(check bool)
+    "peak saw at least one hold" true
+    (stats.C.Instrument.peak_words >= 5)
+
+let test_underflow_detected_not_corrupting () =
+  (* Unbalanced releases from several domains must clamp at zero and
+     count every imbalance — never drive [live_words] negative. *)
+  let stats = C.Instrument.create () in
+  hammer (fun _job _i -> C.Instrument.release_words stats 7);
+  Alcotest.(check int) "live clamped at zero" 0 stats.C.Instrument.live_words;
+  Alcotest.(check int)
+    "every unmatched release counted" (jobs * iters)
+    stats.C.Instrument.hold_underflows
+
+(* --- shared LRU -------------------------------------------------------- *)
+
+let test_lru_reconciles () =
+  let cache = Lru.create ~weight:(fun _ -> 2) ~capacity:64 () in
+  hammer (fun job i ->
+      let key = (job + i) mod 97 in
+      ignore (Lru.find_or_add cache key (fun () -> key * key));
+      if i land 1023 = 0 then ignore (Lru.remove cache ((key + 48) mod 97)));
+  let s = Lru.stats cache in
+  Alcotest.(check int)
+    "every probe accounted" (jobs * iters)
+    s.Lru.lookups;
+  Alcotest.(check int)
+    "lookups reconcile as hits + misses" s.Lru.lookups
+    (s.Lru.hits + s.Lru.misses);
+  Alcotest.(check bool)
+    "never over capacity" true
+    (Lru.length cache <= Lru.capacity cache);
+  Alcotest.(check int)
+    "weight account matches live entries" (2 * Lru.length cache)
+    (Lru.weight_held cache);
+  Alcotest.(check bool)
+    "evictions never exceed inserts" true
+    (s.Lru.evictions <= s.Lru.inserts)
+
+(* --- pool error accounting -------------------------------------------- *)
+
+let test_pool_error_counter () =
+  Metrics.enable ();
+  Metrics.reset ();
+  (try
+     Pool.with_pool ~domains (fun pool ->
+         Pool.run_all pool
+           (Array.init 8 (fun i _index -> if i land 1 = 1 then failwith "odd")))
+   with Failure _ -> ());
+  Alcotest.(check int)
+    "every captured job exception counted" 4
+    (Metrics.counter_value "par.pool.errors");
+  Metrics.disable ();
+  Metrics.reset ()
+
+let () =
+  Testlib.seed_banner "par_stress";
+  Alcotest.run "par_stress"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters exact under contention" `Quick
+            test_counters_exact;
+          Alcotest.test_case "disabled path takes no lock" `Quick
+            test_disabled_takes_no_lock;
+        ] );
+      ( "instrument",
+        [
+          Alcotest.test_case "hold/release exact under contention" `Quick
+            test_hold_release_exact;
+          Alcotest.test_case "underflows counted, never corrupting" `Quick
+            test_underflow_detected_not_corrupting;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "shared cache reconciles exactly" `Quick
+            test_lru_reconciles;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "error counter exact" `Quick
+            test_pool_error_counter;
+        ] );
+    ]

@@ -184,6 +184,7 @@ let test_location_steers_answers () =
     outcome.C.Personalizer.rows
 
 let () =
+  Testlib.seed_banner "policy";
   Alcotest.run "policy"
     [
       ( "mapping",

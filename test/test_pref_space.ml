@@ -209,9 +209,10 @@ let prop_vectors_sorted =
            (fun i j -> items.(i).C.Pref_space.doi >= items.(j).C.Pref_space.doi)
            (Array.to_list (Array.init (Array.length items) Fun.id)))
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Testlib.qc
 
 let () =
+  Testlib.seed_banner "pref_space";
   Alcotest.run "pref_space"
     [
       ( "extraction",

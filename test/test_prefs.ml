@@ -220,9 +220,10 @@ let test_pgraph_invalid_profile () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Testlib.qc
 
 let () =
+  Testlib.seed_banner "prefs";
   Alcotest.run "prefs"
     [
       ( "doi",

@@ -209,9 +209,10 @@ let test_catalog () =
   Catalog.refresh_stats c;
   checkb "refresh drops cache" true (not (st == Catalog.stats c "s"))
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Testlib.qc
 
 let () =
+  Testlib.seed_banner "relal";
   Alcotest.run "relal"
     [
       ( "value",

@@ -164,6 +164,7 @@ let test_semantic_equivalence () =
     subsets
 
 let () =
+  Testlib.seed_banner "rewrite";
   Alcotest.run "rewrite"
     [
       ( "construction",

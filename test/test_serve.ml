@@ -112,7 +112,7 @@ let test_lru_invariants_fuzz () =
 (* --- Cache -------------------------------------------------------------- *)
 
 let catalog =
-  lazy (W.Imdb.build ~config:W.Imdb.small_config ~seed:11 ())
+  lazy (Testlib.small_imdb ~seed:11 ())
 
 let mk_profile seed =
   W.Profile_gen.generate ~rng:(Rng.create seed) (Lazy.force catalog)
@@ -284,6 +284,7 @@ let test_workload_replay_deterministic () =
   Alcotest.(check (list string)) "replay is deterministic" (run ()) (run ())
 
 let () =
+  Testlib.seed_banner "serve";
   Alcotest.run "serve"
     [
       ( "lru",

@@ -10,17 +10,11 @@ module W = Cqp_workload
 module S = Cqp_serve
 module Rng = Cqp_util.Rng
 
-let catalog = lazy (W.Imdb.build ~config:W.Imdb.small_config ~seed:3 ())
+let catalog = lazy (Testlib.small_imdb ~seed:3 ())
 
-(* Everything observable about a response, compared with structural
-   equality — floats included, so any drift is caught bit-for-bit. *)
-let observable (r : S.Serve.response) =
-  let o = r.S.Serve.outcome in
-  let sol = o.C.Personalizer.solution in
-  ( sol.C.Solution.pref_ids,
-    sol.C.Solution.params,
-    Cqp_sql.Printer.to_string o.C.Personalizer.personalized,
-    o.C.Personalizer.rows )
+(* Everything observable about a response (solutions, params, SQL,
+   rows — not latency), compared with structural equality. *)
+let observable = Testlib.serve_observable
 
 let replay_observables ~caching entries =
   let server = S.Serve.create ~caching (Lazy.force catalog) in
@@ -97,9 +91,10 @@ let test_no_stale_hit_after_update () =
   Alcotest.(check bool) "back to A = fresh A" true (a2 = fresh profile_a);
   Alcotest.(check bool) "A and B actually differ" false (a1 = b)
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Testlib.qc
 
 let () =
+  Testlib.seed_banner "serve_diff";
   Alcotest.run "serve_diff"
     [
       ( "differential",

@@ -263,9 +263,10 @@ let test_small_k_sweep () =
       ]
   done
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Testlib.qc
 
 let () =
+  Testlib.seed_banner "solver";
   Alcotest.run "solver"
     [
       ( "problems",

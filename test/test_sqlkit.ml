@@ -226,9 +226,10 @@ let prop_predicate_roundtrip =
       let s = Printer.predicate_to_string p in
       Ast.equal_predicate p (Parser.parse_predicate s))
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Testlib.qc
 
 let () =
+  Testlib.seed_banner "sqlkit";
   Alcotest.run "sqlkit"
     [
       ( "lexer",

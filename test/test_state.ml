@@ -234,9 +234,10 @@ let prop_id_chain_matches_scratch =
           !ok)
         [ Doi.Noisy_or; Doi.Max_combine ])
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Testlib.qc
 
 let () =
+  Testlib.seed_banner "state";
   Alcotest.run "state"
     [
       ( "structure",

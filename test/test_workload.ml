@@ -164,6 +164,7 @@ let test_experiment_average () =
   checkb "all skipped -> nan" true (Float.is_nan avg_skip)
 
 let () =
+  Testlib.seed_banner "workload";
   Alcotest.run "workload"
     [
       ( "rng",

@@ -3,6 +3,29 @@
 module V = Cqp_relal.Value
 module C = Cqp_core
 
+(* --- deterministic qcheck driver ---------------------------------- *)
+
+(* Every suite seeds its qcheck generators from one fixed value
+   (overridable through QCHECK_SEED) and announces it up front, so a
+   CI failure reproduces locally without seed archaeology.  Suites
+   without qcheck properties still print the banner: it doubles as a
+   statement that nothing in the suite draws from an unseeded
+   generator. *)
+let qcheck_seed =
+  lazy
+    (match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+    | Some s -> s
+    | None -> 20050614)
+
+let seed_banner suite =
+  Printf.printf "[%s] deterministic qcheck seed: %d (override: QCHECK_SEED)\n%!"
+    suite (Lazy.force qcheck_seed)
+
+let qc test =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| Lazy.force qcheck_seed |])
+    test
+
 (* A one-relation catalog and trivial query, used to anchor fabricated
    preference spaces. *)
 let tiny_catalog () =
@@ -79,3 +102,67 @@ let sorted_ids (sol : C.Solution.t) = List.sort compare sol.C.Solution.pref_ids
 (* 1-based state notation for readable assertions: [c1c3] = "{1,3}". *)
 let states_to_strings states =
   List.sort compare (List.map C.State.to_string states)
+
+(* --- shared random catalogs ---------------------------------------- *)
+
+(* The r/t/u catalog the engine-level differential suites generate
+   their select-project-join queries over: small enough that a naive
+   reference evaluator stays fast, with nulls and skew to exercise the
+   planner's edge cases. *)
+let rtu_catalog () =
+  let module Rng = Cqp_util.Rng in
+  let module Tuple = Cqp_relal.Tuple in
+  let c = Cqp_relal.Catalog.create () in
+  let rng = Rng.create 1234 in
+  let add name cols mk n =
+    Cqp_relal.Catalog.add c
+      (Cqp_relal.Relation.of_tuples ~block_size:256
+         (Cqp_relal.Schema.make name cols)
+         (List.init n (mk rng)))
+  in
+  add "r"
+    [ ("a", V.Tint, 8); ("b", V.Tint, 8); ("s", V.Tstring, 8) ]
+    (fun rng _ ->
+      Tuple.make
+        [
+          V.Int (Rng.int rng 8);
+          (if Rng.int rng 10 = 0 then V.Null else V.Int (Rng.int rng 5));
+          V.String (String.make 1 (Char.chr (97 + Rng.int rng 4)));
+        ])
+    25;
+  add "t"
+    [ ("a", V.Tint, 8); ("c", V.Tint, 8) ]
+    (fun rng _ ->
+      Tuple.make
+        [
+          V.Int (Rng.int rng 8);
+          (if Rng.int rng 10 = 0 then V.Null else V.Int (Rng.int rng 6));
+        ])
+    20;
+  add "u"
+    [ ("c", V.Tint, 8); ("s", V.Tstring, 8) ]
+    (fun rng _ ->
+      Tuple.make
+        [
+          V.Int (Rng.int rng 6);
+          V.String (String.make 1 (Char.chr (97 + Rng.int rng 4)));
+        ])
+    15;
+  c
+
+(* A small IMDB-shaped catalog for the serve-layer suites; [seed]
+   varies the data, the shape stays [small_config]. *)
+let small_imdb ~seed () =
+  Cqp_workload.Imdb.build ~config:Cqp_workload.Imdb.small_config ~seed ()
+
+(* Everything observable about a serve response, compared with
+   structural equality — floats included, so any drift between two
+   replays (cached vs. uncached, parallel vs. sequential) is caught
+   bit for bit.  Latency is deliberately absent. *)
+let serve_observable (r : Cqp_serve.Serve.response) =
+  let o = r.Cqp_serve.Serve.outcome in
+  let sol = o.C.Personalizer.solution in
+  ( sol.C.Solution.pref_ids,
+    sol.C.Solution.params,
+    Cqp_sql.Printer.to_string o.C.Personalizer.personalized,
+    o.C.Personalizer.rows )

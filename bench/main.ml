@@ -359,7 +359,7 @@ let fig6_fig8 () =
   let iota = Array.init 5 (fun i -> i) in
   let ps = { C.Pref_space.estimate; items; d = iota; c = Array.copy iota; s = Array.copy iota } in
   let space = C.Space.create ~order:C.Space.By_cost ps in
-  let bounds = C.C_boundaries.find_boundaries space ~cmax:185. in
+  let bounds = C.C_boundaries.find_boundaries ~budget:Cqp_resilience.Budget.unlimited space ~cmax:185. in
   Printf.printf "FINDBOUNDARY output: %s\n"
     (String.concat " " (List.rev_map C.State.to_string bounds));
   Printf.printf
@@ -367,7 +367,7 @@ let fig6_fig8 () =
   Printf.printf
     "   wrongly classified, lying below {2,3,4}; our prune removes it)\n";
   let space2 = C.Space.create ~order:C.Space.By_cost ps in
-  let mbounds = C.C_maxbounds.find_max_bounds space2 ~cmax:185. in
+  let mbounds = C.C_maxbounds.find_max_bounds ~budget:Cqp_resilience.Budget.unlimited space2 ~cmax:185. in
   Printf.printf "C-MAXBOUNDS output:  %s   (paper: {1,3} {2,3,4})\n%!"
     (String.concat " " (List.rev_map C.State.to_string mbounds))
 
@@ -807,11 +807,7 @@ let serve_bench () =
     Cqp_serve.Workload.generate ~users:6 ~requests:48 ~updates:2
       ~rng:(Cqp_util.Rng.create !mode.seed) catalog
   in
-  let percentile sorted p =
-    let n = Array.length sorted in
-    if n = 0 then 0.
-    else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
-  in
+  let percentile = Cqp_util.Stats.percentile in
   let passes = 3 in
   Printf.printf "%-10s %6s %12s %12s %10s %10s %10s\n" "caches" "pass"
     "total(ms)" "req/s" "p50(ms)" "p90(ms)" "p99(ms)";
@@ -865,7 +861,7 @@ let serve_bench () =
   Printf.printf "%-10s %6s %12s %12s %10s\n" "domains" "pass" "total(ms)"
     "req/s" "speedup";
   let observable (r : Cqp_serve.Serve.response) =
-    let o = r.Cqp_serve.Serve.outcome in
+    let o = Cqp_serve.Serve.outcome_exn r in
     let sol = o.C.Personalizer.solution in
     ( sol.C.Solution.pref_ids,
       sol.C.Solution.params,

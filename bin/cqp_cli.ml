@@ -316,13 +316,11 @@ let profile_cmd =
 
 (* --- serve: batch multi-user workload replay --------------------- *)
 
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.
-  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+let percentile = Cqp_util.Stats.percentile
 
 let serve_action verbose seed movies workload_file save_file users requests
-    updates repeat domains no_cache capacity execute trace metrics =
+    updates repeat domains no_cache capacity execute deadline_ms retries
+    shed_depth inject spike_ms portfolio trace metrics =
   setup_logs verbose;
   if trace <> None then Cqp_obs.Trace.enable ();
   if metrics <> None then Cqp_obs.Metrics.enable ();
@@ -340,9 +338,31 @@ let serve_action verbose seed movies workload_file save_file users requests
         Cqp_serve.Workload.save f entries;
         Format.eprintf "workload (%d entries) -> %s@." (List.length entries) f
     | None -> ());
+    let resilience =
+      let fault =
+        Option.map
+          (fun fseed ->
+            Cqp_resilience.Fault.plan
+              ~spec:
+                {
+                  Cqp_resilience.Fault.default_spec with
+                  io_spike_ms = spike_ms;
+                }
+              ~rng:(Cqp_util.Rng.create fseed) ())
+          inject
+      in
+      {
+        Cqp_resilience.Config.default with
+        deadline_ms;
+        portfolio;
+        max_retries = retries;
+        shed_queue_depth = shed_depth;
+        fault;
+      }
+    in
     let server =
       Cqp_serve.Serve.create ~caching:(not no_cache)
-        ?pref_space_capacity:capacity catalog
+        ?pref_space_capacity:capacity ~resilience catalog
     in
     let pool =
       if domains > 1 then Some (Cqp_par.Pool.create ~domains ()) else None
@@ -366,7 +386,43 @@ let serve_action verbose seed movies workload_file save_file users requests
         (if domains = 1 then "" else "s")
         n (elapsed *. 1000.)
         (if elapsed > 0. then float_of_int n /. elapsed else 0.)
-        (percentile lat 0.50) (percentile lat 0.90) (percentile lat 0.99)
+        (percentile lat 0.50) (percentile lat 0.90) (percentile lat 0.99);
+      (* Outcome tally — only interesting (and only printed) when a
+         resilience feature is on. *)
+      if not (Cqp_resilience.Config.is_inert resilience) then begin
+        let count pred = List.length (List.filter pred responses) in
+        let shed =
+          count (fun r ->
+              match r.Cqp_serve.Serve.verdict with
+              | Cqp_serve.Serve.Shed _ -> true
+              | Cqp_serve.Serve.Served _ -> false)
+        in
+        let on_served f r =
+          match r.Cqp_serve.Serve.verdict with
+          | Cqp_serve.Serve.Served s -> f s
+          | Cqp_serve.Serve.Shed _ -> false
+        in
+        let rung_count rung =
+          count (on_served (fun s -> s.Cqp_serve.Serve.rung = rung))
+        in
+        let expired =
+          count (on_served (fun s -> s.Cqp_serve.Serve.deadline_expired))
+        in
+        let retried =
+          count (on_served (fun s -> s.Cqp_serve.Serve.retries > 0))
+        in
+        Format.printf
+          "  outcomes: served=%d shed=%d deadline_expired=%d retried=%d  \
+           rungs:%s@."
+          (n - shed) shed expired retried
+          (String.concat ""
+             (List.map
+                (fun rung ->
+                  Printf.sprintf " %s=%d"
+                    (Cqp_resilience.Rung.name rung)
+                    (rung_count rung))
+                Cqp_resilience.Rung.all))
+      end
     done;
     (* Fleet-wide cache summary: the parent cache plus every shard's
        domain-local cache (sequential runs have no shards). *)
@@ -484,12 +540,70 @@ let serve_cmd =
       & info [ "execute" ]
           ~doc:"Mark generated requests for engine execution.")
   in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline in milliseconds.  Searches become \
+             anytime (best-so-far on expiry) and requests that cannot \
+             reach feasibility in time degrade down the ladder: \
+             heuristic, greedy, unpersonalized.")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int Cqp_resilience.Config.default.Cqp_resilience.Config.max_retries
+      & info [ "retries" ]
+          ~doc:
+            "Bounded-backoff retries for injected transient faults \
+             before answering unpersonalized.")
+  in
+  let shed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shed-depth" ] ~docv:"N"
+          ~doc:
+            "Load shedding: a request at queue position >= $(docv) in \
+             its serving lane is shed with an explicit outcome instead \
+             of served.")
+  in
+  let inject_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject" ] ~docv:"SEED"
+          ~doc:
+            "Enable the deterministic fault-injection plan seeded by \
+             $(docv): I/O latency spikes, forced cache misses, \
+             eviction storms, and transient exceptions, decided per \
+             request content (replayable at any domain count).")
+  in
+  let spike_ms_arg =
+    Arg.(
+      value
+      & opt float
+          Cqp_resilience.Fault.default_spec.Cqp_resilience.Fault.io_spike_ms
+      & info [ "spike-ms" ] ~docv:"MS"
+          ~doc:"Injected I/O spike duration (with $(b,--inject)).")
+  in
+  let portfolio_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "portfolio" ]
+          ~doc:"Serve the Full rung with the solver portfolio instead \
+                of each request's single algorithm.")
+  in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve_action
       $ verbose $ seed $ movies $ workload_arg $ save_arg $ users_arg
       $ requests_arg $ updates_arg $ repeat_arg $ domains_arg $ no_cache_arg
-      $ capacity_arg $ execute_arg $ trace_arg $ metrics_arg)
+      $ capacity_arg $ execute_arg $ deadline_arg $ retries_arg $ shed_arg
+      $ inject_arg $ spike_ms_arg $ portfolio_arg $ trace_arg $ metrics_arg)
 
 let () =
   let doc = "Constrained Query Personalization (SIGMOD 2005) toolkit" in

@@ -42,7 +42,7 @@ let solver = function
   | D_heurdoi -> D_heurdoi.solve
   | Exhaustive -> Exhaustive.solve
 
-let run t ps ~cmax =
+let run ?(budget = Cqp_resilience.Budget.unlimited) t ps ~cmax =
   let space = Space.create ~order:(space_order t) ps in
   Cqp_obs.Trace.with_span ~name:"solver.search"
     ~attrs:(fun () ->
@@ -53,7 +53,7 @@ let run t ps ~cmax =
       ])
     (fun () ->
       let start = Unix.gettimeofday () in
-      let solution = (solver t) space ~cmax in
+      let solution = (solver t) ~budget space ~cmax in
       let elapsed = Unix.gettimeofday () -. start in
       solution.Solution.stats.Instrument.wall_seconds <- elapsed;
       Instrument.publish solution.Solution.stats;

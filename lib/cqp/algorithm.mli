@@ -25,6 +25,13 @@ val required_orders : t -> Pref_space.orders
 (** [D_only] when the algorithm never touches the C/S vectors, so
     Preference Space can skip building them (Figure 12(b)). *)
 
-val run : t -> Pref_space.t -> cmax:float -> Solution.t
+val run :
+  ?budget:Cqp_resilience.Budget.t ->
+  t ->
+  Pref_space.t ->
+  cmax:float ->
+  Solution.t
 (** Build the appropriate space, solve Problem 2, and stamp
-    [stats.wall_seconds]. *)
+    [stats.wall_seconds].  [budget] (default unlimited) makes the
+    search anytime: on expiry the best solution found so far is
+    returned. *)

@@ -1,4 +1,6 @@
-let find_boundaries space ~cmax =
+module Budget = Cqp_resilience.Budget
+
+let find_boundaries ~budget space ~cmax =
   let k = Space.k space in
   if k = 0 then []
   else begin
@@ -30,9 +32,13 @@ let find_boundaries space ~cmax =
     mark seed;
     Rq.push_tail rq seed;
     let rec loop () =
-      match Rq.pop rq with
-      | None -> ()
-      | Some v ->
+      (* On deadline expiry the scan stops where it is; the boundaries
+         found so far feed phase 2 as the best-so-far answer. *)
+      if Budget.poll budget then ()
+      else
+        match Rq.pop rq with
+        | None -> ()
+        | Some v ->
           Instrument.visit stats;
           if v.Space.params.Params.cost <= cmax then begin
             add_boundary v;
@@ -59,10 +65,10 @@ let find_boundaries space ~cmax =
     !boundaries
   end
 
-let solve space ~cmax =
+let solve ?(budget = Budget.unlimited) space ~cmax =
   let boundaries =
     Cqp_obs.Trace.with_span ~name:"c_boundaries.find_boundaries" (fun () ->
-        let bs = find_boundaries space ~cmax in
+        let bs = find_boundaries ~budget space ~cmax in
         Cqp_obs.Trace.add_attr (Cqp_obs.Attr.int "boundaries" (List.length bs));
         bs)
   in

@@ -10,9 +10,14 @@
     ({!Cost_phase2.find_max_doi}) extracts the maximum-doi node at or
     below the boundaries. *)
 
-val find_boundaries : Space.t -> cmax:float -> State.t list
+val find_boundaries :
+  budget:Cqp_resilience.Budget.t -> Space.t -> cmax:float -> State.t list
 (** Phase one only (exposed for tests and the worked Figure 6 example).
-    The space must be cost-ordered. *)
+    The space must be cost-ordered.  The scan stops on [budget] expiry
+    and returns the boundaries found so far. *)
 
-val solve : Space.t -> cmax:float -> Solution.t
-(** Both phases. *)
+val solve :
+  ?budget:Cqp_resilience.Budget.t -> Space.t -> cmax:float -> Solution.t
+(** Both phases.  With an expired or expiring [budget] (default
+    unlimited) the answer is the best found so far — still a valid,
+    possibly sub-optimal solution. *)

@@ -1,4 +1,6 @@
-let find_max_bounds space ~cmax =
+module Budget = Cqp_resilience.Budget
+
+let find_max_bounds ~budget space ~cmax =
   let kk = Space.k space in
   if kk = 0 then []
   else begin
@@ -50,6 +52,8 @@ let find_max_bounds space ~cmax =
         Rq.push_head rq seed
       end;
       let rec loop () =
+        if Budget.poll budget then ()
+        else
         match Rq.pop rq with
         | None -> ()
         | Some v0 when covered (mask_of v0) ->
@@ -81,17 +85,17 @@ let find_max_bounds space ~cmax =
       | (_, head) :: _ -> State.group_size head
     in
     let pos = ref 0 in
-    while !pos + last_size () < kk do
+    while !pos + last_size () < kk && not (Budget.expired budget) do
       find_max_bound !pos;
       incr pos
     done;
     List.map snd !max_bounds
   end
 
-let solve space ~cmax =
+let solve ?(budget = Budget.unlimited) space ~cmax =
   let bounds =
     Cqp_obs.Trace.with_span ~name:"c_maxbounds.find_max_bounds" (fun () ->
-        let bs = find_max_bounds space ~cmax in
+        let bs = find_max_bounds ~budget space ~cmax in
         Cqp_obs.Trace.add_attr (Cqp_obs.Attr.int "max_bounds" (List.length bs));
         bs)
   in

@@ -11,8 +11,11 @@
     round.  The round loop stops once a maximal boundary covers every
     remaining preference.  Phase two is {!Cost_phase2.find_max_doi}. *)
 
-val find_max_bounds : Space.t -> cmax:float -> State.t list
+val find_max_bounds :
+  budget:Cqp_resilience.Budget.t -> Space.t -> cmax:float -> State.t list
 (** Phase one only (exposed for the worked Figure 8 example and tests).
-    The space must be cost-ordered. *)
+    The space must be cost-ordered.  Stops early (best-so-far bounds)
+    on [budget] expiry. *)
 
-val solve : Space.t -> cmax:float -> Solution.t
+val solve :
+  ?budget:Cqp_resilience.Budget.t -> Space.t -> cmax:float -> Solution.t

@@ -1,4 +1,6 @@
-let solve space ~cmax =
+module Budget = Cqp_resilience.Budget
+
+let solve ?(budget = Budget.unlimited) space ~cmax =
   let k = Space.k space in
   let stats = Space.stats space in
   let ps = Space.pref_space space in
@@ -41,17 +43,21 @@ let solve space ~cmax =
            without them. *)
         let arr = Array.of_list r.Space.state in
         let cur = ref r in
-        for i = Array.length arr - 1 downto 1 do
-          cur := Space.remove_pos space !cur arr.(i);
-          let alt = climb ~forbid:arr.(i) !cur in
-          consider alt
+        let i = ref (Array.length arr - 1) in
+        while !i >= 1 && not (Budget.poll budget) do
+          cur := Space.remove_pos space !cur arr.(!i);
+          let alt = climb ~forbid:arr.(!i) !cur in
+          consider alt;
+          decr i
         done
       end
     in
     let pos = ref 0 in
     let best_expected = ref (Pref_space.suffix_doi ps 0) in
     let rounds = ref 0 in
-    while !pos < k && !best_doi <= !best_expected do
+    while
+      !pos < k && !best_doi <= !best_expected && not (Budget.expired budget)
+    do
       let seed = !pos in
       Cqp_obs.Trace.with_span ~name:"d_heurdoi.round"
         ~attrs:(fun () -> [ Cqp_obs.Attr.int "seed" seed ])

@@ -10,5 +10,7 @@
     why the algorithm is extremely fast and memory-light (the paper's
     Figures 12–13). *)
 
-val solve : Space.t -> cmax:float -> Solution.t
-(** The space must be doi-ordered. *)
+val solve :
+  ?budget:Cqp_resilience.Budget.t -> Space.t -> cmax:float -> Solution.t
+(** The space must be doi-ordered.  Keeps the best solution found when
+    [budget] expires mid-search. *)

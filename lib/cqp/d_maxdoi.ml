@@ -1,4 +1,6 @@
-let find_optimal_valued space ~cmax =
+module Budget = Cqp_resilience.Budget
+
+let find_optimal_valued ~budget space ~cmax =
   let k = Space.k space in
   if k = 0 then []
   else begin
@@ -12,6 +14,8 @@ let find_optimal_valued space ~cmax =
     mark seed;
     Rq.push_tail rq seed;
     let rec loop () =
+      if Budget.poll budget then ()
+      else
       match Rq.pop rq with
       | None -> ()
       | Some v ->
@@ -44,14 +48,16 @@ let find_optimal_valued space ~cmax =
     !solutions
   end
 
-let find_optimal space ~cmax =
-  List.map (fun (v : Space.valued) -> v.state) (find_optimal_valued space ~cmax)
+let find_optimal ?(budget = Budget.unlimited) space ~cmax =
+  List.map
+    (fun (v : Space.valued) -> v.state)
+    (find_optimal_valued ~budget space ~cmax)
 
-let solve space ~cmax =
+let solve ?(budget = Budget.unlimited) space ~cmax =
   let stats = Space.stats space in
   let solutions =
     Cqp_obs.Trace.with_span ~name:"d_maxdoi.find_optimal" (fun () ->
-        let ss = find_optimal_valued space ~cmax in
+        let ss = find_optimal_valued ~budget space ~cmax in
         Cqp_obs.Trace.add_attr (Cqp_obs.Attr.int "candidates" (List.length ss));
         ss)
   in

@@ -1,4 +1,6 @@
-let solve space ~cmax =
+module Budget = Cqp_resilience.Budget
+
+let solve ?(budget = Budget.unlimited) space ~cmax =
   let k = Space.k space in
   let stats = Space.stats space in
   let ps = Space.pref_space space in
@@ -38,6 +40,8 @@ let solve space ~cmax =
         Rq.push_head rq seed
       end;
       let rec loop () =
+        if Budget.poll budget then ()
+        else
         match Rq.pop rq with
         | None -> ()
         | Some v0 ->
@@ -62,7 +66,9 @@ let solve space ~cmax =
     let pos = ref 0 in
     let best_expected = ref (Pref_space.suffix_doi ps 0) in
     let rounds = ref 0 in
-    while !pos < k && !best_doi <= !best_expected do
+    while
+      !pos < k && !best_doi <= !best_expected && not (Budget.expired budget)
+    do
       let seed = !pos in
       Cqp_obs.Trace.with_span ~name:"d_singlemaxdoi.round"
         ~attrs:(fun () -> [ Cqp_obs.Attr.int "seed" seed ])

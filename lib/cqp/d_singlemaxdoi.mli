@@ -10,5 +10,7 @@
     exceeds BestExpectedDoi, the doi of all not-yet-seeded preferences
     combined. *)
 
-val solve : Space.t -> cmax:float -> Solution.t
-(** The space must be doi-ordered. *)
+val solve :
+  ?budget:Cqp_resilience.Budget.t -> Space.t -> cmax:float -> Solution.t
+(** The space must be doi-ordered.  Keeps the best solution found when
+    [budget] expires mid-search. *)

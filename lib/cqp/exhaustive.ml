@@ -21,7 +21,9 @@ let iter_subsets space f =
   in
   go 0 [] 0 (Space.params_of_ids space [])
 
-let solve space ~cmax =
+exception Deadline
+
+let solve ?(budget = Cqp_resilience.Budget.unlimited) space ~cmax =
   let k = Space.k space in
   check_k k;
   let stats = Space.stats space in
@@ -29,14 +31,17 @@ let solve space ~cmax =
   Cqp_obs.Trace.with_span ~name:"exhaustive.sweep"
     ~attrs:(fun () -> [ Cqp_obs.Attr.int "subsets" (1 lsl k) ])
     (fun () ->
-      iter_subsets space (fun ids n p ->
-          if n > 0 then begin
-            Instrument.visit stats;
-            if p.Params.cost <= cmax && p.Params.doi > !best_doi then begin
-              best_doi := p.Params.doi;
-              best := ids
-            end
-          end));
+      try
+        iter_subsets space (fun ids n p ->
+            if Cqp_resilience.Budget.poll budget then raise Deadline;
+            if n > 0 then begin
+              Instrument.visit stats;
+              if p.Params.cost <= cmax && p.Params.doi > !best_doi then begin
+                best_doi := p.Params.doi;
+                best := ids
+              end
+            end)
+      with Deadline -> ());
   Solution.of_ids space !best
 
 let solve_problem space problem =

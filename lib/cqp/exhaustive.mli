@@ -16,8 +16,10 @@ val iter_subsets : Space.t -> (int list -> int -> Params.t -> unit) -> unit
     from-scratch {!Space.params_of_ids} fold exactly.
     @raise Invalid_argument when K exceeds {!max_k}. *)
 
-val solve : Space.t -> cmax:float -> Solution.t
-(** Problem 2: maximize doi under [cost <= cmax].
+val solve :
+  ?budget:Cqp_resilience.Budget.t -> Space.t -> cmax:float -> Solution.t
+(** Problem 2: maximize doi under [cost <= cmax].  On [budget] expiry
+    the sweep aborts with the best subset enumerated so far.
     @raise Invalid_argument when K exceeds {!max_k}. *)
 
 val solve_problem : Space.t -> Problem.t -> Solution.t option

@@ -1,4 +1,5 @@
 module Rng = Cqp_util.Rng
+module Deadline = Cqp_resilience.Budget
 
 type budget = { evaluations : int }
 
@@ -53,7 +54,8 @@ let random_bits rng k =
   Array.init k (fun _ -> Rng.bool rng)
 
 let simulated_annealing ?(budget = default_budget)
-    ?(initial_temperature = 1.0) ?(cooling = 0.995) ~rng space ~cmax =
+    ?(deadline = Deadline.unlimited) ?(initial_temperature = 1.0)
+    ?(cooling = 0.995) ~rng space ~cmax =
   let k = Space.k space in
   if k = 0 then Solution.empty space
   else begin
@@ -66,7 +68,9 @@ let simulated_annealing ?(budget = default_budget)
     let best_fit = ref !current_fit in
     let temperature = ref initial_temperature in
     let accepts = ref 0 in
-    for _ = 1 to budget.evaluations do
+    let remaining = ref budget.evaluations in
+    while !remaining > 0 && not (Deadline.poll deadline) do
+      decr remaining;
       let flip = Rng.int rng k in
       current.(flip) <- not current.(flip);
       let p = probe_params space ~n:!n !cur_params current flip in
@@ -95,8 +99,8 @@ let simulated_annealing ?(budget = default_budget)
     best_feasible space ~cmax [ !best ]
   end
 
-let genetic ?(budget = default_budget) ?(population = 24)
-    ?(mutation_rate = 0.05) ~rng space ~cmax =
+let genetic ?(budget = default_budget) ?(deadline = Deadline.unlimited)
+    ?(population = 24) ?(mutation_rate = 0.05) ~rng space ~cmax =
   let k = Space.k space in
   if k = 0 then Solution.empty space
   else begin
@@ -120,7 +124,7 @@ let genetic ?(budget = default_budget) ?(population = 24)
           if Rng.float rng 1.0 < mutation_rate then child.(i) <- not child.(i))
         child
     in
-    while !evals < budget.evaluations do
+    while !evals < budget.evaluations && not (Deadline.poll deadline) do
       let child = crossover (tournament ()) (tournament ()) in
       mutate child;
       let f = fitness space ~cmax child in
@@ -136,7 +140,8 @@ let genetic ?(budget = default_budget) ?(population = 24)
     best_feasible space ~cmax (Array.to_list pop)
   end
 
-let tabu ?(budget = default_budget) ?(tenure = 8) ~rng space ~cmax =
+let tabu ?(budget = default_budget) ?(deadline = Deadline.unlimited)
+    ?(tenure = 8) ~rng space ~cmax =
   let k = Space.k space in
   if k = 0 then Solution.empty space
   else begin
@@ -149,7 +154,7 @@ let tabu ?(budget = default_budget) ?(tenure = 8) ~rng space ~cmax =
     let tabu_until = Array.make k 0 in
     let evals = ref 0 in
     let iter = ref 0 in
-    while !evals < budget.evaluations do
+    while !evals < budget.evaluations && not (Deadline.poll deadline) do
       incr iter;
       (* Evaluate the whole flip neighborhood; take the best non-tabu
          move (aspiration: a tabu move improving the global best is

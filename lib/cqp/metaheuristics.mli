@@ -8,7 +8,9 @@
     states with flip neighborhoods, and are benchmarked against the
     CQP-aware algorithms in the ablation experiment.
 
-    All are deterministic given the {!Cqp_util.Rng.t} seed. *)
+    All are deterministic given the {!Cqp_util.Rng.t} seed (and an
+    unexpired [deadline]: a {!Cqp_resilience.Budget.t} cuts the
+    evaluation loop short at its best-so-far state). *)
 
 type budget = {
   evaluations : int;  (** parameter-evaluation budget per run *)
@@ -18,6 +20,7 @@ val default_budget : budget
 
 val simulated_annealing :
   ?budget:budget ->
+  ?deadline:Cqp_resilience.Budget.t ->
   ?initial_temperature:float ->
   ?cooling:float ->
   rng:Cqp_util.Rng.t ->
@@ -27,6 +30,7 @@ val simulated_annealing :
 
 val genetic :
   ?budget:budget ->
+  ?deadline:Cqp_resilience.Budget.t ->
   ?population:int ->
   ?mutation_rate:float ->
   rng:Cqp_util.Rng.t ->
@@ -36,6 +40,7 @@ val genetic :
 
 val tabu :
   ?budget:budget ->
+  ?deadline:Cqp_resilience.Budget.t ->
   ?tenure:int ->
   rng:Cqp_util.Rng.t ->
   Space.t ->

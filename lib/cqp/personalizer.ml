@@ -12,7 +12,15 @@ type outcome = {
 }
 
 let personalize_query ?(algorithm = Algorithm.C_boundaries) ?max_k ?cache
-    catalog profile ~query ~problem =
+    ?orders ?solve catalog profile ~query ~problem =
+  (* A custom [solve] may race algorithms beyond the configured one
+     (the serve path's portfolio rung), so it can demand more order
+     vectors than [algorithm] alone requires. *)
+  let orders =
+    match orders with
+    | Some o -> o
+    | None -> Algorithm.required_orders algorithm
+  in
   (match cache with
   | Some c when not (Cache.catalog c == catalog) ->
       invalid_arg
@@ -40,18 +48,21 @@ let personalize_query ?(algorithm = Algorithm.C_boundaries) ?max_k ?cache
     match cache with
     | Some c ->
         Cache.pref_space c ~constraints:problem.Problem.constraints ?max_k
-          ~orders:(Algorithm.required_orders algorithm)
-          estimate profile
+          ~orders estimate profile
     | None ->
         Pref_space.build ~constraints:problem.Problem.constraints ?max_k
-          ~orders:(Algorithm.required_orders algorithm)
-          estimate profile
+          ~orders estimate profile
   in
   Log.debug (fun m ->
       m "preference space: K = %d, supreme cost %.1f ms" (Pref_space.k ps)
         (Pref_space.supreme_cost ps));
+  let solved =
+    match solve with
+    | Some f -> f ps
+    | None -> Solver.solve ~algorithm ps problem
+  in
   let solution =
-    match Solver.solve ~algorithm ps problem with
+    match solved with
     | Some sol ->
         Log.debug (fun m ->
             m "%s selected %d preferences (%a)" (Algorithm.name algorithm)
@@ -84,14 +95,15 @@ let ranked_results ?mode catalog outcome =
   in
   Ranker.rank_solution ?mode catalog outcome.original space outcome.solution
 
-let run ?algorithm ?max_k ?cache ?(execute = true) catalog profile ~sql
-    ~problem () =
+let run ?algorithm ?max_k ?cache ?orders ?solve ?(execute = true) catalog
+    profile ~sql ~problem () =
   let query =
     Cqp_obs.Trace.with_span ~name:"sql.parse" (fun () ->
         Cqp_sql.Parser.parse sql)
   in
   let ps, solution, personalized =
-    personalize_query ?algorithm ?max_k ?cache catalog profile ~query ~problem
+    personalize_query ?algorithm ?max_k ?cache ?orders ?solve catalog profile
+      ~query ~problem
   in
   let rows, real_cost_ms =
     if execute then begin

@@ -31,6 +31,8 @@ val run :
   ?algorithm:Algorithm.t ->
   ?max_k:int ->
   ?cache:Cache.t ->
+  ?orders:Pref_space.orders ->
+  ?solve:(Pref_space.t -> Solution.t option) ->
   ?execute:bool ->
   Cqp_relal.Catalog.t ->
   Cqp_prefs.Profile.t ->
@@ -48,6 +50,16 @@ val run :
     estimate lookups from cross-request caches (see {!Cache}); results
     are bit-identical with or without it.
 
+    [solve], when given, replaces the {!Solver.solve} call entirely —
+    the serve path's degradation ladder plugs in here, dropping from
+    the configured algorithm to cheaper rungs under deadline pressure.
+    Returning [None] still falls back to the unpersonalized query.
+
+    [orders] overrides the order vectors built into the preference
+    space (default: what [algorithm] requires).  A custom [solve] that
+    races algorithms beyond the configured one — the serve path's
+    portfolio rung — must pass {!Pref_space.All_orders}.
+
     @raise Cqp_sql.Parser.Parse_error on bad SQL.
     @raise Cqp_sql.Analyzer.Semantic_error on invalid queries.
     @raise Invalid_argument when [cache] was built for a different
@@ -64,6 +76,8 @@ val personalize_query :
   ?algorithm:Algorithm.t ->
   ?max_k:int ->
   ?cache:Cache.t ->
+  ?orders:Pref_space.orders ->
+  ?solve:(Pref_space.t -> Solution.t option) ->
   Cqp_relal.Catalog.t ->
   Cqp_prefs.Profile.t ->
   query:Cqp_sql.Ast.query ->

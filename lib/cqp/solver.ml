@@ -7,7 +7,10 @@
      cannot reach dmin;
    - size infeasibility: the current size is already below smin (sizes
      only shrink as preferences are added). *)
-let min_cost_bnb space (constraints : Params.constraints) =
+module Budget = Cqp_resilience.Budget
+
+let min_cost_bnb ?(budget = Budget.unlimited) space
+    (constraints : Params.constraints) =
   Cqp_obs.Trace.with_span ~name:"solver.min_cost_bnb"
     ~attrs:(fun () -> [ Cqp_obs.Attr.int "k" (Space.k space) ])
   @@ fun () ->
@@ -36,18 +39,18 @@ let min_cost_bnb space (constraints : Params.constraints) =
   let best = ref None in
   let best_cost = ref infinity in
   let feasible p = Params.satisfies constraints p in
-  (* A node budget bounds the worst case (deep dmin targets): past it,
-     the search stops expanding and the greedy completion below covers
-     feasibility.
+  (* A node budget bounds the worst case (deep dmin targets): past it —
+     or past the wall-clock deadline — the search stops expanding and
+     the greedy completion below covers feasibility.
 
      Note on costs: each item's cost already includes scanning Q's
      relations (it prices one whole sub-query, Formula 6), so the
      accumulated cost of a non-empty set is simply the sum of item
      costs; only the empty set is priced as Q itself (base cost). *)
-  let budget = ref 2_000_000 in
+  let nodes = ref 2_000_000 in
   let rec go i chosen n (params : Params.t) =
     Instrument.visit stats;
-    decr budget;
+    decr nodes;
     if params.Params.cost < !best_cost then begin
       if feasible params then begin
         best := Some (List.rev chosen);
@@ -56,7 +59,12 @@ let min_cost_bnb space (constraints : Params.constraints) =
       (* Once feasible, deeper nodes only add cost: stop this branch.
          (doi grows and size shrinks with additions, but both are
          already within bounds and cost strictly increases.) *)
-      if i < k && (not (feasible params)) && !budget > 0 then begin
+      if
+        i < k
+        && (not (feasible params))
+        && !nodes > 0
+        && not (Budget.poll budget)
+      then begin
         let remaining_possible =
           (* Could the constraints still be met further down? *)
           (match constraints.Params.dmin with
@@ -81,12 +89,13 @@ let min_cost_bnb space (constraints : Params.constraints) =
     end
   in
   go 0 [] 0 (Space.params_of_ids space []);
-  if !budget <= 0 then Cqp_obs.Metrics.incr "solver.budget_exhausted";
-  (if !best = None && !budget <= 0 then begin
-     (* Budget ran out before any feasible node: greedy completion.
-        Cheapest-first minimizes cost but may never reach a deep dmin
-        target within k additions, so a decreasing-doi pass (preference
-        ids are the D order) is tried before giving up. *)
+  if !nodes <= 0 then Cqp_obs.Metrics.incr "solver.budget_exhausted";
+  (if !best = None && (!nodes <= 0 || Budget.expired budget) then begin
+     (* Budget (nodes or deadline) ran out before any feasible node:
+        greedy completion.  Cheapest-first minimizes cost but may never
+        reach a deep dmin target within k additions, so a
+        decreasing-doi pass (preference ids are the D order) is tried
+        before giving up. *)
      let try_order order =
        let rec greedy i acc n p =
          if i >= Array.length order then None
@@ -119,7 +128,8 @@ let min_cost_bnb space (constraints : Params.constraints) =
    - monotone infeasibility: cost above cmax or size below smin only
      worsen as preferences are added;
    - size above smax is repaired by adding, so it never prunes. *)
-let max_doi_bnb space (constraints : Params.constraints) =
+let max_doi_bnb ?(budget = Budget.unlimited) space
+    (constraints : Params.constraints) =
   Cqp_obs.Trace.with_span ~name:"solver.max_doi_bnb"
     ~attrs:(fun () -> [ Cqp_obs.Attr.int "k" (Space.k space) ])
   @@ fun () ->
@@ -137,7 +147,7 @@ let max_doi_bnb space (constraints : Params.constraints) =
   let best_doi = ref neg_infinity in
   let best_cost = ref infinity in
   let feasible p = Params.satisfies constraints p in
-  let budget = ref 2_000_000 in
+  let nodes = ref 2_000_000 in
   let record ids (params : Params.t) =
     if
       params.Params.doi > !best_doi +. 1e-15
@@ -152,9 +162,9 @@ let max_doi_bnb space (constraints : Params.constraints) =
   in
   let rec go i chosen n (params : Params.t) =
     Instrument.visit stats;
-    decr budget;
+    decr nodes;
     if feasible params then record (List.rev chosen) params;
-    if i < k && !budget > 0 then begin
+    if i < k && !nodes > 0 && not (Budget.poll budget) then begin
       let optimistic =
         Estimate.combine_doi_incr ps.Pref_space.estimate params.Params.doi
           suffix_doi.(i)
@@ -185,7 +195,7 @@ let max_doi_bnb space (constraints : Params.constraints) =
     end
   in
   go 0 [] 0 (Space.params_of_ids space []);
-  if !budget <= 0 then Cqp_obs.Metrics.incr "solver.budget_exhausted";
+  if !nodes <= 0 then Cqp_obs.Metrics.incr "solver.budget_exhausted";
   let result = Option.map (Solution.of_ids space) !best in
   Instrument.publish stats;
   result
@@ -272,7 +282,9 @@ let log_size_space ps =
   { ps with items; c }
 
 let log_size_pref_space = log_size_space
-let run_doi_max algorithm ps ~cmax = Algorithm.run algorithm ps ~cmax
+
+let run_doi_max ?budget algorithm ps ~cmax =
+  Algorithm.run ?budget algorithm ps ~cmax
 
 (* Accept a solution as-is when feasible, otherwise try repairing the
    size interval and re-check. *)
@@ -285,7 +297,8 @@ let check_feasible constraints space (sol : Solution.t) =
     else None
   end
 
-let solve ?(algorithm = Algorithm.C_boundaries) ps (problem : Problem.t) =
+let solve ?(algorithm = Algorithm.C_boundaries) ?(budget = Budget.unlimited)
+    ps (problem : Problem.t) =
   Cqp_obs.Trace.with_span ~name:"solver.solve"
     ~attrs:(fun () ->
       [
@@ -301,7 +314,7 @@ let solve ?(algorithm = Algorithm.C_boundaries) ps (problem : Problem.t) =
       match constraints.Params.cmax with
       | None -> invalid_arg "Solver.solve: Problem 2 requires cmax"
       | Some cmax ->
-          let sol = run_doi_max algorithm ps ~cmax in
+          let sol = run_doi_max ~budget algorithm ps ~cmax in
           let space = Space.create ~order:Space.By_doi ps in
           check_feasible space sol)
   | 1 when constraints.Params.smax = None -> (
@@ -315,7 +328,7 @@ let solve ?(algorithm = Algorithm.C_boundaries) ps (problem : Problem.t) =
           else begin
             let cmax' = log (base /. smin) in
             let ps' = log_size_space ps in
-            let sol = run_doi_max algorithm ps' ~cmax:cmax' in
+            let sol = run_doi_max ~budget algorithm ps' ~cmax:cmax' in
             let space = Space.create ~order:Space.By_doi ps in
             check_feasible space
               (Solution.of_ids space sol.Solution.pref_ids)
@@ -324,11 +337,103 @@ let solve ?(algorithm = Algorithm.C_boundaries) ps (problem : Problem.t) =
       if problem.Problem.number = 3 && constraints.Params.cmax = None then
         invalid_arg "Solver.solve: Problem 3 requires cmax";
       let space = Space.create ~order:Space.By_doi ps in
-      max_doi_bnb space constraints
+      max_doi_bnb ~budget space constraints
   | 4 | 5 | 6 ->
       let space = Space.create ~order:Space.By_doi ps in
-      min_cost_bnb space constraints
+      min_cost_bnb ~budget space constraints
   | n -> invalid_arg (Printf.sprintf "Solver.solve: unknown problem %d" n)
+
+(* --- degraded rungs --------------------------------------------------- *)
+
+(* One cheap heuristic instead of the configured algorithm: the serve
+   path's first degradation rung.  D-SINGLEMAXDOI is the cheapest
+   Section-5 algorithm that still explores alternatives, and the
+   log-size reduction keeps it applicable to Problem 1 without smax;
+   the cost-minimization problems get a cheapest-first greedy (the same
+   completion min_cost_bnb falls back to). *)
+let cheapest_first_greedy ~budget space (constraints : Params.constraints) =
+  let k = Space.k space in
+  let by_cost =
+    List.init k Fun.id
+    |> List.sort (fun a b ->
+           Stdlib.compare
+             (Space.item space a).Pref_space.cost
+             (Space.item space b).Pref_space.cost)
+    |> Array.of_list
+  in
+  let rec grow i ids n p =
+    if Params.satisfies constraints p then Some ids
+    else if i >= k || Budget.poll budget then None
+    else begin
+      let id = by_cost.(i) in
+      grow (i + 1) (id :: ids) (n + 1) (Space.params_with_id space ~n p id)
+    end
+  in
+  match grow 0 [] 0 (Space.params_of_ids space []) with
+  | Some ids -> Some (Solution.of_ids space ids)
+  | None -> None
+
+let solve_heuristic ?(budget = Budget.unlimited) ps (problem : Problem.t) =
+  let constraints = problem.Problem.constraints in
+  let finish sol =
+    let space = Space.create ~order:Space.By_doi ps in
+    check_feasible constraints space
+      (Solution.of_ids space sol.Solution.pref_ids)
+  in
+  match problem.Problem.number with
+  | 1 when constraints.Params.smax = None -> (
+      match constraints.Params.smin with
+      | None -> invalid_arg "Solver.solve_heuristic: Problem 1 requires smin"
+      | Some smin ->
+          let base = Estimate.base_size ps.Pref_space.estimate in
+          if base < smin then None
+          else
+            finish
+              (run_doi_max ~budget Algorithm.D_singlemaxdoi
+                 (log_size_space ps)
+                 ~cmax:(log (base /. smin))))
+  | 1 | 2 | 3 ->
+      if problem.Problem.number = 2 && constraints.Params.cmax = None then
+        invalid_arg "Solver.solve_heuristic: Problem 2 requires cmax";
+      let cmax =
+        match constraints.Params.cmax with Some c -> c | None -> infinity
+      in
+      finish (run_doi_max ~budget Algorithm.D_singlemaxdoi ps ~cmax)
+  | 4 | 5 | 6 ->
+      let space = Space.create ~order:Space.By_doi ps in
+      cheapest_first_greedy ~budget space constraints
+  | n ->
+      invalid_arg (Printf.sprintf "Solver.solve_heuristic: unknown problem %d" n)
+
+(* The last personalized rung: one doi-ordered pass, no search at all.
+   Maximization problems take every preference that keeps the state
+   feasible-so-far; minimization problems add until the constraints are
+   met.  [check_feasible]'s size repair runs on the result, so a
+   feasible answer is still guaranteed whenever one greedy pass can
+   reach one. *)
+let solve_greedy ?(budget = Budget.unlimited) ps (problem : Problem.t) =
+  let constraints = problem.Problem.constraints in
+  let space = Space.create ~order:Space.By_doi ps in
+  let k = Space.k space in
+  let maximize = problem.Problem.number <= 3 in
+  let violates (p : Params.t) =
+    Params.violates_cost constraints p
+    ||
+    match constraints.Params.smin with
+    | Some smin -> p.Params.size < smin
+    | None -> false
+  in
+  let rec go id ids n p =
+    if id >= k || Budget.poll budget then ids
+    else if (not maximize) && Params.satisfies constraints p then ids
+    else begin
+      let p' = Space.params_with_id space ~n p id in
+      if maximize && violates p' then go (id + 1) ids n p
+      else go (id + 1) (id :: ids) (n + 1) p'
+    end
+  in
+  let ids = go 0 [] 0 (Space.params_of_ids space []) in
+  check_feasible constraints space (Solution.of_ids space ids)
 
 (* --- portfolio ------------------------------------------------------- *)
 
@@ -380,20 +485,23 @@ let run_members ?pool members =
    cap); the size-interval problems run them with the cap (or none) and
    rely on [check_feasible]'s repair to pull the answer into the
    interval. *)
-let probe_members ~rng ~label_suffix ps ~cmax ~finish =
+let probe_members ~budget ~rng ~label_suffix ps ~cmax ~finish =
   let probe name f = (name ^ label_suffix, f) in
   [
     probe "SA" (fun () ->
         let rng = Cqp_util.Rng.split rng 0 in
         let space = Space.create ~order:Space.By_doi ps in
-        finish (Metaheuristics.simulated_annealing ~rng space ~cmax));
+        finish
+          (Metaheuristics.simulated_annealing ~deadline:budget ~rng space
+             ~cmax));
     probe "Tabu" (fun () ->
         let rng = Cqp_util.Rng.split rng 1 in
         let space = Space.create ~order:Space.By_doi ps in
-        finish (Metaheuristics.tabu ~rng space ~cmax));
+        finish (Metaheuristics.tabu ~deadline:budget ~rng space ~cmax));
   ]
 
-let portfolio ?pool ?(seed = 0x5EED) ps (problem : Problem.t) =
+let portfolio ?pool ?(seed = 0x5EED) ?(budget = Budget.unlimited) ps
+    (problem : Problem.t) =
   Cqp_obs.Trace.with_span ~name:"solver.portfolio"
     ~attrs:(fun () ->
       [
@@ -421,9 +529,9 @@ let portfolio ?pool ?(seed = 0x5EED) ps (problem : Problem.t) =
             List.map
               (fun a ->
                 ( Algorithm.name a,
-                  fun () -> finish_on ps (run_doi_max a ps ~cmax) ))
+                  fun () -> finish_on ps (run_doi_max ~budget a ps ~cmax) ))
               Algorithm.all
-            @ probe_members ~rng ~label_suffix:"" ps ~cmax
+            @ probe_members ~budget ~rng ~label_suffix:"" ps ~cmax
                 ~finish:(finish_on ps))
     | 1 when constraints.Params.smax = None -> (
         match constraints.Params.smin with
@@ -437,10 +545,11 @@ let portfolio ?pool ?(seed = 0x5EED) ps (problem : Problem.t) =
               List.map
                 (fun a ->
                   ( Algorithm.name a,
-                    fun () -> finish_on ps (run_doi_max a ps' ~cmax:cmax') ))
+                    fun () ->
+                      finish_on ps (run_doi_max ~budget a ps' ~cmax:cmax') ))
                 Algorithm.all
-              @ probe_members ~rng ~label_suffix:"(log)" ps' ~cmax:cmax'
-                  ~finish:(finish_on ps)
+              @ probe_members ~budget ~rng ~label_suffix:"(log)" ps'
+                  ~cmax:cmax' ~finish:(finish_on ps)
             end)
     | 1 | 3 ->
         if problem.Problem.number = 3 && constraints.Params.cmax = None then
@@ -452,14 +561,18 @@ let portfolio ?pool ?(seed = 0x5EED) ps (problem : Problem.t) =
         in
         ( "Max_doi_bnb",
           fun () ->
-            max_doi_bnb (Space.create ~order:Space.By_doi ps) constraints )
-        :: probe_members ~rng ~label_suffix:"" ps ~cmax ~finish:(finish_on ps)
+            max_doi_bnb ~budget
+              (Space.create ~order:Space.By_doi ps)
+              constraints )
+        :: probe_members ~budget ~rng ~label_suffix:"" ps ~cmax
+             ~finish:(finish_on ps)
     | 4 | 5 | 6 ->
         [
           ( "Min_cost_bnb",
             fun () ->
-              min_cost_bnb (Space.create ~order:Space.By_doi ps) constraints
-          );
+              min_cost_bnb ~budget
+                (Space.create ~order:Space.By_doi ps)
+                constraints );
         ]
     | n ->
         invalid_arg (Printf.sprintf "Solver.portfolio: unknown problem %d" n)

@@ -27,17 +27,50 @@
 
 val solve :
   ?algorithm:Algorithm.t ->
+  ?budget:Cqp_resilience.Budget.t ->
   Pref_space.t ->
   Problem.t ->
   Solution.t option
 (** [None] when no subset of [P] (including the empty one) satisfies
     the constraints.  The default algorithm is [C_boundaries] (exact).
+    [budget] (default unlimited) makes the dispatched search anytime:
+    on deadline expiry it stops expanding and returns its best-so-far
+    {e feasible} answer — possibly [None] if none was reached in time.
+    An unlimited budget costs nothing and changes nothing.
     @raise Invalid_argument on an unknown problem number outside 1–6. *)
 
+val solve_heuristic :
+  ?budget:Cqp_resilience.Budget.t ->
+  Pref_space.t ->
+  Problem.t ->
+  Solution.t option
+(** The serve path's first degradation rung: one cheap heuristic
+    instead of the configured algorithm.  Doi-maximization problems run
+    D-SINGLEMAXDOI (through the log-size reduction for Problem 1
+    without [smax]); cost-minimization problems run a cheapest-first
+    greedy to feasibility.  Same feasibility checking (and size repair)
+    as {!solve}.
+    @raise Invalid_argument as {!solve}. *)
+
+val solve_greedy :
+  ?budget:Cqp_resilience.Budget.t ->
+  Pref_space.t ->
+  Problem.t ->
+  Solution.t option
+(** The last personalized rung: a single doi-ordered greedy pass with
+    no search — maximization takes every preference that keeps the
+    state feasible, minimization adds until the constraints hold.
+    O(k) parameter extensions; never raises on problem shape. *)
+
 val min_cost_bnb :
-  Space.t -> Params.constraints -> Solution.t option
+  ?budget:Cqp_resilience.Budget.t ->
+  Space.t ->
+  Params.constraints ->
+  Solution.t option
 (** The Problems-4/6 branch-and-bound, exposed for tests: minimal-cost
-    subset satisfying the constraints. *)
+    subset satisfying the constraints.  Deadline expiry is treated like
+    node-budget exhaustion: stop expanding, fall back to the greedy
+    completion when nothing feasible was found. *)
 
 val log_size_pref_space : Pref_space.t -> Pref_space.t
 (** The Problem-1 reduction's transformed preference space: per-item
@@ -49,10 +82,13 @@ val log_size_pref_space : Pref_space.t -> Pref_space.t
     CQP problems"). *)
 
 val max_doi_bnb :
-  Space.t -> Params.constraints -> Solution.t option
+  ?budget:Cqp_resilience.Budget.t ->
+  Space.t ->
+  Params.constraints ->
+  Solution.t option
 (** The Problems-1/3 branch-and-bound, exposed for tests: maximal-doi
     subset satisfying the constraints (ties broken towards lower
-    cost). *)
+    cost).  Anytime under [budget] like {!min_cost_bnb}. *)
 
 (** {1 Portfolio mode}
 
@@ -76,6 +112,7 @@ val max_doi_bnb :
 val portfolio :
   ?pool:Cqp_par.Pool.t ->
   ?seed:int ->
+  ?budget:Cqp_resilience.Budget.t ->
   Pref_space.t ->
   Problem.t ->
   Solution.t option
@@ -83,7 +120,11 @@ val portfolio :
     the race; [None] when no member finds a feasible subset.  Publishes
     [solver.portfolio.races], [solver.portfolio.members] and a
     [solver.portfolio.win.<member>] counter for the merged winner.
-    [seed] (default [0x5EED]) feeds the metaheuristic probes.
+    [seed] (default [0x5EED]) feeds the metaheuristic probes.  All
+    members share [budget] (it is domain-safe), so one deadline caps
+    the whole race; note that {e which} member wins under an expiring
+    budget depends on where each search was cut, so determinism across
+    pool sizes is only guaranteed with an unlimited budget.
     @raise Invalid_argument as {!solve}. *)
 
 val parallel_oracle :

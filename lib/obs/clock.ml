@@ -1,4 +1,12 @@
-let raw_us () = Unix.gettimeofday () *. 1e6
+(* CLOCK_MONOTONIC via a tiny C stub: Unix.gettimeofday is wall-clock
+   time and steps backwards under NTP corrections, which poisoned the
+   serve latency histogram with negative observations and would make
+   deadline budgets unreliable.  The native call is unboxed + noalloc,
+   cheap enough to poll from solver inner loops. *)
+external raw_us : unit -> (float[@unboxed])
+  = "cqp_clock_monotonic_us_byte" "cqp_clock_monotonic_us_unboxed"
+[@@noalloc]
+
 let origin = ref (raw_us ())
 let now_us () = raw_us () -. !origin
 let reset_origin () = origin := raw_us ()

@@ -69,8 +69,13 @@ let record_gauge name v =
 
 let[@inline] gauge name v = if !enabled then record_gauge name v
 
+(* NaN must be rejected before this point ([int_of_float nan] is
+   undefined behaviour); negative and sub-unit observations land in
+   bucket 0 by explicit decision, not by fallthrough. *)
 let bucket_index v =
-  if v < 1. then 0
+  if Float.is_nan v then invalid_arg "Metrics.bucket_index: nan"
+  else if v < 0. then 0
+  else if v < 1. then 0
   else min (n_buckets - 1) (1 + int_of_float (Float.floor (Float.log2 v)))
 
 let bucket_upper_bound i =
@@ -78,16 +83,26 @@ let bucket_upper_bound i =
 
 let record_observe name v =
   locked @@ fun () ->
-  match
-    find_or_create name (fun () ->
-        Histogram { count = 0; sum = 0.; buckets = Array.make n_buckets 0 })
-  with
-  | Histogram h ->
-      h.count <- h.count + 1;
-      h.sum <- h.sum +. v;
-      let i = bucket_index v in
-      h.buckets.(i) <- h.buckets.(i) + 1
-  | _ -> invalid_arg ("Metrics.observe: " ^ name ^ " is not a histogram")
+  if Float.is_nan v then begin
+    (* A NaN observation would poison [sum] forever and has no bucket;
+       drop it but leave a trace.  The counter is bumped inline — the
+       registry mutex is not reentrant, so [record_add] cannot be
+       called from here. *)
+    match find_or_create "metrics.observe_nan" (fun () -> Counter { n = 0 }) with
+    | Counter c -> c.n <- c.n + 1
+    | _ -> ()
+  end
+  else
+    match
+      find_or_create name (fun () ->
+          Histogram { count = 0; sum = 0.; buckets = Array.make n_buckets 0 })
+    with
+    | Histogram h ->
+        h.count <- h.count + 1;
+        h.sum <- h.sum +. v;
+        let i = bucket_index v in
+        h.buckets.(i) <- h.buckets.(i) + 1
+    | _ -> invalid_arg ("Metrics.observe: " ^ name ^ " is not a histogram")
 
 let[@inline] observe name v = if !enabled then record_observe name v
 

@@ -52,7 +52,10 @@ val gauge : string -> float -> unit
 (** Set a gauge to its latest value. *)
 
 val observe : string -> float -> unit
-(** Record a value into a log-scale histogram. *)
+(** Record a value into a log-scale histogram.  NaN observations are
+    dropped (they would poison the running sum and have no bucket);
+    each drop increments the [metrics.observe_nan] counter.  Negative
+    values are recorded into bucket 0. *)
 
 (** {1 Reading} *)
 
@@ -65,13 +68,16 @@ val histogram_count : string -> int
 
 (** {1 Log-scale histogram geometry}
 
-    Bucket 0 collects values [< 1.0] (including non-positive ones);
-    bucket [i] for [1 <= i <= 62] collects [2^(i-1) <= v < 2^i]; the
-    last bucket, {!n_buckets}[- 1], collects everything from [2^62]
-    up.  Exposed for tests and external decoders. *)
+    Bucket 0 collects values [< 1.0] (explicitly including negative
+    ones); bucket [i] for [1 <= i <= 62] collects [2^(i-1) <= v <
+    2^i]; the last bucket, {!n_buckets}[- 1], collects everything from
+    [2^62] up.  Exposed for tests and external decoders. *)
 
 val n_buckets : int
+
 val bucket_index : float -> int
+(** @raise Invalid_argument on NaN ({!observe} filters NaN before
+    reaching this point). *)
 
 val bucket_upper_bound : int -> float
 (** Exclusive upper bound of a bucket; [infinity] for the last. *)

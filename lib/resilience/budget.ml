@@ -1,0 +1,78 @@
+module Clock = Cqp_obs.Clock
+module Metrics = Cqp_obs.Metrics
+
+(* How many polls share one clock read.  A search transition costs tens
+   of nanoseconds; reading CLOCK_MONOTONIC costs a vDSO call of about
+   the same order, so polling the clock on every transition would tax
+   deadline runs noticeably.  One read per stride keeps the amortized
+   poll under a nanosecond while bounding expiry-detection slack to a
+   few dozen transitions — well inside any millisecond deadline. *)
+let poll_stride = 32
+
+type deadline = {
+  expires_us : float;
+  expired : bool Atomic.t;
+      (* latched: the clock is monotonic, so once past the deadline no
+         later read can un-expire it, and latching makes every poll
+         after expiry a plain load.  Atomic because portfolio members
+         racing on pool domains share one request budget, and the
+         expiry metric must fire exactly once per budget. *)
+  mutable countdown : int;
+      (* racy across domains by design: a lost decrement only shifts
+         which poll pays for the clock read *)
+}
+
+type t = Unlimited | Deadline of deadline
+
+let unlimited = Unlimited
+
+let start ?deadline_ms () =
+  match deadline_ms with
+  | None -> Unlimited
+  | Some ms ->
+      Deadline
+        {
+          expires_us = Clock.raw_us () +. (ms *. 1000.);
+          expired = Atomic.make false;
+          countdown = poll_stride;
+        }
+
+let is_unlimited = function Unlimited -> true | Deadline _ -> false
+
+(* First detection of expiry is metered once per budget, so
+   [resilience.deadline_expired] counts deadline-blown requests, not
+   polls. *)
+let note d =
+  if not (Atomic.exchange d.expired true) then
+    Metrics.incr "resilience.deadline_expired"
+
+let read d =
+  if Clock.raw_us () >= d.expires_us then begin
+    note d;
+    true
+  end
+  else false
+
+let expired = function
+  | Unlimited -> false
+  | Deadline d -> Atomic.get d.expired || read d
+
+let poll = function
+  | Unlimited -> false
+  | Deadline d ->
+      Atomic.get d.expired
+      ||
+      begin
+        d.countdown <- d.countdown - 1;
+        if d.countdown > 0 then false
+        else begin
+          d.countdown <- poll_stride;
+          read d
+        end
+      end
+
+let remaining_ms = function
+  | Unlimited -> infinity
+  | Deadline d ->
+      if Atomic.get d.expired then 0.
+      else Float.max 0. ((d.expires_us -. Clock.raw_us ()) /. 1000.)

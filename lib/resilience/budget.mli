@@ -1,0 +1,42 @@
+(** Per-request deadline budgets on the monotonic clock.
+
+    A budget is created once per request and polled from inside the
+    search loops (transition granularity), turning every algorithm
+    into an anytime one: on expiry the search stops expanding and
+    returns its best-so-far feasible state.
+
+    The {!unlimited} budget never reads the clock — a poll is a single
+    pattern match — so code threaded with a default budget behaves
+    bit-identically to code with no budget at all (the differential
+    guarantee [test_resilience] holds the serve path to).
+
+    The first time a budget is seen expired it increments the
+    [resilience.deadline_expired] counter (once per budget, not per
+    poll), so the counter reconciles exactly with the number of
+    deadline-blown requests. *)
+
+type t
+
+val unlimited : t
+(** Never expires; polls read no clock. *)
+
+val start : ?deadline_ms:float -> unit -> t
+(** A budget expiring [deadline_ms] from now on the monotonic clock;
+    {!unlimited} when [deadline_ms] is omitted. *)
+
+val is_unlimited : t -> bool
+
+val poll : t -> bool
+(** The hot-loop check: strided — one clock read per {!poll_stride}
+    calls, a plain decrement otherwise.  Once true, always true. *)
+
+val expired : t -> bool
+(** The decision-point check: reads the clock immediately (unless
+    already latched).  Used between degradation rungs and for the
+    final response label; {!poll} is for inner loops. *)
+
+val remaining_ms : t -> float
+(** Milliseconds left; [infinity] when unlimited, [0.] once expired. *)
+
+val poll_stride : int
+(** Number of {!poll}s amortized over one clock read. *)

@@ -1,0 +1,23 @@
+type t = {
+  deadline_ms : float option;
+  portfolio : bool;
+  max_retries : int;
+  backoff_ms : float;
+  max_backoff_ms : float;
+  shed_queue_depth : int option;
+  fault : Fault.t option;
+}
+
+let default =
+  {
+    deadline_ms = None;
+    portfolio = false;
+    max_retries = 2;
+    backoff_ms = 1.;
+    max_backoff_ms = 8.;
+    shed_queue_depth = None;
+    fault = None;
+  }
+
+let is_inert t =
+  t.deadline_ms = None && t.shed_queue_depth = None && t.fault = None

@@ -1,0 +1,28 @@
+(** Resilience policy for one serving instance.  {!default} is
+    everything-off: no deadline, no shedding, no fault plan — the
+    serve path must then behave bit-identically to a build without
+    this library. *)
+
+type t = {
+  deadline_ms : float option;
+      (** per-request deadline; [None] = unlimited budget *)
+  portfolio : bool;
+      (** run the solver portfolio on the {!Rung.Full} rung instead of
+          the single configured algorithm *)
+  max_retries : int;
+      (** retries after a transient {!Fault.Injected} before falling
+          back to the unpersonalized rung *)
+  backoff_ms : float;  (** base backoff, doubled per retry *)
+  max_backoff_ms : float;  (** backoff cap *)
+  shed_queue_depth : int option;
+      (** admission limit per serving lane: a request arriving at
+          queue position >= depth is shed, not served *)
+  fault : Fault.t option;  (** fault-injection plan; [None] = off *)
+}
+
+val default : t
+
+val is_inert : t -> bool
+(** No deadline, no shedding, no faults — the configuration under
+    which the serve path must be bit-identical to the pre-resilience
+    one. *)

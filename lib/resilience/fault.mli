@@ -1,0 +1,56 @@
+(** Deterministic fault injection for the serve path.
+
+    A fault {e plan} is a seeded recipe for which requests suffer
+    which faults: I/O latency spikes (the serve path sleeps, scaled
+    off the engine's block time), forced cache misses and eviction
+    storms, and injected transient exceptions raised inside the
+    request handler (hence inside pool tasks during parallel replay).
+
+    Decisions are derived from the plan's generator and the request's
+    {e content} ([user], [sql]) via {!Cqp_util.Rng.split}, so a plan
+    is replayable: the same seed produces the same fault schedule at
+    any domain count, in any arrival order, on every replay pass.
+    Fault injection is off by default — a [None] plan yields the
+    all-benign decision and touches no generator. *)
+
+exception Injected of string
+(** The injected transient fault.  Raised by the serve path on
+    fault-marked attempts and caught by its bounded-backoff retry
+    loop; it never escapes {!Cqp_serve.Serve.handle}. *)
+
+type spec = {
+  io_spike : float;  (** probability a request suffers a latency spike *)
+  io_spike_ms : float;
+      (** wall-clock sleep for a spiked request; the default is 10x
+          the engine's 1 ms default block read *)
+  cache_miss : float;
+      (** probability the request's cached extractions are dropped
+          first (a forced miss) *)
+  evict : float;
+      (** probability the whole cache is cleared first (an eviction
+          storm) *)
+  fail : float;  (** per-attempt probability of an {!Injected} raise *)
+  max_fail_attempts : int;
+      (** cap on consecutive injected failures for one request, so
+          bounded retries plus the final fallback always answer *)
+}
+
+val default_spec : spec
+
+type t
+
+val plan : ?spec:spec -> rng:Cqp_util.Rng.t -> unit -> t
+val spec : t -> spec
+
+type decision = {
+  spike_ms : float option;
+  drop_cache : bool;
+  evict_cache : bool;
+  fail_attempts : int;  (** leading attempts that raise {!Injected} *)
+}
+
+val benign : decision
+(** No faults — what a [None] plan always decides. *)
+
+val decide : t option -> user:string -> sql:string -> decision
+(** The (deterministic) fault decision for one request. *)

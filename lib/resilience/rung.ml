@@ -1,0 +1,10 @@
+type t = Full | Heuristic | Greedy | Unpersonalized
+
+let name = function
+  | Full -> "full"
+  | Heuristic -> "heuristic"
+  | Greedy -> "greedy"
+  | Unpersonalized -> "unpersonalized"
+
+let all = [ Full; Heuristic; Greedy; Unpersonalized ]
+let is_degraded = function Full -> false | _ -> true

@@ -1,0 +1,20 @@
+(** The serve path's degradation ladder, from the configured solver
+    down to the unpersonalized query.  A response records the rung
+    that produced it; anything below {!Full} is a degraded answer
+    traded for staying inside the request deadline (or for surviving
+    injected faults). *)
+
+type t =
+  | Full  (** the request's configured solver (or the portfolio) *)
+  | Heuristic  (** single cheapest applicable heuristic *)
+  | Greedy  (** doi-ordered greedy completion *)
+  | Unpersonalized  (** the original query [Q], no personalization *)
+
+val name : t -> string
+(** Lowercase label, used as the [resilience.degraded.<rung>] metric
+    suffix. *)
+
+val all : t list
+
+val is_degraded : t -> bool
+(** Every rung but {!Full}. *)

@@ -1,7 +1,13 @@
 module Profile = Cqp_prefs.Profile
 module Cache = Cqp_core.Cache
 module Personalizer = Cqp_core.Personalizer
+module Solver = Cqp_core.Solver
 module Metrics = Cqp_obs.Metrics
+module Clock = Cqp_obs.Clock
+module Budget = Cqp_resilience.Budget
+module Rung = Cqp_resilience.Rung
+module Fault = Cqp_resilience.Fault
+module Config = Cqp_resilience.Config
 
 type request = {
   user : string;
@@ -12,11 +18,24 @@ type request = {
   execute : bool;
 }
 
-type response = {
-  request : request;
+type served = {
   outcome : Personalizer.outcome;
-  latency_ms : float;
+  rung : Rung.t;
+  retries : int;
+  deadline_expired : bool;
 }
+
+type verdict = Served of served | Shed of { queue_position : int; limit : int }
+
+type response = { request : request; verdict : verdict; latency_ms : float }
+
+let outcome r =
+  match r.verdict with Served s -> Some s.outcome | Shed _ -> None
+
+let outcome_exn r =
+  match r.verdict with
+  | Served s -> s.outcome
+  | Shed _ -> invalid_arg "Serve.outcome_exn: request was shed"
 
 type t = {
   catalog : Cqp_relal.Catalog.t;
@@ -26,6 +45,7 @@ type t = {
   caching : bool;
   pref_space_capacity : int option;
   memo_estimates : bool option;
+  resilience : Config.t;
   mutable shards : t array;
       (* domain-local sub-servers for parallel replay; [||] until
          [shards] is first called, then persistent so a later replay
@@ -34,7 +54,8 @@ type t = {
 
 exception Unknown_user of string
 
-let create ?(caching = true) ?pref_space_capacity ?memo_estimates catalog =
+let create ?(caching = true) ?pref_space_capacity ?memo_estimates
+    ?(resilience = Config.default) catalog =
   {
     catalog;
     cache =
@@ -46,11 +67,13 @@ let create ?(caching = true) ?pref_space_capacity ?memo_estimates catalog =
     caching;
     pref_space_capacity;
     memo_estimates;
+    resilience;
     shards = [||];
   }
 
 let catalog t = t.catalog
 let cache t = t.cache
+let resilience t = t.resilience
 
 let set_profile t ~user profile =
   (* Invalidate only on a semantic change: cache keys embed the content
@@ -66,27 +89,157 @@ let set_profile t ~user profile =
 
 let profile t user = Hashtbl.find_opt t.profiles user
 
-let serve t req =
+(* One pass through the degradation ladder, plugged into
+   [Personalizer.run ~solve].  Degradation triggers only on deadline
+   expiry: a genuinely infeasible problem solved in time returns [None]
+   at the Full rung, exactly like the undegraded path, so with no
+   deadline configured the ladder is bit-identical to plain
+   [Solver.solve]. *)
+let ladder config budget (req : request) rung ps =
+  let problem = req.problem in
+  let full () =
+    if config.Config.portfolio then Solver.portfolio ~budget ps problem
+    else Solver.solve ~algorithm:req.algorithm ~budget ps problem
+  in
+  let full_result = if Budget.expired budget then None else Some (full ()) in
+  match full_result with
+  | Some (Some sol) ->
+      rung := Rung.Full;
+      Some sol
+  | Some None when not (Budget.expired budget) ->
+      rung := Rung.Full;
+      None
+  | _ -> (
+      (* The deadline cut the full solve short of feasibility (or had
+         already expired).  Each cheaper rung runs under whatever
+         budget remains — an already-expired budget collapses them to
+         near-no-ops and the request lands on Unpersonalized. *)
+      match Solver.solve_heuristic ~budget ps problem with
+      | Some sol ->
+          rung := Rung.Heuristic;
+          Some sol
+      | None -> (
+          match Solver.solve_greedy ~budget ps problem with
+          | Some sol ->
+              rung := Rung.Greedy;
+              Some sol
+          | None ->
+              rung := Rung.Unpersonalized;
+              None))
+
+let handle ?queue_position t req =
   let profile =
     match Hashtbl.find_opt t.profiles req.user with
     | Some p -> p
     | None -> raise (Unknown_user req.user)
   in
-  let t0 = Unix.gettimeofday () in
-  let outcome =
-    Personalizer.run ~algorithm:req.algorithm ?max_k:req.max_k ?cache:t.cache
-      ~execute:req.execute t.catalog profile ~sql:req.sql
-      ~problem:req.problem ()
+  let t0 = Clock.now_us () in
+  let latency_ms () = Float.max 0. ((Clock.now_us () -. t0) /. 1000.) in
+  let config = t.resilience in
+  let shed_limit =
+    match (config.Config.shed_queue_depth, queue_position) with
+    | Some limit, Some pos when pos >= limit -> Some (pos, limit)
+    | _ -> None
   in
-  let latency_ms = (Unix.gettimeofday () -. t0) *. 1000. in
-  t.served <- t.served + 1;
-  if Metrics.is_enabled () then begin
-    Metrics.incr "serve.requests";
-    Metrics.observe "serve.latency_us" (latency_ms *. 1000.)
-  end;
-  (match t.cache with Some c -> Cache.publish_metrics c | None -> ());
-  { request = req; outcome; latency_ms }
+  match shed_limit with
+  | Some (queue_position, limit) ->
+      if Metrics.is_enabled () then Metrics.incr "resilience.shed";
+      {
+        request = req;
+        verdict = Shed { queue_position; limit };
+        latency_ms = latency_ms ();
+      }
+  | None ->
+      let budget = Budget.start ?deadline_ms:config.Config.deadline_ms () in
+      let decision = Fault.decide config.Config.fault ~user:req.user ~sql:req.sql in
+      let rung = ref Rung.Full in
+      (* The portfolio races C-family members, which need the cost/size
+         order vectors the request's own algorithm may not require. *)
+      let orders =
+        if config.Config.portfolio then Some Cqp_core.Pref_space.All_orders
+        else None
+      in
+      let serve_once () =
+        (match decision.Fault.spike_ms with
+        | Some ms ->
+            Metrics.incr "resilience.fault.io_spike";
+            Unix.sleepf (ms /. 1000.)
+        | None -> ());
+        (match t.cache with
+        | Some c ->
+            if decision.Fault.evict_cache then begin
+              Metrics.incr "resilience.fault.evictions";
+              Cache.clear c
+            end;
+            if decision.Fault.drop_cache then begin
+              Metrics.incr "resilience.fault.cache_drop";
+              ignore (Cache.invalidate_profile c profile)
+            end
+        | None -> ());
+        Personalizer.run ~algorithm:req.algorithm ?max_k:req.max_k
+          ?cache:t.cache ?orders
+          ~solve:(ladder config budget req rung)
+          ~execute:req.execute t.catalog profile ~sql:req.sql
+          ~problem:req.problem ()
+      in
+      let unpersonalized () =
+        rung := Rung.Unpersonalized;
+        Personalizer.run ~algorithm:req.algorithm ?max_k:req.max_k
+          ?cache:t.cache
+          ~solve:(fun _ -> None)
+          ~execute:req.execute t.catalog profile ~sql:req.sql
+          ~problem:req.problem ()
+      in
+      (* Bounded-backoff retry around injected transient faults.  Past
+         [max_retries] the request still answers — unpersonalized, the
+         rung that cannot fail. *)
+      let rec attempt n =
+        match
+          if n < decision.Fault.fail_attempts then begin
+            Metrics.incr "resilience.fault.injected";
+            raise (Fault.Injected (req.user ^ ": injected transient fault"))
+          end
+          else serve_once ()
+        with
+        | outcome -> (outcome, n)
+        | exception Fault.Injected _ ->
+            if n < config.Config.max_retries then begin
+              Metrics.incr "resilience.retries";
+              let backoff =
+                Float.min
+                  (config.Config.backoff_ms *. (2. ** float_of_int n))
+                  config.Config.max_backoff_ms
+              in
+              (* Never sleep past the deadline: the backoff is also
+                 capped by what remains of the budget. *)
+              let backoff = Float.min backoff (Budget.remaining_ms budget) in
+              if backoff > 0. then Unix.sleepf (backoff /. 1000.);
+              attempt (n + 1)
+            end
+            else (unpersonalized (), n)
+      in
+      let outcome, retries = attempt 0 in
+      (* Forced final check: a deadline that expired after the last
+         poll is still detected (and metered) here, so the
+         [resilience.deadline_expired] counter reconciles exactly with
+         the responses labeled expired. *)
+      let deadline_expired = Budget.expired budget in
+      let rung = !rung in
+      t.served <- t.served + 1;
+      if Metrics.is_enabled () then begin
+        Metrics.incr "serve.requests";
+        Metrics.observe "serve.latency_us" (latency_ms () *. 1000.);
+        if Rung.is_degraded rung then
+          Metrics.incr ("resilience.degraded." ^ Rung.name rung)
+      end;
+      (match t.cache with Some c -> Cache.publish_metrics c | None -> ());
+      {
+        request = req;
+        verdict = Served { outcome; rung; retries; deadline_expired };
+        latency_ms = latency_ms ();
+      }
 
+let serve t req = handle t req
 let serve_batch t reqs = List.map (serve t) reqs
 let requests_served t = t.served
 
@@ -100,7 +253,8 @@ let shards t n =
     t.shards <-
       Array.init n (fun _ ->
           create ~caching:t.caching ?pref_space_capacity:t.pref_space_capacity
-            ?memo_estimates:t.memo_estimates t.catalog);
+            ?memo_estimates:t.memo_estimates ~resilience:t.resilience
+            t.catalog);
   (* Sync the parent's current profiles down.  [set_profile] only
      invalidates on a fingerprint change, so re-pushing unchanged
      profiles before a warm pass costs nothing. *)

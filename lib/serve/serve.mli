@@ -7,10 +7,40 @@
     caching on or off (enforced by [test/test_serve_diff.ml]); the
     caches only buy latency.
 
-    Per request, when metrics are enabled, the server increments
-    [serve.requests], observes [serve.latency_us], and republishes the
-    cache counters ([serve.cache.*], see
-    {!Cqp_core.Cache.publish_metrics}). *)
+    {2 Resilience}
+
+    A {!Cqp_resilience.Config.t} (default: everything off) adds
+    deadline-aware degradation to {!handle}:
+
+    - A per-request deadline starts a {!Cqp_resilience.Budget.t} that
+      every search polls, making the solve anytime; if the full solve
+      cannot reach feasibility in time the server walks the
+      degradation ladder — single cheap heuristic, doi-ordered greedy,
+      unpersonalized — each rung under the remaining budget.  The rung
+      that answered is recorded on the response.
+    - Transient faults ({!Cqp_resilience.Fault.Injected}) are retried
+      with bounded exponential backoff (capped by the remaining
+      budget); past [max_retries] the request answers unpersonalized
+      rather than failing.
+    - With [shed_queue_depth] set, a request whose queue position in
+      its serving lane reaches the depth is {e shed}: answered with an
+      explicit {!Shed} verdict, never silently dropped.
+    - A seeded {!Cqp_resilience.Fault.t} plan injects I/O latency
+      spikes, forced cache misses, eviction storms, and transient
+      exceptions — deterministically per request content, at any
+      domain count.
+
+    With the default config the serve path reads no clock beyond
+    latency stamping and behaves bit-identically to a server without
+    resilience at all ([test/test_resilience.ml] enforces this).
+
+    Per served request, when metrics are enabled, the server
+    increments [serve.requests], observes [serve.latency_us]
+    (monotonic clock, clamped at zero), and republishes the cache
+    counters; degraded rungs count [resilience.degraded.<rung>], shed
+    requests [resilience.shed], retries [resilience.retries], blown
+    deadlines [resilience.deadline_expired], and injected faults the
+    [resilience.fault.*] family. *)
 
 type request = {
   user : string;
@@ -21,11 +51,32 @@ type request = {
   execute : bool;
 }
 
+type served = {
+  outcome : Cqp_core.Personalizer.outcome;
+  rung : Cqp_resilience.Rung.t;
+      (** the degradation rung that produced the outcome *)
+  retries : int;  (** transient-fault retries spent on this request *)
+  deadline_expired : bool;
+      (** the request's deadline had expired by response time *)
+}
+
+type verdict =
+  | Served of served
+  | Shed of { queue_position : int; limit : int }
+      (** load-shed before solving: queue position reached the
+          configured depth *)
+
 type response = {
   request : request;
-  outcome : Cqp_core.Personalizer.outcome;
-  latency_ms : float;  (** wall-clock serve time *)
+  verdict : verdict;
+  latency_ms : float;  (** monotonic wall-clock serve time, >= 0 *)
 }
+
+val outcome : response -> Cqp_core.Personalizer.outcome option
+(** [None] for a shed request. *)
+
+val outcome_exn : response -> Cqp_core.Personalizer.outcome
+(** @raise Invalid_argument on a shed request. *)
 
 type t
 
@@ -35,15 +86,21 @@ val create :
   ?caching:bool ->
   ?pref_space_capacity:int ->
   ?memo_estimates:bool ->
+  ?resilience:Cqp_resilience.Config.t ->
   Cqp_relal.Catalog.t ->
   t
 (** [caching:false] disables both caches (the differential baseline);
-    the capacity knobs are forwarded to {!Cqp_core.Cache.create}. *)
+    the capacity knobs are forwarded to {!Cqp_core.Cache.create}.
+    [resilience] (default {!Cqp_resilience.Config.default}, all off)
+    configures deadlines, degradation, retries, shedding, and fault
+    injection. *)
 
 val catalog : t -> Cqp_relal.Catalog.t
 
 val cache : t -> Cqp_core.Cache.t option
 (** [None] when created with [caching:false]. *)
+
+val resilience : t -> Cqp_resilience.Config.t
 
 val set_profile : t -> user:string -> Cqp_prefs.Profile.t -> unit
 (** Install or replace a user's profile.  On replacement, extractions
@@ -52,17 +109,26 @@ val set_profile : t -> user:string -> Cqp_prefs.Profile.t -> unit
 
 val profile : t -> string -> Cqp_prefs.Profile.t option
 
-val serve : t -> request -> response
-(** @raise Unknown_user when no profile was installed for the
+val handle : ?queue_position:int -> t -> request -> response
+(** Serve one request through the resilience pipeline: shed check
+    (only when [queue_position] is given and shedding is configured),
+    deadline budget, fault decision, bounded retries, degradation
+    ladder.  Always returns a response when the user is known — faults
+    and deadlines degrade, they do not raise.
+    @raise Unknown_user when no profile was installed for the
     requesting user.
     @raise Cqp_sql.Parser.Parse_error /
     [Cqp_sql.Analyzer.Semantic_error] as {!Cqp_core.Personalizer.run}
     does. *)
 
+val serve : t -> request -> response
+(** {!handle} with no queue position (never sheds). *)
+
 val serve_batch : t -> request list -> response list
 (** Serve in order; a raised exception aborts the rest of the batch. *)
 
 val requests_served : t -> int
+(** Requests actually served (shed requests are not counted). *)
 
 (** {1 Sharding}
 
@@ -76,9 +142,9 @@ val requests_served : t -> int
 
 val shards : t -> int -> t array
 (** The parent's persistent shard fleet, created on first use (and
-    recreated, cold, when [n] changes) with the parent's caching
-    configuration.  Every call syncs the parent's current profiles
-    down; unchanged profiles do not disturb warm shard caches.
+    recreated, cold, when [n] changes) with the parent's caching and
+    resilience configuration.  Every call syncs the parent's current
+    profiles down; unchanged profiles do not disturb warm shard caches.
     @raise Invalid_argument when [n < 1]. *)
 
 val drain_shards : t -> served:int -> unit

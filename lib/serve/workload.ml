@@ -75,13 +75,23 @@ let install server ~user seed =
   in
   Serve.set_profile server ~user profile
 
+(* Queue positions for load shedding model burst admission: position i
+   is the request's 0-based index within its serving lane's batch — the
+   single lane here, its shard's slice in a parallel replay.  The
+   pattern of shed requests therefore depends on the lane count (more
+   lanes = shorter queues), but for a fixed lane count it is a pure
+   function of the workload. *)
 let replay_sequential server entries =
+  let position = ref 0 in
   List.filter_map
     (function
       | Set_profile { user; seed } ->
           install server ~user seed;
           None
-      | Request req -> Some (Serve.serve server req))
+      | Request req ->
+          let queue_position = !position in
+          incr position;
+          Some (Serve.handle ~queue_position server req))
     entries
 
 (* Parallel replay: partition entries by user over one shard server per
@@ -99,17 +109,26 @@ let replay_parallel pool server entries =
   let shard_of user = Hashtbl.hash user mod nshards in
   let per_shard = Array.make nshards [] in
   let slots = ref 0 in
+  (* Queue positions count requests per shard (the serving lane), so
+     shedding under a parallel replay models each lane's own queue. *)
+  let shard_positions = Array.make nshards 0 in
   List.iter
     (fun entry ->
-      let user, tagged =
+      let s = shard_of
+          (match entry with
+          | Set_profile { user; _ } -> user
+          | Request req -> req.Serve.user)
+      in
+      let tagged =
         match entry with
-        | Set_profile { user; seed } -> (user, `Install (user, seed))
+        | Set_profile { user; seed } -> `Install (user, seed)
         | Request req ->
             let slot = !slots in
             incr slots;
-            (req.Serve.user, `Serve (slot, req))
+            let queue_position = shard_positions.(s) in
+            shard_positions.(s) <- queue_position + 1;
+            `Serve (slot, queue_position, req)
       in
-      let s = shard_of user in
       per_shard.(s) <- tagged :: per_shard.(s))
     entries;
   let responses = Array.make !slots None in
@@ -118,15 +137,22 @@ let replay_parallel pool server entries =
     List.iter
       (function
         | `Install (user, seed) -> install shard ~user seed
-        | `Serve (slot, req) ->
-            responses.(slot) <- Some (Serve.serve shard req))
+        | `Serve (slot, queue_position, req) ->
+            responses.(slot) <- Some (Serve.handle ~queue_position shard req))
       (List.rev per_shard.(s))
   in
   (* An exception in any shard (e.g. [Serve.Unknown_user]) aborts the
      replay after the batch drains, like a sequential replay aborts its
      remainder — the pool re-raises the lowest-shard failure. *)
   Cqp_par.Pool.run_all pool (Array.init nshards (fun s _index -> job s));
-  Serve.drain_shards server ~served:!slots;
+  let served =
+    Array.fold_left
+      (fun n -> function
+        | Some { Serve.verdict = Serve.Served _; _ } -> n + 1
+        | Some { Serve.verdict = Serve.Shed _; _ } | None -> n)
+      0 responses
+  in
+  Serve.drain_shards server ~served;
   Array.to_list responses |> List.filter_map Fun.id
 
 let replay ?pool server entries =

@@ -1,0 +1,13 @@
+(* Nearest-rank percentile: the smallest element such that at least
+   [p * n] of the sample is <= it.  The textbook formula
+   [ceil (p * n) - 1] underflows to -1 for small [p] (and float error
+   can push the rank past [n - 1] for p = 1.0), so the rank is clamped
+   into [0, n - 1] — this bug crashed both of the copy-pasted CLI and
+   bench definitions this module replaces on [percentile lat 0.0]. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+  end

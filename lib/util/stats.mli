@@ -1,0 +1,8 @@
+(** Small numeric summaries shared by the CLI and bench reporting. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] is the nearest-rank percentile of an
+    ascending-sorted sample: the element at rank [ceil (p * n)]
+    (1-based), clamped into the array, so [p = 0.] returns the
+    minimum, [p = 1.] the maximum, and out-of-range [p] never raises.
+    Returns [0.] on the empty array. *)

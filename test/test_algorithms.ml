@@ -26,7 +26,7 @@ let test_figure6_boundaries () =
      as the fix.  We implement that prune, so the boundary set here is
      the corrected {c1, c1c3, c2c3c4}. *)
   let space = fig_space C.Space.By_cost in
-  let bounds = C.C_boundaries.find_boundaries space ~cmax in
+  let bounds = C.C_boundaries.find_boundaries ~budget:Cqp_resilience.Budget.unlimited space ~cmax in
   Alcotest.(check (list string))
     "boundaries"
     [ "{1,3}"; "{1}"; "{2,3,4}" ]
@@ -36,7 +36,7 @@ let test_figure8_maxbounds () =
   (* Figure 8: C-MAXBOUNDS output is exactly {c1c3, c2c3c4} — no
      subsets, nothing below another bound. *)
   let space = fig_space C.Space.By_cost in
-  let bounds = C.C_maxbounds.find_max_bounds space ~cmax in
+  let bounds = C.C_maxbounds.find_max_bounds ~budget:Cqp_resilience.Budget.unlimited space ~cmax in
   Alcotest.(check (list string))
     "maximal boundaries"
     [ "{1,3}"; "{2,3,4}" ]
@@ -66,7 +66,7 @@ let test_boundary_definition () =
      predecessor of R is a state whose vertical set contains R. *)
   let space = fig_space C.Space.By_cost in
   let k = C.Space.k space in
-  let bounds = C.C_boundaries.find_boundaries space ~cmax in
+  let bounds = C.C_boundaries.find_boundaries ~budget:Cqp_resilience.Budget.unlimited space ~cmax in
   List.iter
     (fun b ->
       checkb "boundary feasible" true (C.Space.cost space b <= cmax);
@@ -81,7 +81,7 @@ let test_boundary_definition () =
 let test_maxbounds_maximality () =
   (* No maximal boundary is a subset of or dominated by another. *)
   let space = fig_space C.Space.By_cost in
-  let bounds = C.C_maxbounds.find_max_bounds space ~cmax in
+  let bounds = C.C_maxbounds.find_max_bounds ~budget:Cqp_resilience.Budget.unlimited space ~cmax in
   List.iter
     (fun a ->
       List.iter

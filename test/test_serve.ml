@@ -221,11 +221,11 @@ let test_serve_basics () =
   let r1 = S.Serve.serve server (request "select title from movie") in
   let r2 = S.Serve.serve server (request "select title from movie") in
   checki "served" 2 (S.Serve.requests_served server);
+  let o1 = S.Serve.outcome_exn r1 and o2 = S.Serve.outcome_exn r2 in
   checkb "identical outcomes across cold/warm" true
-    (same_pref_space r1.S.Serve.outcome.C.Personalizer.pref_space
-       r2.S.Serve.outcome.C.Personalizer.pref_space
-    && r1.S.Serve.outcome.C.Personalizer.personalized
-       = r2.S.Serve.outcome.C.Personalizer.personalized);
+    (same_pref_space o1.C.Personalizer.pref_space
+       o2.C.Personalizer.pref_space
+    && o1.C.Personalizer.personalized = o2.C.Personalizer.personalized);
   (match S.Serve.cache server with
   | Some c ->
       let s = C.Cache.extraction_stats c in
@@ -278,7 +278,7 @@ let test_workload_replay_deterministic () =
     List.map
       (fun r ->
         Cqp_sql.Printer.to_string
-          r.S.Serve.outcome.C.Personalizer.personalized)
+          (S.Serve.outcome_exn r).C.Personalizer.personalized)
       (S.Workload.replay server entries)
   in
   Alcotest.(check (list string)) "replay is deterministic" (run ()) (run ())

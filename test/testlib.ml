@@ -158,11 +158,22 @@ let small_imdb ~seed () =
 (* Everything observable about a serve response, compared with
    structural equality — floats included, so any drift between two
    replays (cached vs. uncached, parallel vs. sequential) is caught
-   bit for bit.  Latency is deliberately absent. *)
+   bit for bit.  Latency is deliberately absent; the resilience
+   verdict (rung, retries, deadline label, shed position) is included
+   so the differential suites also pin the default-config path to
+   "Served at Full, no retries, no expiry". *)
 let serve_observable (r : Cqp_serve.Serve.response) =
-  let o = r.Cqp_serve.Serve.outcome in
-  let sol = o.C.Personalizer.solution in
-  ( sol.C.Solution.pref_ids,
-    sol.C.Solution.params,
-    Cqp_sql.Printer.to_string o.C.Personalizer.personalized,
-    o.C.Personalizer.rows )
+  match r.Cqp_serve.Serve.verdict with
+  | Cqp_serve.Serve.Shed { queue_position; limit } ->
+      `Shed (queue_position, limit)
+  | Cqp_serve.Serve.Served s ->
+      let o = s.Cqp_serve.Serve.outcome in
+      let sol = o.C.Personalizer.solution in
+      `Served
+        ( sol.C.Solution.pref_ids,
+          sol.C.Solution.params,
+          Cqp_sql.Printer.to_string o.C.Personalizer.personalized,
+          o.C.Personalizer.rows,
+          Cqp_resilience.Rung.name s.Cqp_serve.Serve.rung,
+          s.Cqp_serve.Serve.retries,
+          s.Cqp_serve.Serve.deadline_expired )

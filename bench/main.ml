@@ -1157,6 +1157,154 @@ let bechamel_benchmarks () =
     tests
 
 (* ---------------------------------------------------------------- *)
+(* Perf trajectory: `trend` writes BENCH_<label>.json, `profile`      *)
+(* diffs two of them                                                  *)
+(* ---------------------------------------------------------------- *)
+
+module BF = Cqp_profile.Bench_file
+
+(* Each trend workload returns the raw per-request latencies (µs) and
+   its cache hit rate; states visited and GC words are measured around
+   it.  Exact percentiles come from the raw arrays — the registry's
+   log-scale histograms are factor-2 resolution, far too coarse for a
+   20% regression gate. *)
+let trend_measure name f =
+  Printf.printf "trend: running %s...\n%!" name;
+  (* settle the heap so the workload's GC deltas do not inherit debt
+     from whatever ran before it *)
+  Gc.full_major ();
+  let states0 = Cqp_obs.Metrics.counter_value "solver.states_visited" in
+  let (latencies_us, cache_hit_rate), gc = Cqp_profile.Gcprof.measure f in
+  Cqp_profile.Gcprof.publish ~section:("trend." ^ name) gc;
+  let states1 = Cqp_obs.Metrics.counter_value "solver.states_visited" in
+  let lat = Array.of_list latencies_us in
+  Array.sort compare lat;
+  let pct q =
+    if Array.length lat = 0 then 0. else Cqp_util.Stats.percentile lat q
+  in
+  {
+    BF.name;
+    requests = Array.length lat;
+    p50_us = pct 0.50;
+    p99_us = pct 0.99;
+    p999_us = pct 0.999;
+    states_visited = states1 - states0;
+    cache_hit_rate;
+    gc_minor_words = gc.Cqp_profile.Gcprof.minor_words;
+    gc_major_words = gc.Cqp_profile.Gcprof.major_words;
+  }
+
+(* Workload 1: the solver sweep — one exact, one bounds-based, one
+   heuristic algorithm over two K values on the shared experiment
+   runs.  Pure optimization, no caches: states_visited is its
+   deterministic signature. *)
+let trend_solver_sweep () =
+  let lats = ref [] in
+  List.iter
+    (fun algo ->
+      List.iter
+        (fun k ->
+          List.iter
+            (fun (p, q) ->
+              match measure_algo algo p q ~k ~cmax:default_cmax with
+              | Some m -> lats := (1000. *. m.time_ms) :: !lats
+              | None -> ())
+            (runs_list 6))
+        [ 10; 15 ])
+    [ C.Algorithm.C_boundaries; C.Algorithm.C_maxbounds; C.Algorithm.D_heurdoi ];
+  (!lats, 0.)
+
+(* Workloads 2 and 3: serve replay — a cold pass warms the caches,
+   then the measured warm pass replays the same entries; the parallel
+   variant fans the identical workload over a 4-domain pool with
+   domain-local shard caches. *)
+let trend_serve ?domains () =
+  let catalog = catalog () in
+  let entries =
+    Cqp_serve.Workload.generate ~users:6 ~requests:48 ~updates:2
+      ~rng:(Cqp_util.Rng.create !mode.seed) catalog
+  in
+  let server = Cqp_serve.Serve.create ~caching:true catalog in
+  let pool =
+    match domains with
+    | Some d when d > 1 -> Some (Cqp_par.Pool.create ~domains:d ())
+    | _ -> None
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Cqp_par.Pool.shutdown pool)
+  @@ fun () ->
+  ignore (Cqp_serve.Workload.replay ?pool server entries);
+  let fleet_stats () =
+    let caches =
+      (match Cqp_serve.Serve.cache server with Some c -> [ c ] | None -> [])
+      @ Cqp_serve.Serve.shard_caches server
+    in
+    List.fold_left
+      (fun (h, l) c ->
+        let s = C.Cache.extraction_stats c in
+        (h + s.Cqp_util.Lru.hits, l + s.Cqp_util.Lru.lookups))
+      (0, 0) caches
+  in
+  let hits0, lookups0 = fleet_stats () in
+  let responses = Cqp_serve.Workload.replay ?pool server entries in
+  let hits1, lookups1 = fleet_stats () in
+  let hit_rate =
+    if lookups1 > lookups0 then
+      float_of_int (hits1 - hits0) /. float_of_int (lookups1 - lookups0)
+    else 0.
+  in
+  ( List.map (fun r -> r.Cqp_serve.Serve.latency_ms *. 1000.) responses,
+    hit_rate )
+
+let run_trend ~label ~out =
+  Cqp_obs.Metrics.enable ();
+  Cqp_profile.Request.enable ();
+  (* bound in sequence: a list literal would evaluate right-to-left *)
+  let solver = trend_measure "solver_sweep" trend_solver_sweep in
+  let warm = trend_measure "serve_warm" (fun () -> trend_serve ()) in
+  let par = trend_measure "par_replay" (fun () -> trend_serve ~domains:4 ()) in
+  let workloads = [ solver; warm; par ] in
+  let t = { BF.label; workloads } in
+  let file =
+    match out with Some f -> f | None -> "BENCH_" ^ label ^ ".json"
+  in
+  BF.write ~file t;
+  Printf.printf "\n%-14s %6s %10s %10s %10s %10s %8s %12s %12s\n" "workload"
+    "reqs" "p50(us)" "p99(us)" "p999(us)" "states" "hit%" "gc minor" "gc major";
+  List.iter
+    (fun (w : BF.workload) ->
+      Printf.printf "%-14s %6d %10.1f %10.1f %10.1f %10d %7.1f%% %12.0f %12.0f\n"
+        w.BF.name w.BF.requests w.BF.p50_us w.BF.p99_us w.BF.p999_us
+        w.BF.states_visited
+        (100. *. w.BF.cache_hit_rate)
+        w.BF.gc_minor_words w.BF.gc_major_words)
+    workloads;
+  Printf.printf "\nbench trajectory -> %s\n%!" file;
+  0
+
+let run_profile_diff ~base ~current ~tolerance ~ignore_timing =
+  let base_t = BF.read base in
+  let current_t = BF.read current in
+  let findings =
+    BF.diff ~tolerance ~ignore_timing ~base:base_t ~current:current_t ()
+  in
+  Printf.printf "comparing %s (%s) -> %s (%s), tolerance %.0f%%%s\n\n" base
+    base_t.BF.label current current_t.BF.label (100. *. tolerance)
+    (if ignore_timing then ", timing ignored" else "");
+  List.iter
+    (fun f -> Format.printf "%a@." BF.pp_finding f)
+    findings;
+  let regressions = List.filter (fun f -> f.BF.regression) findings in
+  if regressions = [] then begin
+    Printf.printf "\nno regressions beyond tolerance.\n%!";
+    0
+  end
+  else begin
+    Printf.printf "\n%d regression(s) beyond tolerance.\n%!"
+      (List.length regressions);
+    1
+  end
+
+(* ---------------------------------------------------------------- *)
 (* Main                                                               *)
 (* ---------------------------------------------------------------- *)
 
@@ -1186,6 +1334,11 @@ let sections =
 
 let () =
   let only = ref "" in
+  let label = ref "dev" in
+  let out = ref "" in
+  let tolerance = ref 0.20 in
+  let ignore_timing = ref false in
+  let anon = ref [] in
   let speclist =
     [
       ("--full", Arg.Unit (fun () -> mode := { !mode with full = true }),
@@ -1198,34 +1351,66 @@ let () =
       ("--obs", Arg.String (fun p -> mode := { !mode with obs = Some p }),
        "PREFIX enable observability; write PREFIX.trace.json (Chrome \
         trace_event) and PREFIX.metrics.json next to the results");
+      ("--label", Arg.Set_string label,
+       "LABEL trajectory label for `trend` (git sha, date; default dev)");
+      ("--out", Arg.Set_string out,
+       "FILE output file for `trend` (default BENCH_<label>.json)");
+      ("--tolerance", Arg.Set_float tolerance,
+       "FRAC regression tolerance for `profile` (default 0.20)");
+      ("--ignore-timing", Arg.Set ignore_timing,
+       " `profile` skips latency percentiles (cross-machine CI mode)");
     ]
   in
-  Arg.parse speclist (fun _ -> ()) "CQP experiment harness";
-  if !only <> "" then
-    mode := { !mode with only = String.split_on_char ',' !only };
-  let selected =
-    match !mode.only with
-    | [] -> sections
-    | ids -> List.filter (fun (id, _) -> List.mem id ids) sections
+  let usage =
+    "CQP experiment harness\n\
+     \  main.exe [options]                 run the paper's tables/figures\n\
+     \  main.exe trend [--label L]         write the BENCH_<label>.json \
+     perf-trajectory point\n\
+     \  main.exe profile BASE NEW          diff two BENCH files; exit 1 on \
+     regression"
   in
-  Printf.printf "CQP experiment harness — %s mode\n%!"
-    (if !mode.full then "FULL (paper-scale averaging)" else "quick");
-  (match !mode.obs with
-  | Some _ -> Cqp_obs.Obs.enable ()
-  | None -> ());
-  List.iter
-    (fun (id, f) ->
-      Cqp_obs.Trace.with_span ~name:("bench." ^ id) (fun () -> f ()))
-    selected;
-  if !mode.bechamel then bechamel_benchmarks ();
-  (match !mode.obs with
-  | Some prefix ->
-      let trace_file = prefix ^ ".trace.json" in
-      let metrics_file = prefix ^ ".metrics.json" in
-      Cqp_obs.Trace.write_chrome ~file:trace_file;
-      Cqp_obs.Metrics.write_json ~file:metrics_file;
-      Printf.printf "observability: %d spans -> %s (%d dropped), metrics -> %s\n%!"
-        (Cqp_obs.Trace.span_count ()) trace_file (Cqp_obs.Trace.dropped ())
-        metrics_file
-  | None -> ());
-  Printf.printf "\ndone.\n%!"
+  Arg.parse speclist (fun a -> anon := a :: !anon) usage;
+  match List.rev !anon with
+  | [ "trend" ] ->
+      exit
+        (run_trend ~label:!label ~out:(if !out = "" then None else Some !out))
+  | [ "profile"; base; current ] ->
+      exit
+        (run_profile_diff ~base ~current ~tolerance:!tolerance
+           ~ignore_timing:!ignore_timing)
+  | "trend" :: _ | "profile" :: _ ->
+      prerr_endline usage;
+      exit 2
+  | _ :: _ ->
+      prerr_endline usage;
+      exit 2
+  | [] ->
+      if !only <> "" then
+        mode := { !mode with only = String.split_on_char ',' !only };
+      let selected =
+        match !mode.only with
+        | [] -> sections
+        | ids -> List.filter (fun (id, _) -> List.mem id ids) sections
+      in
+      Printf.printf "CQP experiment harness — %s mode\n%!"
+        (if !mode.full then "FULL (paper-scale averaging)" else "quick");
+      (match !mode.obs with
+      | Some prefix ->
+          Cqp_obs.Obs.enable ();
+          (* partial traces still land on disk if a section dies *)
+          Cqp_obs.Trace.auto_flush ~file:(prefix ^ ".trace.json")
+      | None -> ());
+      List.iter
+        (fun (id, f) ->
+          Cqp_obs.Trace.with_span ~name:("bench." ^ id) (fun () -> f ()))
+        selected;
+      if !mode.bechamel then bechamel_benchmarks ();
+      (match !mode.obs with
+      | Some prefix ->
+          let trace_file = prefix ^ ".trace.json" in
+          Cqp_obs.Trace.write_chrome ~file:trace_file;
+          Printf.printf "observability: %d spans -> %s (%d dropped)\n%!"
+            (Cqp_obs.Trace.span_count ()) trace_file (Cqp_obs.Trace.dropped ());
+          Cqp_obs.Metrics.dump_json ~file:(prefix ^ ".metrics.json")
+      | None -> ());
+      Printf.printf "\ndone.\n%!"

@@ -128,7 +128,12 @@ let metrics_arg =
 let with_setup f verbose seed movies profile_file query problem cmax dmin
     smin smax max_k algo_name trace metrics =
   setup_logs verbose;
-  if trace <> None then Cqp_obs.Trace.enable ();
+  (match trace with
+  | Some file ->
+      Cqp_obs.Trace.enable ();
+      (* guarantee the trace reaches disk even on an early exit *)
+      Cqp_obs.Trace.auto_flush ~file
+  | None -> ());
   if metrics <> None then Cqp_obs.Metrics.enable ();
   let dump_obs () =
     (match trace with
@@ -137,11 +142,7 @@ let with_setup f verbose seed movies profile_file query problem cmax dmin
         Format.eprintf "trace: %d spans -> %s@." (Cqp_obs.Trace.span_count ())
           file
     | None -> ());
-    match metrics with
-    | Some file ->
-        Cqp_obs.Metrics.write_json ~file;
-        Format.eprintf "metrics -> %s@." file
-    | None -> ()
+    Option.iter (fun file -> Cqp_obs.Metrics.dump_json ~file) metrics
   in
   try
     let catalog = catalog_of ~movies ~seed in
@@ -320,10 +321,24 @@ let percentile = Cqp_util.Stats.percentile
 
 let serve_action verbose seed movies workload_file save_file users requests
     updates repeat domains no_cache capacity execute deadline_ms retries
-    shed_depth inject spike_ms portfolio trace metrics =
+    shed_depth inject spike_ms portfolio profiling events_file prometheus_file
+    trace metrics =
   setup_logs verbose;
-  if trace <> None then Cqp_obs.Trace.enable ();
+  (match trace with
+  | Some file ->
+      Cqp_obs.Trace.enable ();
+      Cqp_obs.Trace.auto_flush ~file
+  | None -> ());
   if metrics <> None then Cqp_obs.Metrics.enable ();
+  (* --events implies --profile; the phase metrics that profiling
+     publishes live in the registry, so profiling implies metrics. *)
+  let profiling = profiling || events_file <> None in
+  if profiling then begin
+    Cqp_obs.Metrics.enable ();
+    Cqp_profile.Request.enable ()
+  end;
+  if prometheus_file <> None then Cqp_obs.Metrics.enable ();
+  Option.iter Cqp_profile.Reqlog.set_file events_file;
   try
     let catalog = catalog_of ~movies ~seed in
     let entries =
@@ -454,14 +469,49 @@ let serve_action verbose seed movies workload_file save_file users requests
            | 1 -> ""
            | n -> Printf.sprintf " across %d caches" n)
            mht mlk);
+    if profiling then begin
+      (* Per-phase latency breakdown off the registry histograms.
+         Quantiles read from log-scale buckets are upper bounds within
+         a factor of 2 — fine for a console summary; the bench trend
+         files carry exact percentiles. *)
+      Format.printf "phase breakdown (requests with the phase):@.";
+      List.iter
+        (fun p ->
+          let nm = "profile.phase." ^ Cqp_profile.Phase.name p ^ "_us" in
+          let n = Cqp_obs.Metrics.histogram_count nm in
+          if n > 0 then
+            Format.printf "  %-12s %6d  p50<=%.0fus p99<=%.0fus total=%.1fms@."
+              (Cqp_profile.Phase.name p)
+              n
+              (Option.value ~default:0.
+                 (Cqp_obs.Metrics.histogram_quantile nm 0.50))
+              (Option.value ~default:0.
+                 (Cqp_obs.Metrics.histogram_quantile nm 0.99))
+              (Option.value ~default:0. (Cqp_obs.Metrics.histogram_sum nm)
+              /. 1000.))
+        Cqp_profile.Phase.all;
+      Format.printf
+        "gc: request minor_words=%d major_words=%d compactions=%d@."
+        (Cqp_obs.Metrics.counter_value "profile.gc.request.minor_words")
+        (Cqp_obs.Metrics.counter_value "profile.gc.request.major_words")
+        (Cqp_obs.Metrics.counter_value "profile.gc.request.compactions")
+    end;
+    (match events_file with
+    | Some f ->
+        Cqp_profile.Reqlog.close ();
+        Format.eprintf "events: %d request lines -> %s@."
+          (Cqp_profile.Reqlog.logged_count ())
+          f
+    | None -> ());
+    (match prometheus_file with
+    | Some f ->
+        Cqp_obs.Metrics.write_prometheus ~file:f;
+        Format.eprintf "prometheus exposition -> %s@." f
+    | None -> ());
     (match trace with
     | Some file -> Cqp_obs.Trace.write_chrome ~file
     | None -> ());
-    (match metrics with
-    | Some file ->
-        Cqp_obs.Metrics.write_json ~file;
-        Format.eprintf "metrics -> %s@." file
-    | None -> ());
+    Option.iter (fun file -> Cqp_obs.Metrics.dump_json ~file) metrics;
     0
   with
   | Failure msg | Invalid_argument msg | Sys_error msg ->
@@ -597,13 +647,45 @@ let serve_cmd =
           ~doc:"Serve the Full rung with the solver portfolio instead \
                 of each request's single algorithm.")
   in
+  let profile_flag_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "profile" ]
+          ~doc:
+            "Per-request phase profiling: queue-wait / cache-lookup / \
+             solve / degrade / exec / render timers and GC word deltas, \
+             published as $(b,profile.phase.*) histograms and \
+             $(b,profile.gc.*) counters, with a breakdown printed after \
+             the replay.  Implies metrics recording.")
+  in
+  let events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Write one JSON line per served request (id, user, rung, \
+             outcome, per-phase microseconds, cache hits, GC words) to \
+             $(docv).  Implies $(b,--profile).")
+  in
+  let prometheus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prometheus" ] ~docv:"FILE"
+          ~doc:
+            "Write the final metrics registry to $(docv) in Prometheus \
+             text exposition format (0.0.4).  Implies metrics recording.")
+  in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve_action
       $ verbose $ seed $ movies $ workload_arg $ save_arg $ users_arg
       $ requests_arg $ updates_arg $ repeat_arg $ domains_arg $ no_cache_arg
       $ capacity_arg $ execute_arg $ deadline_arg $ retries_arg $ shed_arg
-      $ inject_arg $ spike_ms_arg $ portfolio_arg $ trace_arg $ metrics_arg)
+      $ inject_arg $ spike_ms_arg $ portfolio_arg $ profile_flag_arg
+      $ events_arg $ prometheus_arg $ trace_arg $ metrics_arg)
 
 let () =
   let doc = "Constrained Query Personalization (SIGMOD 2005) toolkit" in

@@ -124,6 +124,34 @@ let histogram_count name =
   | Some (Histogram h) -> h.count
   | _ -> 0
 
+let histogram_sum name =
+  locked @@ fun () ->
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> Some h.sum
+  | _ -> None
+
+(* Nearest-rank quantile over the log-scale buckets: the exclusive
+   upper bound of the bucket holding the q-th observation, i.e. an
+   upper estimate within the 2x bucket resolution.  Exact percentiles
+   need the raw sample (the bench trend harness keeps one); this is
+   for summaries and scrapers working off the registry alone. *)
+let histogram_quantile name q =
+  locked @@ fun () ->
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) when h.count > 0 ->
+      let q = Float.max 0. (Float.min 1. q) in
+      let rank =
+        max 1 (int_of_float (Float.ceil (q *. float_of_int h.count)))
+      in
+      let rec go i cum =
+        if i >= n_buckets then Some infinity
+        else
+          let cum = cum + h.buckets.(i) in
+          if cum >= rank then Some (bucket_upper_bound i) else go (i + 1) cum
+      in
+      go 0 0
+  | _ -> None
+
 (* --- export ---------------------------------------------------------- *)
 
 let sorted_instruments () =
@@ -187,6 +215,83 @@ let write_json ~file =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_json_string ()))
+
+let dump_json ~file =
+  write_json ~file;
+  let counters, gauges, histograms =
+    List.fold_left
+      (fun (c, g, h) (_, i) ->
+        match i with
+        | Counter _ -> (c + 1, g, h)
+        | Gauge _ -> (c, g + 1, h)
+        | Histogram _ -> (c, g, h + 1))
+      (0, 0, 0) (sorted_instruments ())
+  in
+  Format.eprintf "metrics -> %s (%d counters, %d gauges, %d histograms)@."
+    file counters gauges histograms
+
+(* --- Prometheus text exposition -------------------------------------- *)
+
+(* Prometheus metric names admit [a-zA-Z0-9_:]; our dotted convention
+   maps 1:1 by replacing the dots. *)
+let prometheus_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prometheus_number f =
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let to_prometheus () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, i) ->
+      let pname = prometheus_name name in
+      match i with
+      | Counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "# TYPE %s counter\n%s %d\n" pname pname c.n)
+      | Gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "# TYPE %s gauge\n%s %s\n" pname pname
+               (prometheus_number g.v))
+      | Histogram h ->
+          Buffer.add_string buf
+            (Printf.sprintf "# TYPE %s histogram\n" pname);
+          (* Non-empty finite buckets, cumulative; the overflow bucket
+             is folded into the mandatory "+Inf" line. *)
+          let cum = ref 0 in
+          for i = 0 to n_buckets - 2 do
+            if h.buckets.(i) > 0 then begin
+              cum := !cum + h.buckets.(i);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" pname
+                   (prometheus_number (bucket_upper_bound i))
+                   !cum)
+            end
+          done;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" pname h.count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n" pname (prometheus_number h.sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count %d\n" pname h.count))
+    (sorted_instruments ());
+  Buffer.contents buf
+
+let write_prometheus ~file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_prometheus ()))
 
 let pp ppf () =
   Format.pp_open_vbox ppf 0;

@@ -65,6 +65,15 @@ val counter_value : string -> int
 
 val gauge_value : string -> float option
 val histogram_count : string -> int
+val histogram_sum : string -> float option
+
+val histogram_quantile : string -> float -> float option
+(** [histogram_quantile name q] is the nearest-rank q-quantile read
+    off the log-scale buckets: the exclusive upper bound of the bucket
+    holding the q-th observation (so an {e upper} estimate, within the
+    factor-2 bucket resolution; [infinity] when it lands in the
+    overflow bucket).  [None] for an absent or empty histogram.  [q]
+    is clamped into [0, 1]. *)
 
 (** {1 Log-scale histogram geometry}
 
@@ -91,4 +100,20 @@ val to_json : unit -> Jsonx.t
 
 val to_json_string : unit -> string
 val write_json : file:string -> unit
+
+val dump_json : file:string -> unit
+(** {!write_json} plus a one-line ["metrics -> <file> (...)"] note on
+    stderr — the single dump path shared by the CLI and the bench
+    harness so their output stays uniform. *)
+
+val to_prometheus : unit -> string
+(** The whole registry in the Prometheus text exposition format
+    (version 0.0.4): dotted names mapped to underscores, counters and
+    gauges as single samples, histograms as cumulative
+    [<name>_bucket{le="..."}] series (log-scale upper bounds, empty
+    buckets omitted, overflow folded into [le="+Inf"]) plus
+    [<name>_sum] / [<name>_count] — scrapeable without the
+    Chrome-trace path. *)
+
+val write_prometheus : file:string -> unit
 val pp : Format.formatter -> unit -> unit

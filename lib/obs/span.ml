@@ -3,6 +3,7 @@ type t = {
   parent : int;
   depth : int;
   name : string;
+  tid : int;  (* recording domain: Chrome-trace thread id *)
   start_us : float;
   mutable dur_us : float;
   mutable attrs : Attr.t list;

@@ -5,6 +5,9 @@ type t = {
   parent : int;  (** span id of the parent; [-1] for a root span *)
   depth : int;  (** nesting depth; roots are at 0 *)
   name : string;
+  tid : int;
+      (** id of the domain that recorded the span — the Chrome-trace
+          thread id, so pool workers land on their own tracks *)
   start_us : float;  (** microseconds since the trace clock origin *)
   mutable dur_us : float;  (** [-1.] while the span is still open *)
   mutable attrs : Attr.t list;

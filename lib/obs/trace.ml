@@ -15,6 +15,20 @@ let next_id = ref 0
 let capacity = ref 1_000_000
 let dropped_count = ref 0
 
+(* Human-readable names for the domains that emit spans, exported as
+   Chrome [thread_name] metadata so pool workers get labeled tracks.
+   Registered unconditionally (creation-time, off the hot path) so a
+   pool built before tracing is enabled still exports its names. *)
+let thread_names : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let name_thread name =
+  let tid = (Domain.self () :> int) in
+  Mutex.lock lock;
+  Hashtbl.replace thread_names tid name;
+  Mutex.unlock lock
+
+let () = name_thread "main"
+
 let is_enabled () = !enabled
 
 let reset () =
@@ -59,6 +73,7 @@ let open_span ~name attrs =
       parent;
       depth;
       name;
+      tid = (Domain.self () :> int);
       start_us = Clock.now_us ();
       dur_us = -1.;
       attrs;
@@ -134,25 +149,82 @@ let event_of_span (sp : Span.t) =
       ("ts", Jsonx.Num sp.Span.start_us);
       ("dur", Jsonx.Num (Float.max 0. sp.Span.dur_us));
       ("pid", Jsonx.Num 1.);
-      ("tid", Jsonx.Num 1.);
+      ("tid", Jsonx.Num (float_of_int sp.Span.tid));
       ("args", Jsonx.Obj args);
     ]
 
+(* Metadata events: the process name plus one [thread_name] per domain
+   that either registered a name or emitted a span, so trace viewers
+   show "pool-worker-N" tracks instead of bare thread ids. *)
+let metadata_events spans =
+  let meta name tid args =
+    Jsonx.Obj
+      [
+        ("name", Jsonx.Str name);
+        ("ph", Jsonx.Str "M");
+        ("pid", Jsonx.Num 1.);
+        ("tid", Jsonx.Num (float_of_int tid));
+        ("args", Jsonx.Obj args);
+      ]
+  in
+  let tids = Hashtbl.create 8 in
+  Mutex.lock lock;
+  Hashtbl.iter (fun tid name -> Hashtbl.replace tids tid name) thread_names;
+  Mutex.unlock lock;
+  List.iter
+    (fun (sp : Span.t) ->
+      if not (Hashtbl.mem tids sp.Span.tid) then
+        Hashtbl.replace tids sp.Span.tid
+          (Printf.sprintf "domain-%d" sp.Span.tid))
+    spans;
+  let threads =
+    Hashtbl.fold (fun tid name acc -> (tid, name) :: acc) tids []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  meta "process_name" 0 [ ("name", Jsonx.Str "cqp") ]
+  :: List.map
+       (fun (tid, name) -> meta "thread_name" tid [ ("name", Jsonx.Str name) ])
+       threads
+
 let to_chrome_json () =
+  let spans = spans () in
   Jsonx.Obj
     [
-      ("traceEvents", Jsonx.Arr (List.map event_of_span (spans ())));
+      ( "traceEvents",
+        Jsonx.Arr (metadata_events spans @ List.map event_of_span spans) );
       ("displayTimeUnit", Jsonx.Str "ms");
       ("otherData", Jsonx.Obj [ ("dropped", Jsonx.Num (float_of_int !dropped_count)) ]);
     ]
 
 let to_chrome_string () = Jsonx.to_string (to_chrome_json ())
 
-let write_chrome ~file =
+(* Flush-on-exit support: a worker domain dying mid-batch or an
+   uncaught exception used to leave the trace file truncated or never
+   written at all under [--domains N].  [auto_flush] arms an [at_exit]
+   hook that writes the pending file; a normal [write_chrome] to that
+   same file disarms it, so the trace is written exactly once either
+   way. *)
+let pending_flush = ref None
+let flush_hook_registered = ref false
+
+let rec write_chrome ~file =
   let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_chrome_string ()))
+    (fun () -> output_string oc (to_chrome_string ()));
+  if !pending_flush = Some file then pending_flush := None
+
+and flush_pending () =
+  match !pending_flush with
+  | Some file -> write_chrome ~file
+  | None -> ()
+
+let auto_flush ~file =
+  pending_flush := Some file;
+  if not !flush_hook_registered then begin
+    flush_hook_registered := true;
+    at_exit flush_pending
+  end
 
 let pp_tree ppf () =
   Format.pp_open_vbox ppf 0;

@@ -49,12 +49,30 @@ val set_capacity : int -> unit
 (** Maximum buffered spans (default 1_000_000); protects long
     benchmark runs from unbounded growth. *)
 
+val name_thread : string -> unit
+(** Register a human-readable name for the calling domain, exported as
+    a Chrome [thread_name] metadata event.  Works even while tracing
+    is disabled (pool construction happens before [enable]); the main
+    domain is pre-registered as ["main"], and unnamed domains that
+    emitted spans export as ["domain-<id>"]. *)
+
 val to_chrome_json : unit -> Jsonx.t
 (** The buffer as a Chrome [trace_event] object:
-    [{"traceEvents": [{"ph":"X","name":...,"ts":...,"dur":...,...}]}]. *)
+    [{"traceEvents": [{"ph":"M",...} metadata; {"ph":"X","name":...,
+    "ts":...,"dur":...,...} per span]}].  Spans carry the recording
+    domain as [tid]; [process_name] / [thread_name] metadata events
+    label every track. *)
 
 val to_chrome_string : unit -> string
 val write_chrome : file:string -> unit
+
+val auto_flush : file:string -> unit
+(** Arm an [at_exit] hook that writes the trace to [file] if nothing
+    has written it by then — traces survive an uncaught exception or
+    an early exit from a parallel run instead of ending up truncated
+    or missing.  A subsequent {!write_chrome} to the same [file]
+    disarms the hook (the trace is written exactly once either way);
+    calling [auto_flush] again re-targets it. *)
 
 val pp_tree : Format.formatter -> unit -> unit
 (** Human-readable indented span tree with durations and attributes. *)

@@ -38,7 +38,10 @@ let create ~domains () =
     }
   in
   t.workers <-
-    Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    Array.init (domains - 1) (fun i ->
+        Domain.spawn (fun () ->
+            Cqp_obs.Trace.name_thread (Printf.sprintf "pool-worker-%d" (i + 1));
+            worker_loop t));
   Metrics.gauge "par.pool.domains" (float_of_int domains);
   t
 
@@ -69,7 +72,16 @@ let run_all t jobs =
       let batch_lock = Mutex.create () in
       let batch_done = Condition.create () in
       let remaining = ref n in
+      (* Batch submission is one enqueue instant, so a job's queue wait
+         is simply start-of-run minus the stamp — a direct read on how
+         much a batch outnumbers the pool. *)
+      let enqueued_us =
+        if Metrics.is_enabled () then Cqp_obs.Clock.raw_us () else 0.
+      in
       let wrap i () =
+        if Metrics.is_enabled () && enqueued_us > 0. then
+          Metrics.observe "par.pool.queue_wait_us"
+            (Float.max 0. (Cqp_obs.Clock.raw_us () -. enqueued_us));
         (try jobs.(i) i
          with e ->
            let bt = Printexc.get_raw_backtrace () in

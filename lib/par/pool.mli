@@ -41,7 +41,11 @@
     When {!Cqp_obs.Metrics} is enabled: [par.pool.batches] and
     [par.pool.tasks] count submissions, [par.pool.errors] counts
     captured job exceptions (CI fails the build when it is non-zero),
-    and the [par.pool.domains] gauge records the pool size. *)
+    the [par.pool.domains] gauge records the pool size, and the
+    [par.pool.queue_wait_us] histogram records each job's wait between
+    batch submission and start of execution.  Worker domains register
+    as [pool-worker-<n>] in the Chrome-trace thread names
+    ({!Cqp_obs.Trace.name_thread}). *)
 
 type t
 

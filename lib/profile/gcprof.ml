@@ -1,0 +1,57 @@
+module Metrics = Cqp_obs.Metrics
+
+type delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  elapsed_us : float;
+}
+
+let zero =
+  {
+    minor_words = 0.;
+    major_words = 0.;
+    promoted_words = 0.;
+    minor_collections = 0;
+    major_collections = 0;
+    compactions = 0;
+    elapsed_us = 0.;
+  }
+
+let measure f =
+  let t0 = Cqp_obs.Clock.now_us () in
+  let g0 = Gc.quick_stat () in
+  let r = f () in
+  let g1 = Gc.quick_stat () in
+  let d =
+    {
+      minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      major_words = g1.Gc.major_words -. g0.Gc.major_words;
+      promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+      minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+      major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+      compactions = g1.Gc.compactions - g0.Gc.compactions;
+      elapsed_us = Cqp_obs.Clock.now_us () -. t0;
+    }
+  in
+  (r, d)
+
+let publish ~section d =
+  if Metrics.is_enabled () then begin
+    let pfx = "profile.gc.section." ^ section ^ "." in
+    Metrics.add (pfx ^ "minor_words") (int_of_float d.minor_words);
+    Metrics.add (pfx ^ "major_words") (int_of_float d.major_words);
+    Metrics.add (pfx ^ "promoted_words") (int_of_float d.promoted_words);
+    Metrics.add (pfx ^ "minor_collections") d.minor_collections;
+    Metrics.add (pfx ^ "major_collections") d.major_collections;
+    Metrics.add (pfx ^ "compactions") d.compactions;
+    Metrics.observe (pfx ^ "elapsed_us") d.elapsed_us
+  end
+
+let with_section section f =
+  let r, d = measure f in
+  publish ~section d;
+  r

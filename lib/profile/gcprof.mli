@@ -1,0 +1,36 @@
+(** Allocation profiling over [Gc.quick_stat] deltas.
+
+    {!measure} brackets a thunk with two [quick_stat] snapshots (cheap:
+    no heap walk) and returns the delta; {!with_section} additionally
+    publishes it under [profile.gc.section.<label>.*] in the metrics
+    registry.  Unlike {!Request}, measurement is not gated on a switch
+    — callers (bench sections) opt in at the call site; only
+    publishing checks [Metrics.is_enabled].
+
+    Deltas are per-domain under OCaml 5 ([quick_stat] reports the
+    calling domain's counters plus completed-domain totals), so bench
+    sections that spawn domains undercount child allocation; the
+    single-domain bench workloads this profiles are unaffected. *)
+
+type delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  elapsed_us : float;
+}
+
+val zero : delta
+
+val measure : (unit -> 'a) -> 'a * delta
+(** Not exception-safe by design: a raising thunk propagates and no
+    delta is produced. *)
+
+val publish : section:string -> delta -> unit
+(** Add the delta to the [profile.gc.section.<section>.*] counters and
+    observe [elapsed_us]; no-op while metrics are disabled. *)
+
+val with_section : string -> (unit -> 'a) -> 'a
+(** [measure] + [publish]. *)

@@ -1,0 +1,64 @@
+(** Per-request phase profiling.
+
+    A request context lives in domain-local storage between {!start}
+    and {!finish}; {!timed} wraps a pipeline stage and attributes its
+    wall-clock microseconds and [Gc.quick_stat] word deltas to a
+    {!Phase.t}.  Nested [timed] calls of the {e same} phase only
+    accumulate at the outermost level, so re-entrant stages are not
+    double-counted (distinct phases nest freely — [Degrade] inside
+    [Solve] is attributed to both by design).
+
+    Everything is gated on a global switch: while disabled every entry
+    point is a single boolean test, no context is allocated, and
+    wrapped code runs unchanged — the serve path stays bit-identical.
+    Request ids ({!fresh_id}) are the one exception: they are handed
+    out unconditionally so responses always carry a stable id.
+
+    On {!finish}, phase times land in the [profile.phase.<name>_us]
+    histograms, GC deltas in the [profile.gc.*] counters (when
+    {!Cqp_obs.Metrics} is enabled), and one {!Reqlog.event} line is
+    emitted (when a sink is open). *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val fresh_id : unit -> int
+(** Next request id from a process-wide atomic counter.  Not gated on
+    the enabled switch. *)
+
+val start : id:int -> user:string -> unit
+(** Install a fresh context for the calling domain.  No-op while
+    disabled. *)
+
+val active : unit -> bool
+(** Profiling enabled {e and} a context installed on this domain. *)
+
+val record_us : Phase.t -> float -> unit
+(** Credit already-measured microseconds to a phase (used for
+    [Queue_wait], whose interval straddles [start]).  Negative values
+    clamp to 0. *)
+
+val timed : Phase.t -> (unit -> 'a) -> 'a
+(** Run the thunk, attributing its duration and GC deltas to the
+    phase.  Transparent (calls the thunk directly) while disabled or
+    outside a request.  Exception-safe: time is credited even when the
+    thunk raises. *)
+
+val phase_us : Phase.t -> float
+(** Microseconds accumulated so far by the current context; [0.]
+    outside a request.  (Read-only peek for tests and deadline
+    heuristics.) *)
+
+val finish :
+  rung:string ->
+  outcome:string ->
+  cache_hits:int ->
+  cache_lookups:int ->
+  latency_us:float ->
+  unit
+(** Publish the context (metrics + event log) and clear it.  No-op
+    while disabled or when no context is installed. *)
+
+val abort : unit -> unit
+(** Drop the current context without publishing (request abandoned). *)

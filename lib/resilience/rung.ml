@@ -7,4 +7,5 @@ let name = function
   | Unpersonalized -> "unpersonalized"
 
 let all = [ Full; Heuristic; Greedy; Unpersonalized ]
+let of_name s = List.find_opt (fun r -> name r = s) all
 let is_degraded = function Full -> false | _ -> true

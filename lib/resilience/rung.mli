@@ -16,5 +16,8 @@ val name : t -> string
 
 val all : t list
 
+val of_name : string -> t option
+(** Inverse of {!name} (event-log and bench-file parsing). *)
+
 val is_degraded : t -> bool
 (** Every rung but {!Full}. *)

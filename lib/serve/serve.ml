@@ -6,6 +6,8 @@ module Metrics = Cqp_obs.Metrics
 module Clock = Cqp_obs.Clock
 module Budget = Cqp_resilience.Budget
 module Rung = Cqp_resilience.Rung
+module Preq = Cqp_profile.Request
+module Phase = Cqp_profile.Phase
 module Fault = Cqp_resilience.Fault
 module Config = Cqp_resilience.Config
 
@@ -27,7 +29,12 @@ type served = {
 
 type verdict = Served of served | Shed of { queue_position : int; limit : int }
 
-type response = { request : request; verdict : verdict; latency_ms : float }
+type response = {
+  request : request;
+  request_id : int;
+  verdict : verdict;
+  latency_ms : float;
+}
 
 let outcome r =
   match r.verdict with Served s -> Some s.outcome | Shed _ -> None
@@ -113,7 +120,10 @@ let ladder config budget (req : request) rung ps =
       (* The deadline cut the full solve short of feasibility (or had
          already expired).  Each cheaper rung runs under whatever
          budget remains — an already-expired budget collapses them to
-         near-no-ops and the request lands on Unpersonalized. *)
+         near-no-ops and the request lands on Unpersonalized.  The
+         rungs self-attribute as [Degrade] phase time, nested inside
+         the enclosing [Solve] attribution. *)
+      Preq.timed Phase.Degrade @@ fun () ->
       match Solver.solve_heuristic ~budget ps problem with
       | Some sol ->
           rung := Rung.Heuristic;
@@ -127,7 +137,7 @@ let ladder config budget (req : request) rung ps =
               rung := Rung.Unpersonalized;
               None))
 
-let handle ?queue_position t req =
+let handle ?queue_position ?enqueued_us t req =
   let profile =
     match Hashtbl.find_opt t.profiles req.user with
     | Some p -> p
@@ -135,6 +145,14 @@ let handle ?queue_position t req =
   in
   let t0 = Clock.now_us () in
   let latency_ms () = Float.max 0. ((Clock.now_us () -. t0) /. 1000.) in
+  let request_id = Preq.fresh_id () in
+  (* Profiling context (no-ops while disabled).  Queue wait straddles
+     the context's own start, so it is credited from the caller's
+     enqueue stamp rather than timed in place. *)
+  Preq.start ~id:request_id ~user:req.user;
+  (match enqueued_us with
+  | Some e -> Preq.record_us Phase.Queue_wait (t0 -. e)
+  | None -> ());
   let config = t.resilience in
   let shed_limit =
     match (config.Config.shed_queue_depth, queue_position) with
@@ -144,12 +162,19 @@ let handle ?queue_position t req =
   match shed_limit with
   | Some (queue_position, limit) ->
       if Metrics.is_enabled () then Metrics.incr "resilience.shed";
-      {
-        request = req;
-        verdict = Shed { queue_position; limit };
-        latency_ms = latency_ms ();
-      }
+      let latency_ms = latency_ms () in
+      Preq.finish ~rung:"-" ~outcome:"shed" ~cache_hits:0 ~cache_lookups:0
+        ~latency_us:(latency_ms *. 1000.);
+      { request = req; request_id; verdict = Shed { queue_position; limit };
+        latency_ms }
   | None ->
+      (* Per-request cache-hit attribution: the shared counters are
+         monotone, so a before/after snapshot is this request's delta
+         (shards are domain-local, so no concurrent writer skews it). *)
+      let cache_stats0 =
+        if Preq.active () then Option.map Cache.extraction_stats t.cache
+        else None
+      in
       let budget = Budget.start ?deadline_ms:config.Config.deadline_ms () in
       let decision = Fault.decide config.Config.fault ~user:req.user ~sql:req.sql in
       let rung = ref Rung.Full in
@@ -233,10 +258,24 @@ let handle ?queue_position t req =
           Metrics.incr ("resilience.degraded." ^ Rung.name rung)
       end;
       (match t.cache with Some c -> Cache.publish_metrics c | None -> ());
+      let latency_ms = latency_ms () in
+      (if Preq.active () then
+         let cache_hits, cache_lookups =
+           match (cache_stats0, t.cache) with
+           | Some s0, Some c ->
+               let s1 = Cache.extraction_stats c in
+               ( s1.Cqp_util.Lru.hits - s0.Cqp_util.Lru.hits,
+                 s1.Cqp_util.Lru.lookups - s0.Cqp_util.Lru.lookups )
+           | _ -> (0, 0)
+         in
+         Preq.finish ~rung:(Rung.name rung)
+           ~outcome:(if deadline_expired then "expired" else "ok")
+           ~cache_hits ~cache_lookups ~latency_us:(latency_ms *. 1000.));
       {
         request = req;
+        request_id;
         verdict = Served { outcome; rung; retries; deadline_expired };
-        latency_ms = latency_ms ();
+        latency_ms;
       }
 
 let serve t req = handle t req

@@ -68,6 +68,9 @@ type verdict =
 
 type response = {
   request : request;
+  request_id : int;
+      (** process-wide unique id ({!Cqp_profile.Request.fresh_id}),
+          assigned whether or not profiling is enabled *)
   verdict : verdict;
   latency_ms : float;  (** monotonic wall-clock serve time, >= 0 *)
 }
@@ -109,12 +112,23 @@ val set_profile : t -> user:string -> Cqp_prefs.Profile.t -> unit
 
 val profile : t -> string -> Cqp_prefs.Profile.t option
 
-val handle : ?queue_position:int -> t -> request -> response
+val handle :
+  ?queue_position:int -> ?enqueued_us:float -> t -> request -> response
 (** Serve one request through the resilience pipeline: shed check
     (only when [queue_position] is given and shedding is configured),
     deadline budget, fault decision, bounded retries, degradation
     ladder.  Always returns a response when the user is known — faults
     and deadlines degrade, they do not raise.
+
+    When {!Cqp_profile.Request} profiling is enabled, the request runs
+    under a phase-timer context: cache-lookup / solve / degrade /
+    render / exec phases land in the [profile.phase.*_us] histograms,
+    GC word deltas in [profile.gc.*], and one event line per request
+    in the open {!Cqp_profile.Reqlog} sink.  [enqueued_us] (a
+    {!Cqp_obs.Clock.now_us} stamp taken when the request was admitted
+    to its lane) credits the gap to handling start as [queue_wait].
+    With profiling disabled both parameters are free and responses are
+    bit-identical apart from [request_id] and [latency_ms].
     @raise Unknown_user when no profile was installed for the
     requesting user.
     @raise Cqp_sql.Parser.Parse_error /

@@ -81,8 +81,18 @@ let install server ~user seed =
    pattern of shed requests therefore depends on the lane count (more
    lanes = shorter queues), but for a fixed lane count it is a pure
    function of the workload. *)
+(* Under profiling, a replay models burst arrival: every request is
+   considered enqueued when the replay starts, so request i's
+   queue_wait phase is the handling time of the i-1 requests ahead of
+   it in its lane.  The stamp is only taken (and the clock only read)
+   while profiling is on. *)
+let enqueue_stamp () =
+  if Cqp_profile.Request.is_enabled () then Some (Cqp_obs.Clock.now_us ())
+  else None
+
 let replay_sequential server entries =
   let position = ref 0 in
+  let enqueued_us = enqueue_stamp () in
   List.filter_map
     (function
       | Set_profile { user; seed } ->
@@ -91,7 +101,7 @@ let replay_sequential server entries =
       | Request req ->
           let queue_position = !position in
           incr position;
-          Some (Serve.handle ~queue_position server req))
+          Some (Serve.handle ~queue_position ?enqueued_us server req))
     entries
 
 (* Parallel replay: partition entries by user over one shard server per
@@ -132,13 +142,15 @@ let replay_parallel pool server entries =
       per_shard.(s) <- tagged :: per_shard.(s))
     entries;
   let responses = Array.make !slots None in
+  let enqueued_us = enqueue_stamp () in
   let job s =
     let shard = shards.(s) in
     List.iter
       (function
         | `Install (user, seed) -> install shard ~user seed
         | `Serve (slot, queue_position, req) ->
-            responses.(slot) <- Some (Serve.handle ~queue_position shard req))
+            responses.(slot) <-
+              Some (Serve.handle ~queue_position ?enqueued_us shard req))
       (List.rev per_shard.(s))
   in
   (* An exception in any shard (e.g. [Serve.Unknown_user]) aborts the

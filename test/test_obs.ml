@@ -109,13 +109,29 @@ let test_chrome_roundtrip () =
   Trace.instant ~name:"mark" ();
   let json = Jsonx.of_string (Trace.to_chrome_string ()) in
   match Jsonx.member "traceEvents" json with
-  | Some (Jsonx.Arr events) ->
+  | Some (Jsonx.Arr all_events) ->
+      (* metadata ("M") events — process/thread names — lead the list;
+         spans export as complete ("X") events after them *)
+      let meta, events =
+        List.partition
+          (fun e -> Jsonx.member "ph" e = Some (Jsonx.Str "M"))
+          all_events
+      in
+      checkb "has process_name metadata" true
+        (List.exists
+           (fun e -> Jsonx.member "name" e = Some (Jsonx.Str "process_name"))
+           meta);
+      checkb "has thread_name metadata" true
+        (List.exists
+           (fun e -> Jsonx.member "name" e = Some (Jsonx.Str "thread_name"))
+           meta);
       checki "one event per span" (Trace.span_count ()) (List.length events);
       List.iter
         (fun e ->
           checkb "complete event" true
             (Jsonx.member "ph" e = Some (Jsonx.Str "X"));
           checkb "has ts" true (num_member "ts" e <> None);
+          checkb "has tid" true (num_member "tid" e <> None);
           checkb "non-negative dur" true
             (match num_member "dur" e with Some d -> d >= 0. | None -> false))
         events;

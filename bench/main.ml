@@ -1214,7 +1214,129 @@ let trend_solver_sweep () =
     [ C.Algorithm.C_boundaries; C.Algorithm.C_maxbounds; C.Algorithm.D_heurdoi ];
   (!lats, 0.)
 
-(* Workloads 2 and 3: serve replay — a cold pass warms the caches,
+(* Workload 2: the wide-profile solver sweep — K = 100 is past
+   State.max_mask_bits (61), so every visited set runs on the Bitset
+   keys the int-mask fast path hands over to.  The space is fabricated
+   deterministically (no estimator variance across machines) and every
+   search runs budgetless, so states_visited is an exact signature.
+   The cmax keeps groups small enough that the exact algorithms stay
+   fast at this width. *)
+let largek_k = 100
+let largek_cmax = 30.
+
+let largek_pref_space =
+  lazy
+    begin
+      let catalog = Cqp_relal.Catalog.create () in
+      Cqp_relal.Catalog.add catalog
+        (Cqp_relal.Relation.of_tuples
+           (Cqp_relal.Schema.make "t" [ ("a", V.Tint, 8) ])
+           (List.init 100 (fun i -> Cqp_relal.Tuple.make [ V.Int i ])));
+      let query = Cqp_sql.Parser.parse "select a from t" in
+      let estimate = C.Estimate.create catalog query in
+      let base_size = C.Estimate.base_size estimate in
+      let rng = Cqp_util.Rng.create 0xB175 in
+      let k = largek_k in
+      let costs = Array.init k (fun _ -> 5. +. Cqp_util.Rng.float rng 100.) in
+      let dois = Array.init k (fun _ -> 0.05 +. Cqp_util.Rng.float rng 0.9) in
+      let fracs = Array.init k (fun _ -> 0.05 +. Cqp_util.Rng.float rng 0.9) in
+      let items =
+        Array.init k (fun i ->
+            {
+              C.Pref_space.path =
+                Cqp_prefs.Path.atomic
+                  (Cqp_prefs.Profile.selection "t" "a" (V.Int i) dois.(i));
+              doi = dois.(i);
+              cost = costs.(i);
+              size = base_size *. fracs.(i);
+            })
+      in
+      Array.sort
+        (fun a b -> Stdlib.compare b.C.Pref_space.doi a.C.Pref_space.doi)
+        items;
+      let d = Array.init k (fun i -> i) in
+      let c = Array.init k (fun i -> i) in
+      Array.sort
+        (fun i j ->
+          match
+            Stdlib.compare items.(j).C.Pref_space.cost
+              items.(i).C.Pref_space.cost
+          with
+          | 0 -> Stdlib.compare i j
+          | cmp -> cmp)
+        c;
+      let s = Array.init k (fun i -> i) in
+      Array.sort
+        (fun i j ->
+          match
+            Stdlib.compare items.(i).C.Pref_space.size
+              items.(j).C.Pref_space.size
+          with
+          | 0 -> Stdlib.compare i j
+          | cmp -> cmp)
+        s;
+      { C.Pref_space.estimate; items; d; c; s }
+    end
+
+(* One sweep with the given keying; per-search latencies in µs plus
+   the summed states_visited read off the space instrumentation
+   (spaces here are hand-built, so publish the counters that
+   [Algorithm.run] would have). *)
+let largek_sweep keys =
+  let ps = Lazy.force largek_pref_space in
+  let lats = ref [] and visited = ref 0 in
+  let run ?(publish = true) order solve =
+    let space = C.Space.create ~order ~keys ps in
+    let t0 = Unix.gettimeofday () in
+    solve space;
+    lats := ((Unix.gettimeofday () -. t0) *. 1e6) :: !lats;
+    let stats = C.Space.stats space in
+    (* the BnB publishes its own counters; hand-run algorithms do not *)
+    if publish then C.Instrument.publish stats;
+    visited := !visited + stats.C.Instrument.states_visited
+  in
+  let cmax = largek_cmax in
+  for _ = 1 to 3 do
+    run C.Space.By_cost (fun sp -> ignore (C.C_boundaries.solve sp ~cmax));
+    run C.Space.By_cost (fun sp -> ignore (C.C_maxbounds.solve sp ~cmax));
+    run C.Space.By_doi (fun sp -> ignore (C.D_maxdoi.solve sp ~cmax));
+    run C.Space.By_doi (fun sp -> ignore (C.D_singlemaxdoi.solve sp ~cmax));
+    run C.Space.By_doi (fun sp -> ignore (C.D_heurdoi.solve sp ~cmax));
+    run ~publish:false C.Space.By_doi (fun sp ->
+        ignore (C.Solver.max_doi_bnb sp (C.Params.with_cmax cmax)))
+  done;
+  (!lats, !visited)
+
+let trend_solver_largek () =
+  let lats, _ = largek_sweep `Auto in
+  (lats, 0.)
+
+(* Informational A/B printed alongside the trend table: the same K=100
+   sweep on `Legacy (position-list keys, value-every-neighbor — the
+   pre-bitset fallback) vs `Auto (bitset keys, pre-valuation pruning),
+   reported as GC words allocated per visited state. *)
+let largek_gc_ab () =
+  let words (g : Cqp_profile.Gcprof.delta) =
+    g.Cqp_profile.Gcprof.minor_words +. g.Cqp_profile.Gcprof.major_words
+  in
+  Gc.full_major ();
+  let (_, vis_legacy), gc_legacy =
+    Cqp_profile.Gcprof.measure (fun () -> largek_sweep `Legacy)
+  in
+  Gc.full_major ();
+  let (_, vis_bits), gc_bits =
+    Cqp_profile.Gcprof.measure (fun () -> largek_sweep `Auto)
+  in
+  let per w v = if v = 0 then 0. else w /. float_of_int v in
+  let wl = per (words gc_legacy) vis_legacy in
+  let wb = per (words gc_bits) vis_bits in
+  Printf.printf
+    "largek A/B (K=%d, %d states): legacy %.1f words/state, bits %.1f \
+     words/state — %.2fx fewer\n%!"
+    largek_k vis_bits wl wb
+    (if wb > 0. then wl /. wb else 0.)
+
+(* Workloads 3 and 4: serve replay — a cold pass warms the caches,
    then the measured warm pass replays the same entries; the parallel
    variant fans the identical workload over a 4-domain pool with
    domain-local shard caches. *)
@@ -1260,9 +1382,11 @@ let run_trend ~label ~out =
   Cqp_profile.Request.enable ();
   (* bound in sequence: a list literal would evaluate right-to-left *)
   let solver = trend_measure "solver_sweep" trend_solver_sweep in
+  let largek = trend_measure "solver_largek" trend_solver_largek in
   let warm = trend_measure "serve_warm" (fun () -> trend_serve ()) in
   let par = trend_measure "par_replay" (fun () -> trend_serve ~domains:4 ()) in
-  let workloads = [ solver; warm; par ] in
+  let workloads = [ solver; largek; warm; par ] in
+  largek_gc_ab ();
   let t = { BF.label; workloads } in
   let file =
     match out with Some f -> f | None -> "BENCH_" ^ label ^ ".json"

@@ -26,6 +26,16 @@ let find_boundaries ~budget space ~cmax =
       | Some bucket ->
           List.exists (fun b -> State.dominates b v.state) !bucket
     in
+    (* Same test for the Vertical neighbor of [v] that replaces [p] by
+       [q], straight off the parent's state — no neighbor list built. *)
+    let below_boundary_subst (v : Space.valued) ~p ~q =
+      match Hashtbl.find_opt by_group (State.group_size v.state) with
+      | None -> false
+      | Some bucket ->
+          List.exists
+            (fun b -> State.dominates_subst b v.state ~p ~q)
+            !bucket
+    in
     let prune v = Space.Visited.mem visited v || below_boundary v in
     let mark v = Space.Visited.add visited v in
     let seed = Space.value_singleton space 0 in
@@ -51,14 +61,15 @@ let find_boundaries ~budget space ~cmax =
           end
           else
             (* Vertical neighbors explored head-first so the current
-               group finishes before the next begins. *)
-            List.iter
-              (fun v' ->
-                if not (prune v') then begin
-                  mark v';
-                  Rq.push_head rq v'
-                end)
-              (List.rev (Space.vertical_v space v));
+               group finishes before the next begins; visited and
+               dominance pruning run on keys, before valuation. *)
+            Space.iter_vertical ~rev:true space v
+              ~keep:(fun ~p ~q key ->
+                (not (Space.Visited.mem_key visited key))
+                && not (below_boundary_subst v ~p ~q))
+              ~f:(fun v' ->
+                mark v';
+                Rq.push_head rq v');
           loop ()
     in
     loop ();

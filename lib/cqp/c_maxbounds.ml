@@ -6,26 +6,26 @@ let find_max_bounds ~budget space ~cmax =
   else begin
     let stats = Space.stats space in
     let visited = Space.Visited.create space 256 in
-    (* Bounds are kept with their bitmasks; subset tests are single
-       [land]s.  Only maximal bounds are retained: pushing a new bound
-       evicts (and releases) the bounds it contains. *)
-    let max_bounds : (int * State.t) list ref = ref [] in
-    let mask_of (v : Space.valued) =
-      if Space.uses_mask space then v.mask else State.mask v.state
-    in
-    let covered mask =
-      List.exists (fun (bm, _) -> mask land bm = mask) !max_bounds
+    (* Bounds are kept with their keys; subset tests are a single [land]
+       (or an O(words) bitset sweep at large K — the int-mask fallback
+       used to overflow past position 61).  Only maximal bounds are
+       retained: pushing a new bound evicts (and releases) the bounds
+       it contains. *)
+    let max_bounds : (Space.key * State.t) list ref = ref [] in
+    let covered key =
+      List.exists (fun (bk, _) -> Space.key_subset key bk) !max_bounds
     in
     let push_bound (v : Space.valued) =
-      let m = mask_of v in
       let kept, evicted =
-        List.partition (fun (bm, _) -> not (bm land m = bm)) !max_bounds
+        List.partition
+          (fun (bk, _) -> not (Space.key_subset bk v.Space.key))
+          !max_bounds
       in
-      max_bounds := (m, v.state) :: kept;
+      max_bounds := (v.Space.key, v.state) :: kept;
       Instrument.hold stats v.state;
       List.iter (fun (_, b) -> Instrument.release stats b) evicted
     in
-    let prune v = Space.Visited.mem visited v || covered (mask_of v) in
+    let prune v = Space.Visited.mem visited v || covered v.Space.key in
     (* Greedy saturation: repeatedly insert the most expensive absent
        preference that keeps the state within the budget.  Formula 6
        makes state cost additive, so neighbors are priced in O(1). *)
@@ -56,7 +56,7 @@ let find_max_bounds ~budget space ~cmax =
         else
         match Rq.pop rq with
         | None -> ()
-        | Some v0 when covered (mask_of v0) ->
+        | Some v0 when covered v0.Space.key ->
             (* A bound found after v0 was enqueued already covers it. *)
             loop ()
         | Some v0 ->
@@ -67,14 +67,13 @@ let find_max_bounds ~budget space ~cmax =
             if (not (State.equal v.Space.state v0.Space.state))
                && not (prune v)
             then push_bound v;
-            List.iter
-              (fun v' ->
-                if Space.mem_pos space v' seed_pos && not (prune v')
-                then begin
-                  Space.Visited.add visited v';
-                  Rq.push_head rq v'
-                end)
-              (Space.vertical_v space v);
+            Space.iter_vertical space v
+              ~keep:(fun ~p:_ ~q:_ key ->
+                Space.key_mem key seed_pos
+                && not (Space.Visited.mem_key visited key || covered key))
+              ~f:(fun v' ->
+                Space.Visited.add visited v';
+                Rq.push_head rq v');
             loop ()
       in
       loop ()

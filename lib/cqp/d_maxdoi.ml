@@ -8,7 +8,6 @@ let find_optimal_valued ~budget space ~cmax =
     let rq = Rq.create ~words:Space.entry_words stats in
     let visited = Space.Visited.create space 256 in
     let solutions = ref [] in
-    let prune v = Space.Visited.mem visited v in
     let mark v = Space.Visited.add visited v in
     let seed = Space.value_singleton space 0 in
     mark seed;
@@ -35,13 +34,12 @@ let find_optimal_valued ~budget space ~cmax =
             end
             else v
           in
-          List.iter
-            (fun v' ->
-              if not (prune v') then begin
-                mark v';
-                Rq.push_tail rq v'
-              end)
-            (Space.vertical_v space continue_from);
+          Space.iter_vertical space continue_from
+            ~keep:(fun ~p:_ ~q:_ key ->
+              not (Space.Visited.mem_key visited key))
+            ~f:(fun v' ->
+              mark v';
+              Rq.push_tail rq v');
           loop ()
     in
     loop ();

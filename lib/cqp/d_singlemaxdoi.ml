@@ -50,15 +50,13 @@ let solve ?(budget = Budget.unlimited) space ~cmax =
               if v0.Space.params.Params.cost <= cmax then climb v0 else v0
             in
             consider v;
-            List.iter
-              (fun v' ->
-                if Space.mem_pos space v' seed_pos
-                   && not (Space.Visited.mem visited v')
-                then begin
-                  Space.Visited.add visited v';
-                  Rq.push_head rq v'
-                end)
-              (Space.vertical_v space v);
+            Space.iter_vertical space v
+              ~keep:(fun ~p:_ ~q:_ key ->
+                Space.key_mem key seed_pos
+                && not (Space.Visited.mem_key visited key))
+              ~f:(fun v' ->
+                Space.Visited.add visited v';
+                Rq.push_head rq v');
             loop ()
       in
       loop ()

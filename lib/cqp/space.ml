@@ -1,4 +1,8 @@
+module Bitset = Cqp_util.Bitset
+
 type order = By_cost | By_doi | By_size
+type keying = [ `Auto | `Bits | `Legacy ]
+type keymode = Kmask | Kbits | Klegacy
 
 type t = {
   order : order;
@@ -9,11 +13,11 @@ type t = {
   item_frac : float array;
   base_cost : float;
   base_size : float;
-  use_mask : bool;  (** k fits the State.mask int encoding *)
+  keymode : keymode;  (** how valued states are keyed, see {!key} *)
   stats : Instrument.t;
 }
 
-let create ?(order = By_cost) ps =
+let create ?(order = By_cost) ?(keys = `Auto) ps =
   let open Pref_space in
   let positions =
     match order with
@@ -26,6 +30,13 @@ let create ?(order = By_cost) ps =
         if Array.length ps.s <> Array.length ps.items then
           invalid_arg "Space.create: S vector not built (use All_orders)";
         Array.copy ps.s
+  in
+  let keymode =
+    match keys with
+    | `Auto ->
+        if Array.length positions <= State.max_mask_bits then Kmask else Kbits
+    | `Bits -> Kbits
+    | `Legacy -> Klegacy
   in
   {
     order;
@@ -42,7 +53,7 @@ let create ?(order = By_cost) ps =
         ps.items;
     base_cost = Estimate.base_cost ps.estimate;
     base_size = Estimate.base_size ps.estimate;
-    use_mask = Array.length positions <= State.max_mask_bits;
+    keymode;
     stats = Instrument.create ();
   }
 
@@ -94,38 +105,87 @@ let params_of_ids t ids =
 let params t state = params_of_ids t (List.map (fun pos -> t.positions.(pos)) state)
 
 let item t id = t.ps.Pref_space.items.(id)
-let uses_mask t = t.use_mask
+let uses_mask t = t.keymode = Kmask
 let estimate t = t.ps.Pref_space.estimate
 
 (* ------------------------------------------------------------------ *)
-(* Incremental evaluation: a state carried together with its bitmask
-   and parameters, updated in O(1) per transition instead of re-folding
+(* Incremental evaluation: a state carried together with its key and
+   parameters, updated in O(1) per transition instead of re-folding
    the whole id list (Section 5's "incrementally computable" promise).
-   [mask] is 0 when k exceeds the int encoding; consult [uses_mask]. *)
+   The key representation is a variant, so a wide state can never be
+   mistaken for the int mask 0 — consumers pattern-match instead of
+   consulting a side flag. *)
 
-type valued = { state : State.t; mask : int; params : Params.t }
+type key =
+  | Mask of int  (** int bitmask, [k <= State.max_mask_bits] *)
+  | Bits of Bitset.t  (** [Bytes]-backed bitset, any [k] *)
+  | Positions of State.t
+      (** legacy list-keyed fallback ([`Legacy] spaces: the
+          differential-test and measurement baseline) *)
+
+type valued = { state : State.t; key : key; params : Params.t }
 
 let empty_params t = { Params.doi = 0.; cost = t.base_cost; size = t.base_size }
 
 let entry_words v =
   State.group_size v.state + Instrument.entry_overhead_words
 
-let mem_pos t v pos =
-  if t.use_mask then v.mask land (1 lsl pos) <> 0 else State.mem pos v.state
+let key_mem key pos =
+  match key with
+  | Mask m -> m land (1 lsl pos) <> 0
+  | Bits b -> Bitset.mem b pos
+  | Positions s -> State.mem pos s
 
-let value t s =
-  {
-    state = s;
-    mask = (if t.use_mask then State.mask s else 0);
-    params = params t s;
-  }
+let key_subset a b =
+  match a, b with
+  | Mask ma, Mask mb -> ma land mb = ma
+  | Bits ba, Bits bb -> Bitset.subset ba bb
+  | Positions sa, Positions sb -> State.subset sa sb
+  | (Mask _ | Bits _ | Positions _), _ ->
+      invalid_arg "Space.key_subset: keys from different spaces"
+
+let mem_pos _t v pos = key_mem v.key pos
+
+let key_of_state t s =
+  match t.keymode with
+  | Kmask -> Mask (State.mask s)
+  | Kbits -> Bits (Bitset.of_list ~width:(Array.length t.positions) s)
+  | Klegacy -> Positions s
+
+(* Key updates.  [state'] is the post-transition position list, needed
+   only by the legacy representation (which shares it, allocating
+   nothing beyond the constructor). *)
+let key_add key state' pos =
+  match key with
+  | Mask m -> Mask (m lor (1 lsl pos))
+  | Bits b -> Bits (Bitset.add b pos)
+  | Positions _ -> Positions state'
+
+let key_remove key state' pos =
+  match key with
+  | Mask m -> Mask (m land lnot (1 lsl pos))
+  | Bits b -> Bits (Bitset.remove b pos)
+  | Positions _ -> Positions state'
+
+let key_replace key state' p q =
+  match key with
+  | Mask m -> Mask ((m land lnot (1 lsl p)) lor (1 lsl q))
+  | Bits b -> Bits (Bitset.replace b ~rem:p ~add:q)
+  | Positions _ -> Positions state'
+
+let value t s = { state = s; key = key_of_state t s; params = params t s }
 
 let value_singleton t pos =
   Instrument.incr_update t.stats;
   let id = t.positions.(pos) in
+  let state = State.singleton pos in
   {
-    state = State.singleton pos;
-    mask = (if t.use_mask then 1 lsl pos else 0);
+    state;
+    key =
+      (match t.keymode with
+      | Kmask -> Mask (1 lsl pos)
+      | Kbits -> Bits (Bitset.singleton ~width:(Array.length t.positions) pos)
+      | Klegacy -> Positions state);
     params =
       {
         Params.doi =
@@ -142,9 +202,10 @@ let value_singleton t pos =
 let with_pos t v pos =
   Instrument.incr_update t.stats;
   let id = t.positions.(pos) in
+  let state = State.add pos v.state in
   {
-    state = State.add pos v.state;
-    mask = (if t.use_mask then v.mask lor (1 lsl pos) else 0);
+    state;
+    key = key_add v.key state pos;
     params =
       {
         Params.doi =
@@ -191,33 +252,85 @@ let remove_pos t v pos =
   | removed ->
       {
         state = removed;
-        mask = (if t.use_mask then v.mask land lnot (1 lsl pos) else 0);
+        key = key_remove v.key removed pos;
         params = remove_params t v pos ~removed;
       }
 
 (* Vertical step: replace [p] with [q = p + 1] — one removal plus one
-   insertion; a singleton short-circuits to the exact re-derivation. *)
+   insertion; a singleton short-circuits to the exact re-derivation.
+   Substituting in place keeps the list strictly increasing (q is
+   absent), so the fused path builds the new state in ONE pass and
+   keeps the removal parameters in unboxed float locals, where the
+   legacy path (kept verbatim for [`Legacy] spaces) materializes both
+   the filtered list and a mid-Params record.  The arithmetic — and so
+   every float — is identical. *)
+let replace_pos_legacy t v p q =
+  let removed = List.filter (fun x -> x <> p) v.state in
+  let mid = remove_params t v p ~removed in
+  let idq = t.positions.(q) in
+  let state = State.add q removed in
+  {
+    state;
+    key = Positions state;
+    params =
+      {
+        Params.doi =
+          Estimate.combine_doi_incr t.ps.Pref_space.estimate
+            mid.Params.doi t.item_doi.(idq);
+        cost = mid.Params.cost +. t.item_cost.(idq);
+        size = mid.Params.size *. t.item_frac.(idq);
+      };
+  }
+
+let replace_pos_keyed t v p q nkey =
+  Instrument.incr_update t.stats;
+  let idp = t.positions.(p) and idq = t.positions.(q) in
+  let removed_ids () =
+    List.filter_map
+      (fun x -> if x = p then None else Some t.positions.(x))
+      v.state
+  in
+  let mid_cost = v.params.Params.cost -. t.item_cost.(idp) in
+  let fp = t.item_frac.(idp) in
+  let mid_size =
+    if fp > 0. then v.params.Params.size /. fp
+    else begin
+      Instrument.eval t.stats;
+      List.fold_left
+        (fun acc id -> acc *. t.item_frac.(id))
+        t.base_size (removed_ids ())
+    end
+  in
+  let mid_doi =
+    match
+      Estimate.combine_doi_retract t.ps.Pref_space.estimate
+        v.params.Params.doi t.item_doi.(idp)
+    with
+    | Some d -> d
+    | None ->
+        Instrument.eval t.stats;
+        doi_of_ids t (removed_ids ())
+  in
+  let state = List.map (fun x -> if x = p then q else x) v.state in
+  {
+    state;
+    key = nkey;
+    params =
+      {
+        Params.doi =
+          Estimate.combine_doi_incr t.ps.Pref_space.estimate mid_doi
+            t.item_doi.(idq);
+        cost = mid_cost +. t.item_cost.(idq);
+        size = mid_size *. t.item_frac.(idq);
+      };
+  }
+
 let replace_pos t v p q =
   if State.group_size v.state = 1 then value_singleton t q
-  else begin
-    let removed = List.filter (fun x -> x <> p) v.state in
-    let mid = remove_params t v p ~removed in
-    let idq = t.positions.(q) in
-    {
-      state = State.add q removed;
-      mask =
-        (if t.use_mask then (v.mask land lnot (1 lsl p)) lor (1 lsl q)
-         else 0);
-      params =
-        {
-          Params.doi =
-            Estimate.combine_doi_incr t.ps.Pref_space.estimate
-              mid.Params.doi t.item_doi.(idq);
-          cost = mid.Params.cost +. t.item_cost.(idq);
-          size = mid.Params.size *. t.item_frac.(idq);
-        };
-    }
-  end
+  else
+    match t.keymode with
+    | Klegacy -> replace_pos_legacy t v p q
+    | Kmask | Kbits -> replace_pos_keyed t v p q (key_replace v.key [] p q)
 
 let horizontal_v t v =
   let k = Array.length t.positions in
@@ -226,18 +339,67 @@ let horizontal_v t v =
 
 let vertical_v t v =
   let k = Array.length t.positions in
-  List.filter_map
-    (fun p ->
-      if p + 1 < k && not (mem_pos t v (p + 1)) then
-        Some (replace_pos t v p (p + 1))
-      else None)
-    v.state
+  let rec go = function
+    | [] -> []
+    | p :: rest ->
+        if p + 1 < k && not (key_mem v.key (p + 1)) then
+          replace_pos t v p (p + 1) :: go rest
+        else go rest
+  in
+  go v.state
+
+(* Vertical neighbors with pruning BEFORE valuation: [keep] sees only
+   the neighbor's identity — the replaced position [p], its successor
+   [q], and the neighbor's key, derived in O(words) from the parent's —
+   and only survivors are valued (state list + parameters) and passed
+   to [f].  Visited-saturated searches skip the valuation of most
+   neighbors entirely.  On [`Legacy] spaces every neighbor is valued
+   first, preserving the replaced code path's behavior (and allocation
+   profile) exactly.  Neighbor order matches {!vertical_v}; [~rev]
+   iterates it backwards (the head-first push loops). *)
+let iter_vertical ?(rev = false) t v ~keep ~f =
+  let k = Array.length t.positions in
+  match t.keymode with
+  | Klegacy ->
+      let rec go = function
+        | [] -> []
+        | p :: rest ->
+            if p + 1 < k && not (State.mem (p + 1) v.state) then
+              (p, replace_pos t v p (p + 1)) :: go rest
+            else go rest
+      in
+      let vs = go v.state in
+      let vs = if rev then List.rev vs else vs in
+      List.iter
+        (fun (p, v') -> if keep ~p ~q:(p + 1) v'.key then f v')
+        vs
+  | Kmask | Kbits ->
+      let consider p =
+        let q = p + 1 in
+        if q < k && not (key_mem v.key q) then begin
+          let nkey =
+            if State.group_size v.state = 1 then
+              match t.keymode with
+              | Kmask -> Mask (1 lsl q)
+              | Kbits ->
+                  Bits (Bitset.singleton ~width:(Array.length t.positions) q)
+              | Klegacy -> assert false
+            else key_replace v.key [] p q
+          in
+          if keep ~p ~q nkey then
+            f
+              (if State.group_size v.state = 1 then value_singleton t q
+               else replace_pos_keyed t v p q nkey)
+        end
+      in
+      if rev then List.iter consider (List.rev v.state)
+      else List.iter consider v.state
 
 let horizontal2_v t v =
   let k = Array.length t.positions in
   let rec go p =
     if p >= k then []
-    else if mem_pos t v p then go (p + 1)
+    else if key_mem v.key p then go (p + 1)
     else with_pos t v p :: go (p + 1)
   in
   go 0
@@ -275,26 +437,47 @@ let params_without_id t ~n (p : Params.t) id =
           }
     | _ -> None
 
-(* Visited sets keyed on the bitmask (single int hash) while k permits,
-   falling back to polymorphic hashing of the position list. *)
+(* Visited sets keyed to match the space: one int hash per lookup while
+   k fits the mask, content-hashed fixed-width bitsets beyond that, and
+   polymorphic hashing of position lists on [`Legacy] spaces only. *)
+module Bits_tbl = Hashtbl.Make (Bitset)
+
 module Visited = struct
   type table =
-    | Mask of (int, unit) Hashtbl.t
-    | Keys of (State.t, unit) Hashtbl.t
+    | Tmask of (int, unit) Hashtbl.t
+    | Tbits of unit Bits_tbl.t
+    | Tkeys of (State.t, unit) Hashtbl.t
 
   type t = table
 
+  (* Size hints are advisory: [Hashtbl.create] allocates the initial
+     bucket array eagerly, so a caller passing an estimate like 2^K
+     must not translate into a gigantic up-front allocation. *)
+  let max_initial_size = 1 lsl 16
+
   let create space n =
-    if space.use_mask then Mask (Hashtbl.create n)
-    else Keys (Hashtbl.create n)
+    let n = max 16 (min n max_initial_size) in
+    match space.keymode with
+    | Kmask -> Tmask (Hashtbl.create n)
+    | Kbits -> Tbits (Bits_tbl.create n)
+    | Klegacy -> Tkeys (Hashtbl.create n)
 
-  let mem t v =
-    match t with
-    | Mask h -> Hashtbl.mem h v.mask
-    | Keys h -> Hashtbl.mem h v.state
+  let mem_key t key =
+    match t, key with
+    | Tmask h, Mask m -> Hashtbl.mem h m
+    | Tbits h, Bits b -> Bits_tbl.mem h b
+    | Tkeys h, Positions s -> Hashtbl.mem h s
+    | (Tmask _ | Tbits _ | Tkeys _), _ ->
+        invalid_arg "Space.Visited: key from a different space"
 
-  let add t v =
-    match t with
-    | Mask h -> Hashtbl.replace h v.mask ()
-    | Keys h -> Hashtbl.replace h v.state ()
+  let add_key t key =
+    match t, key with
+    | Tmask h, Mask m -> Hashtbl.replace h m ()
+    | Tbits h, Bits b -> Bits_tbl.replace h b ()
+    | Tkeys h, Positions s -> Hashtbl.replace h s ()
+    | (Tmask _ | Tbits _ | Tkeys _), _ ->
+        invalid_arg "Space.Visited: key from a different space"
+
+  let mem t v = mem_key t v.key
+  let add t v = add_key t v.key
 end

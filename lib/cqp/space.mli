@@ -9,11 +9,20 @@
 
 type order = By_cost | By_doi | By_size
 
+type keying = [ `Auto | `Bits | `Legacy ]
+(** How valued states are keyed (visited sets, subset tests):
+    [`Auto] picks the int mask while [k <= State.max_mask_bits] and the
+    {!Cqp_util.Bitset} encoding beyond; [`Bits] forces the bitset at
+    any [k]; [`Legacy] forces the position-list fallback the bitset
+    replaced — kept only as the differential-test and measurement
+    baseline. *)
+
 type t
 
-val create : ?order:order -> Pref_space.t -> t
-(** Default order is [By_cost].  [By_cost]/[By_size] require the C/S
-    vectors ([Pref_space.build] with [All_orders]).
+val create : ?order:order -> ?keys:keying -> Pref_space.t -> t
+(** Default order is [By_cost], default keying [`Auto].
+    [By_cost]/[By_size] require the C/S vectors ([Pref_space.build]
+    with [All_orders]).
     @raise Invalid_argument when the needed vector is missing. *)
 
 val order : t -> order
@@ -48,24 +57,43 @@ val item : t -> int -> Pref_space.item
 (** Item by {e preference id} (not position). *)
 
 val uses_mask : t -> bool
-(** Whether [k <= State.max_mask_bits], i.e. valued states carry a
-    meaningful bitmask and visited sets are int-keyed. *)
+(** Whether valued states carry the int mask ([k <= State.max_mask_bits]
+    on an [`Auto] space). *)
 
 val estimate : t -> Estimate.t
 
 (** {1 Incremental state evaluation}
 
-    A [valued] couples a state with its bitmask and its three query
-    parameters.  Transition functions update the parameters in O(1) —
-    cost additively, size multiplicatively, doi via
+    A [valued] couples a state with its membership key and its three
+    query parameters.  Transition functions update the parameters in
+    O(1) — cost additively, size multiplicatively, doi via
     {!Estimate.combine_doi_incr}/[combine_doi_retract] — instead of
     re-folding the whole id list per visited node.  Removals fall back
     to an O(group) recompute when the inverse is undefined (zero size
     fraction, doi 1 under noisy-or, or retracting the maximum under
-    [Max_combine]), so results stay exact.  [mask] is 0 when the space
-    does not use masks ({!uses_mask}). *)
+    [Max_combine]), so results stay exact.
 
-type valued = { state : State.t; mask : int; params : Params.t }
+    The key is a variant, never a sentinel: a wide state carries a
+    {!Cqp_util.Bitset} (fixed width [k], content-hashed), not a zero
+    mask, so keys from spaces of any width hash and compare without
+    consulting a side flag — and mixing keys across spaces is an
+    [Invalid_argument], not a silent collision. *)
+
+type key =
+  | Mask of int  (** int bitmask, [k <= State.max_mask_bits] *)
+  | Bits of Cqp_util.Bitset.t  (** [Bytes]-backed bitset, any [k] *)
+  | Positions of State.t
+      (** legacy list-keyed fallback ([`Legacy] spaces only) *)
+
+type valued = { state : State.t; key : key; params : Params.t }
+
+val key_mem : key -> int -> bool
+(** Position membership from the key alone: O(1) for [Mask]/[Bits]. *)
+
+val key_subset : key -> key -> bool
+(** [key_subset a b] — the state behind [a] is a subset of the one
+    behind [b].  O(1) for masks, O(words) for bitsets.
+    @raise Invalid_argument on keys of different representations. *)
 
 val value : t -> State.t -> valued
 (** From-scratch evaluation (counts one parameter evaluation). *)
@@ -80,7 +108,7 @@ val entry_words : valued -> int
     unchanged. *)
 
 val mem_pos : t -> valued -> int -> bool
-(** Position membership: an O(1) bit test while masks are in use. *)
+(** Position membership: an O(1) bit test except on [`Legacy] spaces. *)
 
 val with_pos : t -> valued -> int -> valued
 (** Insert an absent position (Horizontal2 step).
@@ -96,6 +124,24 @@ val horizontal_v : t -> valued -> valued option
 val vertical_v : t -> valued -> valued list
 (** Valued {!State.vertical}, same neighbor order. *)
 
+val iter_vertical :
+  ?rev:bool ->
+  t ->
+  valued ->
+  keep:(p:int -> q:int -> key -> bool) ->
+  f:(valued -> unit) ->
+  unit
+(** Enumerate Vertical neighbors, pruning {e before} valuation: for
+    each neighbor (member [p] replaced by [q = p + 1]) the [keep]
+    predicate sees only the neighbor's key, derived in O(words) from
+    the parent's; survivors are then valued and passed to [f] in
+    {!vertical_v} order ([~rev] reverses it).  Search loops whose prune
+    tests need only membership ({!Visited.mem_key}, {!key_mem},
+    {!key_subset}, {!State.dominates_subst}) skip the O(group) state
+    and parameter allocation of every pruned neighbor.  On [`Legacy]
+    spaces all neighbors are valued first, preserving the replaced
+    fallback's allocation profile. *)
+
 val horizontal2_v : t -> valued -> valued list
 (** Valued {!State.horizontal2}, same neighbor order. *)
 
@@ -109,15 +155,24 @@ val params_without_id : t -> n:int -> Params.t -> int -> Params.t option
     when not invertible from the accumulated parameters (caller
     recomputes from scratch). *)
 
-(** Visited sets keyed on the state bitmask (one int hash per lookup)
-    while {!uses_mask} holds, falling back to hashing position lists. *)
+(** Visited sets keyed to match the space: one int hash per lookup
+    while the mask fits, content-hashed fixed-width bitsets beyond
+    that, polymorphic hashing of position lists on [`Legacy] spaces. *)
 module Visited : sig
   type space := t
   type t
 
   val create : space -> int -> t
-  (** [create space size_hint]. *)
+  (** [create space size_hint].  The hint is clamped (16 .. 2^16): it
+      sizes the initial bucket array, so estimates like 2^K must not
+      turn into pathological up-front allocation. *)
 
   val mem : t -> valued -> bool
   val add : t -> valued -> unit
+
+  val mem_key : t -> key -> bool
+  (** Membership from a key alone (pre-valuation pruning).
+      @raise Invalid_argument on a key from a different space. *)
+
+  val add_key : t -> key -> unit
 end

@@ -37,6 +37,18 @@ let horizontal2 ~k t =
 let dominates a b =
   List.length a = List.length b && List.for_all2 (fun x y -> x <= y) a b
 
+(* [dominates a (b with p replaced by q)] without building the
+   substituted list: replacing [p] by [q = p + 1] keeps a strictly
+   increasing list strictly increasing (q is absent), so the
+   componentwise walk stays aligned. *)
+let rec dominates_subst a b ~p ~q =
+  match a, b with
+  | [], [] -> true
+  | x :: a', y :: b' ->
+      let y = if y = p then q else y in
+      x <= y && dominates_subst a' b' ~p ~q
+  | _, _ -> false
+
 let subset a b = List.for_all (fun x -> mem x b) a
 
 let max_mask_bits = Sys.int_size - 2

@@ -48,6 +48,12 @@ val dominates : t -> t -> bool
     exactly "[b] is reachable from [a] by Vertical transitions", the
     test used to prune nodes lying below a known boundary. *)
 
+val dominates_subst : t -> t -> p:int -> q:int -> bool
+(** [dominates_subst a b ~p ~q] is [dominates a b'] where [b'] is [b]
+    with member [p] replaced by the absent [q = p + 1], without
+    allocating [b'] — the pre-valuation dominance test for a Vertical
+    neighbor. *)
+
 val subset : t -> t -> bool
 
 val max_mask_bits : int

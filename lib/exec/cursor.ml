@@ -15,7 +15,7 @@ module Tuple_tbl = Hashtbl.Make (struct
   let hash = Tuple.hash
 end)
 
-let header_rowset s = Rowset.make s.cols []
+let header_rowset s = Rowset.make s.cols [||]
 
 (* --- leaf: block-at-a-time scan, charging I/O lazily ------------------ *)
 
@@ -176,14 +176,15 @@ let concat (streams : stream list) : stream =
       in
       { cols = first.cols; pull }
 
-let of_rows cols rows : stream =
-  let remaining = ref rows in
+let of_rows cols (rows : Tuple.t array) : stream =
+  let pos = ref 0 in
   let pull () =
-    match !remaining with
-    | [] -> None
-    | row :: rest ->
-        remaining := rest;
-        Some row
+    if !pos >= Array.length rows then None
+    else begin
+      let row = rows.(!pos) in
+      incr pos;
+      Some row
+    end
   in
   { cols; pull }
 

@@ -44,7 +44,7 @@ let scan_table io catalog name alias : Rowset.t =
           (fun a -> Rowset.col ~qualifier a.Schema.attr_name)
           schema.Schema.attrs
       in
-      Rowset.make cols (Relation.to_list rel)
+      Rowset.make cols (Relation.to_array rel)
 
 let requalify alias (rs : Rowset.t) : Rowset.t =
   let cols =
@@ -79,44 +79,60 @@ let pred_resolves_in rs p = resolves_in rs (pred_cols p)
 
 (* --- physical operators --------------------------------------------- *)
 
-let filter rs p =
-  Rowset.make rs.Rowset.cols
-    (List.filter (fun row -> Eval.predicate rs row p) rs.Rowset.rows)
+let filter rs p = Rowset.filter rs (fun row -> Eval.predicate rs row p)
 
+(* Cross product into one exactly-sized output array: no nested
+   intermediate lists. *)
 let cartesian a b =
   let cols = Rowset.product_cols a b in
-  let rows =
-    List.concat_map
-      (fun ra -> List.map (fun rb -> Tuple.concat ra rb) b.Rowset.rows)
-      a.Rowset.rows
-  in
+  let ra = a.Rowset.rows and rb = b.Rowset.rows in
+  let na = Array.length ra and nb = Array.length rb in
+  let rows = Array.make (na * nb) [||] in
+  for i = 0 to na - 1 do
+    let left = ra.(i) in
+    let base = i * nb in
+    for j = 0 to nb - 1 do
+      rows.(base + j) <- Tuple.concat left rb.(j)
+    done
+  done;
   Rowset.make cols rows
 
 (* Hash join on the given equi-key column index pairs
-   [(left_idx, right_idx)].  NULL keys never match. *)
+   [(left_idx, right_idx)].  NULL keys never match.  Keys are built
+   straight into an array ([Array.map] over an int-array of column
+   indexes) — one allocation per probed row, no intermediate list —
+   and matches append into a row builder instead of concatenated
+   per-probe lists. *)
 let hash_join a b keys =
   let cols = Rowset.product_cols a b in
-  let key_of row idxs = Array.of_list (List.map (fun i -> row.(i)) idxs) in
-  let left_idxs = List.map fst keys and right_idxs = List.map snd keys in
+  let left_idxs = Array.of_list (List.map fst keys)
+  and right_idxs = Array.of_list (List.map snd keys) in
+  let key_of row idxs = Array.map (fun i -> row.(i)) idxs in
   let table = Tuple_tbl.create (max 16 (Rowset.cardinality b)) in
-  List.iter
+  Array.iter
     (fun rb ->
       let k = key_of rb right_idxs in
       if not (Array.exists Value.is_null k) then
-        Tuple_tbl.add table k rb)
+        match Tuple_tbl.find_opt table k with
+        | Some bucket -> bucket := rb :: !bucket
+        | None -> Tuple_tbl.add table k (ref [ rb ]))
     b.Rowset.rows;
-  let rows =
-    List.concat_map
-      (fun ra ->
-        let k = key_of ra left_idxs in
-        if Array.exists Value.is_null k then []
-        else
-          List.rev_map
-            (fun rb -> Tuple.concat ra rb)
-            (Tuple_tbl.find_all table k))
-      a.Rowset.rows
-  in
-  Rowset.make cols rows
+  (* Buckets accumulate newest-first; one flip restores [b]'s storage
+     order for every probe. *)
+  Tuple_tbl.iter (fun _ bucket -> bucket := List.rev !bucket) table;
+  let out = Rowset.Builder.create ~hint:(Array.length a.Rowset.rows) () in
+  Array.iter
+    (fun ra ->
+      let k = key_of ra left_idxs in
+      if not (Array.exists Value.is_null k) then
+        match Tuple_tbl.find_opt table k with
+        | Some bucket ->
+            List.iter
+              (fun rb -> Rowset.Builder.add out (Tuple.concat ra rb))
+              !bucket
+        | None -> ())
+    a.Rowset.rows;
+  Rowset.make cols (Rowset.Builder.contents out)
 
 (* Split an equality conjunct into join keys between [a] and [b], if it
    is one. *)
@@ -327,7 +343,7 @@ and exec_block io catalog b : Rowset.t =
      ORDER BY key values, evaluated while the pre-projection context is
      still available (SQL permits ordering by non-output columns). *)
   let out_exprs, out_cols = output_exprs filtered b.items in
-  let out_rs_empty = Rowset.make out_cols [] in
+  let out_rs_empty = Rowset.make out_cols [||] in
   let order_keys_of out_row eval_in_context =
     List.map
       (fun (e, _) ->
@@ -354,7 +370,7 @@ and exec_block io catalog b : Rowset.t =
     begin
       let groups = Tuple_tbl.create 64 in
       let order = ref [] in
-      List.iter
+      Array.iter
         (fun row ->
           let key =
             Array.of_list
@@ -373,7 +389,7 @@ and exec_block io catalog b : Rowset.t =
         else List.rev !order
       in
       let group_rows key =
-        if b.group_by = [] then filtered.Rowset.rows
+        if b.group_by = [] then Rowset.to_list filtered
         else
           match Tuple_tbl.find_opt groups key with
           | Some r -> List.rev !r
@@ -404,10 +420,10 @@ and exec_block io catalog b : Rowset.t =
             else None)
           keys
       in
-      rows
+      Array.of_list rows
     end
     else
-      List.map
+      Array.map
         (fun row ->
           let out_row =
             Array.of_list
@@ -421,14 +437,26 @@ and exec_block io catalog b : Rowset.t =
     if not b.distinct then projected
     else begin
       let seen = Tuple_tbl.create 64 in
-      List.filter
-        (fun (row, _) ->
+      (* mark left-to-right so the first occurrence wins, then pack *)
+      let keep = Array.map (fun (row, _) ->
           if Tuple_tbl.mem seen row then false
           else begin
             Tuple_tbl.add seen row ();
             true
           end)
-        projected
+          projected
+      in
+      let n = Array.fold_left (fun n k -> if k then n + 1 else n) 0 keep in
+      let out = Array.make n ([||], []) in
+      let j = ref 0 in
+      Array.iteri
+        (fun i pair ->
+          if keep.(i) then begin
+            out.(!j) <- pair;
+            incr j
+          end)
+        projected;
+      out
     end
   in
   (* 7. ORDER BY on the precomputed keys. *)
@@ -437,7 +465,7 @@ and exec_block io catalog b : Rowset.t =
     else
       Cqp_obs.Trace.with_span ~name:"engine.sort"
         ~attrs:(fun () ->
-          [ Cqp_obs.Attr.int "rows" (List.length deduped) ])
+          [ Cqp_obs.Attr.int "rows" (Array.length deduped) ])
     @@ fun () ->
     begin
       let dirs = List.map snd b.order_by in
@@ -452,21 +480,19 @@ and exec_block io catalog b : Rowset.t =
         in
         go dirs k1 k2
       in
-      List.stable_sort cmp deduped
+      (* deduped is always a fresh array here, safe to sort in place *)
+      let sorted = Array.copy deduped in
+      Array.stable_sort cmp sorted;
+      sorted
     end
   in
   (* 8. LIMIT. *)
   let limited =
     match b.limit with
     | None -> ordered
-    | Some k ->
-        let rec take n = function
-          | x :: rest when n > 0 -> x :: take (n - 1) rest
-          | _ -> []
-        in
-        take k ordered
+    | Some k -> Array.sub ordered 0 (max 0 (min k (Array.length ordered)))
   in
-  Rowset.make out_cols (List.map fst limited)
+  Rowset.make out_cols (Array.map fst limited)
 
 and output_exprs rs items =
   let exprs =
@@ -524,7 +550,7 @@ let execute ?io catalog q =
     with Cqp_sql.Analyzer.Semantic_error _ ->
       List.map (fun c -> (c.Rowset.name, Value.Tnull)) rs.Rowset.cols
   in
-  { schema; rows = rs.Rowset.rows; block_reads = Io.block_reads counter }
+  { schema; rows = Rowset.to_list rs; block_reads = Io.block_reads counter }
 
 let real_cost_ms ?(block_ms = Io.default_block_ms) catalog q =
   let r = execute catalog q in

@@ -44,7 +44,7 @@ let header_of_source catalog = function
               (fun a -> Rowset.col ~qualifier a.Cqp_relal.Schema.attr_name)
               schema.Cqp_relal.Schema.attrs
           in
-          ( Rowset.make cols [],
+          ( Rowset.make cols [||],
             {
               label = qualifier;
               relation = Some name;
@@ -61,7 +61,7 @@ let header_of_source catalog = function
       let cols =
         List.map (fun (name, _) -> Rowset.col ~qualifier:alias name) schema
       in
-      ( Rowset.make cols [],
+      ( Rowset.make cols [||],
         {
           label = alias;
           relation = None;
@@ -145,7 +145,7 @@ let rec plan_of catalog q : t =
               in
               remaining := others;
               let joined =
-                Rowset.make (Rowset.product_cols !acc rs) []
+                Rowset.make (Rowset.product_cols !acc rs) [||]
               in
               let mine, rest' =
                 List.partition (fun p -> resolves_in joined p) !remaining

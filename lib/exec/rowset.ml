@@ -1,5 +1,5 @@
 type col = { qualifier : string option; name : string }
-type t = { cols : col list; rows : Cqp_relal.Tuple.t list }
+type t = { cols : col list; rows : Cqp_relal.Tuple.t array }
 
 exception Column_error of string
 
@@ -10,8 +10,10 @@ let col ?qualifier name =
   }
 
 let make cols rows = { cols; rows }
+let of_list cols rows = { cols; rows = Array.of_list rows }
+let to_list t = Array.to_list t.rows
 let arity t = List.length t.cols
-let cardinality t = List.length t.rows
+let cardinality t = Array.length t.rows
 
 let find_col t qualifier name =
   let name = String.lowercase_ascii name in
@@ -39,9 +41,35 @@ let find_col t qualifier name =
 let append a b =
   if arity a <> arity b then
     raise (Column_error "append: arity mismatch between union branches");
-  { cols = a.cols; rows = a.rows @ b.rows }
+  { cols = a.cols; rows = Array.append a.rows b.rows }
 
 let product_cols a b = a.cols @ b.cols
+
+(* Growable row batch for operators whose output size is unknown up
+   front (filters, hash-join probes): amortized O(1) append into a
+   doubling array, one [Array.sub] at the end — no per-row list cell. *)
+module Builder = struct
+  type builder = { mutable data : Cqp_relal.Tuple.t array; mutable len : int }
+
+  let create ?(hint = 16) () = { data = Array.make (max 1 hint) [||]; len = 0 }
+
+  let add b row =
+    if b.len = Array.length b.data then begin
+      let bigger = Array.make (max 16 (2 * b.len)) [||] in
+      Array.blit b.data 0 bigger 0 b.len;
+      b.data <- bigger
+    end;
+    b.data.(b.len) <- row;
+    b.len <- b.len + 1
+
+  let contents b =
+    if b.len = Array.length b.data then b.data else Array.sub b.data 0 b.len
+end
+
+let filter t p =
+  let b = Builder.create ~hint:(Array.length t.rows) () in
+  Array.iter (fun row -> if p row then Builder.add b row) t.rows;
+  { cols = t.cols; rows = Builder.contents b }
 
 let pp ppf t =
   let header =
@@ -55,7 +83,7 @@ let pp ppf t =
   let cells =
     List.map
       (fun row -> List.map Cqp_relal.Value.to_string (Array.to_list row))
-      t.rows
+      (to_list t)
   in
   let widths =
     List.mapi
@@ -77,5 +105,5 @@ let pp ppf t =
   Format.fprintf ppf "|%s|@ "
     (String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths));
   List.iter line cells;
-  Format.fprintf ppf "(%d rows)" (List.length t.rows);
+  Format.fprintf ppf "(%d rows)" (Array.length t.rows);
   Format.pp_close_box ppf ()

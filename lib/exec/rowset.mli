@@ -1,18 +1,25 @@
 (** Intermediate results flowing between physical operators.
 
-    A rowset is a materialized bag of rows with a column header that
+    A rowset is a materialized batch of rows with a column header that
     records, for every column, the FROM-binding alias it came from (if
-    any) and its name.  Column lookup mirrors SQL scoping: a qualified
-    reference matches alias + name; an unqualified one must match a
-    unique name. *)
+    any) and its name.  Rows live in a flat array — operators run
+    array-at-a-time over it instead of walking per-tuple list cells.
+    Column lookup mirrors SQL scoping: a qualified reference matches
+    alias + name; an unqualified one must match a unique name. *)
 
 type col = { qualifier : string option; name : string }
-type t = { cols : col list; rows : Cqp_relal.Tuple.t list }
+type t = { cols : col list; rows : Cqp_relal.Tuple.t array }
 
 exception Column_error of string
 
 val col : ?qualifier:string -> string -> col
-val make : col list -> Cqp_relal.Tuple.t list -> t
+val make : col list -> Cqp_relal.Tuple.t array -> t
+
+val of_list : col list -> Cqp_relal.Tuple.t list -> t
+(** List boundary for callers that assemble rows incrementally. *)
+
+val to_list : t -> Cqp_relal.Tuple.t list
+
 val arity : t -> int
 val cardinality : t -> int
 
@@ -25,6 +32,19 @@ val append : t -> t -> t
 
 val product_cols : t -> t -> col list
 (** Header of a join/product of the two rowsets. *)
+
+val filter : t -> (Cqp_relal.Tuple.t -> bool) -> t
+(** Keep the rows satisfying the predicate (batch filter, one output
+    array). *)
+
+(** Growable row batch used by operators with unknown output size. *)
+module Builder : sig
+  type builder
+
+  val create : ?hint:int -> unit -> builder
+  val add : builder -> Cqp_relal.Tuple.t -> unit
+  val contents : builder -> Cqp_relal.Tuple.t array
+end
 
 val pp : Format.formatter -> t -> unit
 (** Tabular rendering of header and rows (for examples and the CLI). *)

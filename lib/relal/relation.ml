@@ -57,6 +57,7 @@ let fold f init r =
   !acc
 
 let to_list r = List.rev (fold (fun acc t -> t :: acc) [] r)
+let to_array r = Array.sub r.data 0 r.len
 
 let get_block r i =
   let nb = blocks r in

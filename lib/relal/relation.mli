@@ -36,6 +36,11 @@ val iter : (Tuple.t -> unit) -> t -> unit
 val fold : ('a -> Tuple.t -> 'a) -> 'a -> t -> 'a
 val to_list : t -> Tuple.t list
 
+val to_array : t -> Tuple.t array
+(** Fresh array of the stored tuples, in storage order — the
+    zero-per-tuple-cost handoff into the execution engine's row
+    batches. *)
+
 val get_block : t -> int -> Tuple.t array
 (** [get_block r i] returns the tuples of block [i] (0-based).
     @raise Invalid_argument if out of range. *)

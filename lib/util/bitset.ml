@@ -1,0 +1,104 @@
+type t = Bytes.t
+
+let create ~width =
+  if width < 0 then invalid_arg "Bitset.create: negative width";
+  Bytes.make ((width + 7) / 8) '\000'
+
+let capacity t = 8 * Bytes.length t
+
+let check t i =
+  if i < 0 || i >= capacity t then
+    invalid_arg
+      (Printf.sprintf "Bitset: bit %d out of range (capacity %d)" i
+         (capacity t))
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set_inplace b i =
+  let j = i lsr 3 in
+  Bytes.unsafe_set b j
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b j) lor (1 lsl (i land 7))))
+
+let clear_inplace b i =
+  let j = i lsr 3 in
+  Bytes.unsafe_set b j
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get b j) land lnot (1 lsl (i land 7))))
+
+let add t i =
+  check t i;
+  let b = Bytes.copy t in
+  set_inplace b i;
+  b
+
+let remove t i =
+  check t i;
+  let b = Bytes.copy t in
+  clear_inplace b i;
+  b
+
+let replace t ~rem ~add =
+  check t rem;
+  check t add;
+  let b = Bytes.copy t in
+  clear_inplace b rem;
+  set_inplace b add;
+  b
+
+let singleton ~width i =
+  let b = create ~width in
+  check b i;
+  set_inplace b i;
+  b
+
+let of_list ~width l =
+  let b = create ~width in
+  List.iter
+    (fun i ->
+      check b i;
+      set_inplace b i)
+    l;
+  b
+
+let popcount_byte c =
+  let c = c - ((c lsr 1) land 0x55) in
+  let c = (c land 0x33) + ((c lsr 2) land 0x33) in
+  (c + (c lsr 4)) land 0x0f
+
+let cardinality t =
+  let n = ref 0 in
+  for j = 0 to Bytes.length t - 1 do
+    n := !n + popcount_byte (Char.code (Bytes.unsafe_get t j))
+  done;
+  !n
+
+let to_list t =
+  let acc = ref [] in
+  for i = capacity t - 1 downto 0 do
+    if Char.code (Bytes.unsafe_get t (i lsr 3)) land (1 lsl (i land 7)) <> 0
+    then acc := i :: !acc
+  done;
+  !acc
+
+let equal = Bytes.equal
+let compare = Bytes.compare
+
+(* [Hashtbl.hash] mixes the whole byte content of a string/bytes value,
+   so this is a proper content hash, unlike the polymorphic hash of a
+   position list which only samples a bounded prefix. *)
+let hash (t : t) = Hashtbl.hash t
+
+let subset a b =
+  if Bytes.length a <> Bytes.length b then
+    invalid_arg "Bitset.subset: width mismatch";
+  let ok = ref true in
+  let j = ref 0 in
+  let n = Bytes.length a in
+  while !ok && !j < n do
+    let x = Char.code (Bytes.unsafe_get a !j) in
+    if x land Char.code (Bytes.unsafe_get b !j) <> x then ok := false;
+    incr j
+  done;
+  !ok

@@ -1,0 +1,55 @@
+(** Fixed-width bitsets over [Bytes], for keys wider than a native int.
+
+    A value is an immutable byte string of [ceil (width / 8)] bytes;
+    bit [i] lives in byte [i / 8] at bit [i mod 8].  All operations
+    that change membership are functional: they copy the underlying
+    bytes (O(width / 8) words) and flip bits in the copy, so a bitset
+    already stored in a hash table can never be mutated from under it.
+
+    Equality, ordering and hashing are content-based and O(words);
+    bitsets of different byte lengths are never equal.  Callers keying
+    hash tables on bitsets must build every key with the same [width]
+    (sets over the same universe), which {!subset} enforces. *)
+
+type t
+
+val create : width:int -> t
+(** The empty set over a universe of [width] elements.
+    @raise Invalid_argument when [width < 0]. *)
+
+val singleton : width:int -> int -> t
+
+val of_list : width:int -> int list -> t
+(** Set the listed bits (duplicates are harmless). *)
+
+val capacity : t -> int
+(** Number of addressable bits: [8 * ceil (width / 8)] — at least the
+    creation [width]. *)
+
+val mem : t -> int -> bool
+(** @raise Invalid_argument when the bit is out of range. *)
+
+val add : t -> int -> t
+(** Functional: returns a copy with the bit set. *)
+
+val remove : t -> int -> t
+(** Functional: returns a copy with the bit cleared. *)
+
+val replace : t -> rem:int -> add:int -> t
+(** [replace t ~rem ~add] clears [rem] and sets [add] in one copy —
+    the Vertical-transition key update. *)
+
+val cardinality : t -> int
+
+val to_list : t -> int list
+(** Members in increasing order. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val hash : t -> int
+(** Content hash (mixes every byte), suitable for [Hashtbl.Make]. *)
+
+val subset : t -> t -> bool
+(** [subset a b] — every member of [a] is in [b].
+    @raise Invalid_argument when widths differ. *)

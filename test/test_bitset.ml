@@ -1,0 +1,178 @@
+(* Cqp_util.Bitset — the wide-state key encoding.
+
+   Units pin the fixed-width semantics (capacity rounding, range
+   checks, functional updates, width-mismatch subset); the qcheck
+   properties run every operation against a [bool array] reference
+   model, including the hash/equal contract the visited tables rely
+   on. *)
+
+module B = Cqp_util.Bitset
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- units --------------------------------------------------------- *)
+
+let test_create_empty () =
+  let t = B.create ~width:10 in
+  checki "capacity rounds up to bytes" 16 (B.capacity t);
+  checki "cardinality" 0 (B.cardinality t);
+  Alcotest.(check (list int)) "to_list" [] (B.to_list t);
+  for i = 0 to 15 do
+    checkb "all clear" false (B.mem t i)
+  done;
+  checkb "negative width rejected" true
+    (match B.create ~width:(-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checki "width 0 is legal and empty" 0 (B.capacity (B.create ~width:0))
+
+let test_range_checks () =
+  let t = B.create ~width:8 in
+  checkb "mem out of range" true
+    (match B.mem t 8 with exception Invalid_argument _ -> true | _ -> false);
+  checkb "add out of range" true
+    (match B.add t (-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_functional_updates () =
+  let t = B.of_list ~width:70 [ 0; 63; 64; 69 ] in
+  let t' = B.add t 31 in
+  checkb "original untouched by add" false (B.mem t 31);
+  checkb "copy has the bit" true (B.mem t' 31);
+  let t'' = B.remove t' 63 in
+  checkb "original keeps 63" true (B.mem t' 63);
+  checkb "copy dropped 63" false (B.mem t'' 63);
+  Alcotest.(check (list int))
+    "to_list increasing" [ 0; 31; 64; 69 ] (B.to_list t'');
+  let r = B.replace t ~rem:64 ~add:65 in
+  Alcotest.(check (list int)) "replace" [ 0; 63; 65; 69 ] (B.to_list r);
+  checki "cardinality preserved" 4 (B.cardinality r)
+
+let test_equal_hash_width () =
+  let a = B.of_list ~width:70 [ 1; 68 ] in
+  let b = B.of_list ~width:70 [ 1; 68 ] in
+  checkb "equal" true (B.equal a b);
+  checki "hash agrees on equal" (B.hash a) (B.hash b);
+  checki "compare 0 on equal" 0 (B.compare a b);
+  (* same members, different width: distinct keys by design *)
+  let w = B.of_list ~width:80 [ 1; 68 ] in
+  checkb "widths never equal" false (B.equal a w);
+  checkb "subset rejects width mismatch" true
+    (match B.subset a w with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_subset () =
+  let big = B.of_list ~width:100 [ 2; 40; 63; 64; 99 ] in
+  checkb "subset of itself" true (B.subset big big);
+  checkb "strict subset" true (B.subset (B.of_list ~width:100 [ 40; 99 ]) big);
+  checkb "empty is subset" true (B.subset (B.create ~width:100) big);
+  checkb "not subset" false (B.subset (B.of_list ~width:100 [ 3 ]) big);
+  checkb "superset is not subset" false
+    (B.subset (B.add big 50) big)
+
+(* --- qcheck vs a bool-array reference model ------------------------ *)
+
+(* An op script over a width-[w] universe, applied in parallel to a
+   Bitset and to a [bool array]. *)
+let arb_script =
+  QCheck.(
+    pair (int_range 1 130)
+      (small_list (pair (int_range 0 2) small_nat)))
+
+let apply_script (w, ops) =
+  let t = ref (B.create ~width:w) in
+  let model = Array.make w false in
+  List.iter
+    (fun (op, i) ->
+      let i = i mod w in
+      match op with
+      | 0 ->
+          t := B.add !t i;
+          model.(i) <- true
+      | 1 ->
+          t := B.remove !t i;
+          model.(i) <- false
+      | _ ->
+          (* replace: pick any rem/add pair inside the universe *)
+          let j = (i * 7) mod w in
+          t := B.replace !t ~rem:i ~add:j;
+          model.(i) <- false;
+          model.(j) <- true)
+    ops;
+  (!t, model)
+
+let prop_model_agreement =
+  QCheck.Test.make ~name:"set/clear/mem agree with bool-array model"
+    ~count:500 arb_script (fun ((w, _) as script) ->
+      let t, model = apply_script script in
+      let members =
+        List.filteri (fun i _ -> model.(i)) (List.init w (fun i -> i))
+      in
+      List.init w (fun i -> B.mem t i = model.(i)) |> List.for_all Fun.id
+      && B.to_list t = members
+      && B.cardinality t = List.length members)
+
+let prop_equal_hash_model =
+  QCheck.Test.make ~name:"equal iff same model; equal implies same hash"
+    ~count:500
+    QCheck.(pair arb_script arb_script)
+    (fun (s1, s2) ->
+      let t1, m1 = apply_script s1 and t2, m2 = apply_script s2 in
+      let members m =
+        List.filteri (fun i _ -> m.(i)) (List.init (Array.length m) Fun.id)
+      in
+      (* equality is at byte granularity: same capacity, same members
+         (trailing pad bits are always zero) *)
+      let same_model =
+        B.capacity t1 = B.capacity t2 && members m1 = members m2
+      in
+      B.equal t1 t2 = same_model
+      && ((not (B.equal t1 t2)) || B.hash t1 = B.hash t2)
+      && (B.compare t1 t2 = 0) = B.equal t1 t2)
+
+let prop_subset_model =
+  QCheck.Test.make ~name:"subset agrees with model inclusion" ~count:500
+    QCheck.(
+      triple (int_range 1 130)
+        (small_list (pair (int_range 0 2) small_nat))
+        (small_list (pair (int_range 0 2) small_nat)))
+    (fun (w, ops1, ops2) ->
+      let t1, m1 = apply_script (w, ops1)
+      and t2, m2 = apply_script (w, ops2) in
+      let incl =
+        Array.for_all2 (fun a b -> (not a) || b) m1 m2
+      in
+      B.subset t1 t2 = incl)
+
+let prop_of_list_roundtrip =
+  QCheck.Test.make ~name:"of_list / to_list roundtrip" ~count:500
+    QCheck.(pair (int_range 1 130) (small_list small_nat))
+    (fun (w, xs) ->
+      let xs = List.map (fun x -> x mod w) xs in
+      let expect = List.sort_uniq compare xs in
+      B.to_list (B.of_list ~width:w xs) = expect)
+
+let () =
+  Testlib.seed_banner "test_bitset";
+  Alcotest.run "cqp_bitset"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "create empty" `Quick test_create_empty;
+          Alcotest.test_case "range checks" `Quick test_range_checks;
+          Alcotest.test_case "functional updates" `Quick
+            test_functional_updates;
+          Alcotest.test_case "equal/hash/width" `Quick test_equal_hash_width;
+          Alcotest.test_case "subset" `Quick test_subset;
+        ] );
+      ( "model",
+        [
+          Testlib.qc prop_model_agreement;
+          Testlib.qc prop_equal_hash_model;
+          Testlib.qc prop_subset_model;
+          Testlib.qc prop_of_list_roundtrip;
+        ] );
+    ]

@@ -110,28 +110,29 @@ let reference_execute q =
                       Rowset.col ~qualifier a.Cqp_relal.Schema.attr_name)
                     schema.Cqp_relal.Schema.attrs
                 in
-                Rowset.make cols (Cqp_relal.Relation.to_list rel)
+                Rowset.of_list cols (Cqp_relal.Relation.to_list rel)
             | Ast.Subquery _ -> assert false)
           b.Ast.from
       in
       let product =
         List.fold_left
           (fun acc rs ->
-            Rowset.make
+            Rowset.of_list
               (Rowset.product_cols acc rs)
               (List.concat_map
                  (fun ra ->
-                   List.map (fun rb -> Tuple.concat ra rb) rs.Rowset.rows)
-                 acc.Rowset.rows))
-          (Rowset.make [] [ [||] ])
+                   List.map (fun rb -> Tuple.concat ra rb) (Rowset.to_list rs))
+                 (Rowset.to_list acc)))
+          (Rowset.of_list [] [ [||] ])
           source_rowsets
       in
       let filtered =
         match b.Ast.where with
-        | None -> product.Rowset.rows
+        | None -> Rowset.to_list product
         | Some p ->
-            List.filter (fun row -> Eval.predicate product row p)
-              product.Rowset.rows
+            List.filter
+              (fun row -> Eval.predicate product row p)
+              (Rowset.to_list product)
       in
       List.map
         (fun row ->

@@ -132,7 +132,7 @@ let test_rowset_resolution () =
   let rs =
     Rowset.make
       [ Rowset.col ~qualifier:"m" "title"; Rowset.col ~qualifier:"d" "name" ]
-      []
+      [||]
   in
   checki "qualified" 0 (Rowset.find_col rs (Some "m") "title");
   checki "unqualified unique" 1 (Rowset.find_col rs None "name");
@@ -145,7 +145,7 @@ let test_rowset_ambiguity () =
   let rs =
     Rowset.make
       [ Rowset.col ~qualifier:"a" "x"; Rowset.col ~qualifier:"b" "x" ]
-      []
+      [||]
   in
   checkb "ambiguous unqualified" true
     (match Rowset.find_col rs None "x" with
@@ -154,10 +154,10 @@ let test_rowset_ambiguity () =
   checki "qualified ok" 1 (Rowset.find_col rs (Some "b") "x")
 
 let test_rowset_append_arity () =
-  let a = Rowset.make [ Rowset.col "x" ] [ [| V.Int 1 |] ] in
-  let b = Rowset.make [ Rowset.col "y" ] [ [| V.Int 2 |] ] in
+  let a = Rowset.make [ Rowset.col "x" ] [| [| V.Int 1 |] |] in
+  let b = Rowset.make [ Rowset.col "y" ] [| [| V.Int 2 |] |] in
   checki "append" 2 (Rowset.cardinality (Rowset.append a b));
-  let c = Rowset.make [ Rowset.col "x"; Rowset.col "y" ] [] in
+  let c = Rowset.make [ Rowset.col "x"; Rowset.col "y" ] [||] in
   checkb "arity mismatch" true
     (match Rowset.append a c with
     | exception Rowset.Column_error _ -> true

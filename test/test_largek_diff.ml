@@ -1,0 +1,187 @@
+(* Differential coverage for K beyond State.max_mask_bits (61).
+
+   The old fast path crashed (or, with asserts off, silently collided
+   visited keys) once a preference profile grew past the native int
+   mask.  These suites prove the Bitset-keyed search is bit-identical
+   to the position-list fallback it replaced: same solution ids, same
+   parameters (exact float equality), same [states_visited] — for all
+   five Section-5 algorithms and both exact branch-and-bounds, at
+   K = 70 and K = 100.  Small-K cross-checks pin all three keyings
+   ([`Auto] mask, forced [`Bits], [`Legacy]) to each other and to the
+   exhaustive oracle. *)
+
+module C = Cqp_core
+
+let checki = Alcotest.(check int)
+
+type runner = {
+  name : string;
+  order : C.Space.order;
+  solve : C.Space.t -> C.Solution.t option;
+}
+
+let runners ~cmax =
+  [
+    {
+      name = "C_boundaries";
+      order = C.Space.By_cost;
+      solve = (fun sp -> Some (C.C_boundaries.solve sp ~cmax));
+    };
+    {
+      name = "C_maxbounds";
+      order = C.Space.By_cost;
+      solve = (fun sp -> Some (C.C_maxbounds.solve sp ~cmax));
+    };
+    {
+      name = "D_maxdoi";
+      order = C.Space.By_doi;
+      solve = (fun sp -> Some (C.D_maxdoi.solve sp ~cmax));
+    };
+    {
+      name = "D_singlemaxdoi";
+      order = C.Space.By_doi;
+      solve = (fun sp -> Some (C.D_singlemaxdoi.solve sp ~cmax));
+    };
+    {
+      name = "D_heurdoi";
+      order = C.Space.By_doi;
+      solve = (fun sp -> Some (C.D_heurdoi.solve sp ~cmax));
+    };
+    {
+      name = "min_cost_bnb";
+      order = C.Space.By_doi;
+      (* a doi floor forces a real search: the empty set is infeasible *)
+      solve =
+        (fun sp -> C.Solver.min_cost_bnb sp (C.Params.make ~dmin:0.9 ()));
+    };
+    {
+      name = "max_doi_bnb";
+      order = C.Space.By_doi;
+      solve = (fun sp -> C.Solver.max_doi_bnb sp (C.Params.with_cmax cmax));
+    };
+  ]
+
+(* Run one algorithm on a fresh space with the given keying and report
+   everything the equivalence claim covers. *)
+let run_with keys ps (r : runner) =
+  let space = C.Space.create ~order:r.order ~keys ps in
+  let sol = r.solve space in
+  let visited = (C.Space.stats space).C.Instrument.states_visited in
+  let summary =
+    Option.map
+      (fun (s : C.Solution.t) -> (Testlib.sorted_ids s, s.C.Solution.params))
+      sol
+  in
+  (summary, visited)
+
+let check_pair ~what r (sum_a, vis_a) (sum_b, vis_b) =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s solution+params identical" r.name what)
+    true (sum_a = sum_b);
+  checki (Printf.sprintf "%s: %s states_visited identical" r.name what) vis_a
+    vis_b
+
+(* --- K = 70 / 100: `Auto (bitset) vs `Legacy (position lists) ------- *)
+
+let test_large_k k () =
+  let rng = Cqp_util.Rng.create (0xB1757 + k) in
+  let ps = Testlib.random_space rng ~k in
+  (* a few multiples of the cheapest costs: deep enough to search,
+     bounded enough that the exact algorithms stay fast at K = 100 *)
+  let cmax = 30. in
+  List.iter
+    (fun r ->
+      let auto = run_with `Auto ps r in
+      let legacy = run_with `Legacy ps r in
+      check_pair ~what:"auto(bits)=legacy" r auto legacy;
+      (* sanity: the searches did real work *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s visited > 0" r.name)
+        true
+        (snd auto > 0))
+    (runners ~cmax)
+
+(* --- small K: all three keyings agree, and match the oracle --------- *)
+
+let test_small_k_three_ways () =
+  let rng = Cqp_util.Rng.create 0x5EED5 in
+  for _ = 1 to 5 do
+    let k = 4 + Cqp_util.Rng.int rng 8 in
+    let ps = Testlib.random_space rng ~k in
+    let cmax = 40. +. Cqp_util.Rng.float rng 120. in
+    List.iter
+      (fun r ->
+        let auto = run_with `Auto ps r in
+        let bits = run_with `Bits ps r in
+        let legacy = run_with `Legacy ps r in
+        check_pair ~what:"auto(mask)=bits" r auto bits;
+        check_pair ~what:"auto(mask)=legacy" r auto legacy)
+      (runners ~cmax)
+  done
+
+let test_small_k_oracle () =
+  (* the exact algorithms agree with the exhaustive oracle's doi on a
+     `Bits-forced space, so the new keying changes no answers *)
+  let rng = Cqp_util.Rng.create 0xACE in
+  for _ = 1 to 5 do
+    let k = 4 + Cqp_util.Rng.int rng 6 in
+    let ps = Testlib.random_space rng ~k in
+    let cmax = 40. +. Cqp_util.Rng.float rng 120. in
+    let oracle =
+      C.Exhaustive.solve (C.Space.create ~order:By_cost ~keys:`Bits ps) ~cmax
+    in
+    let close a b = abs_float (a -. b) <= 1e-9 in
+    List.iter
+      (fun (name, order, solve) ->
+        let space = C.Space.create ~order ~keys:`Bits ps in
+        let sol : C.Solution.t = solve space ~cmax in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s optimal doi on `Bits space" name)
+          true
+          (close sol.C.Solution.params.C.Params.doi
+             oracle.C.Solution.params.C.Params.doi))
+      [
+        ("C_boundaries", C.Space.By_cost, C.C_boundaries.solve ?budget:None);
+        ("D_maxdoi", C.Space.By_doi, C.D_maxdoi.solve ?budget:None);
+      ]
+  done
+
+(* --- K > 61 no longer crashes the fast path ------------------------- *)
+
+let test_no_mask_overflow () =
+  (* the old C_maxbounds mask fallback asserted [p < Sys.int_size - 1];
+     this is the exact shape that used to die *)
+  let k = C.State.max_mask_bits + 9 in
+  let rng = Cqp_util.Rng.create 99 in
+  let ps = Testlib.random_space rng ~k in
+  let space = C.Space.create ~order:By_cost ps in
+  Alcotest.(check bool) "auto keying leaves the mask" false
+    (C.Space.uses_mask space);
+  let sol = C.C_maxbounds.solve space ~cmax:30. in
+  Alcotest.(check bool)
+    "solution ids within the wide universe" true
+    (List.for_all (fun id -> id >= 0 && id < k) sol.C.Solution.pref_ids)
+
+let () =
+  Testlib.seed_banner "test_largek_diff";
+  Alcotest.run "cqp_largek_diff"
+    [
+      ( "large-k",
+        [
+          Alcotest.test_case "K=70 auto=legacy, all algorithms" `Quick
+            (test_large_k 70);
+          Alcotest.test_case "K=100 auto=legacy, all algorithms" `Quick
+            (test_large_k 100);
+          Alcotest.test_case "K=70 (second profile)" `Quick
+            (test_large_k 71);
+          Alcotest.test_case "no mask overflow past 61" `Quick
+            test_no_mask_overflow;
+        ] );
+      ( "small-k",
+        [
+          Alcotest.test_case "mask = bits = legacy" `Quick
+            test_small_k_three_ways;
+          Alcotest.test_case "exhaustive oracle on `Bits" `Quick
+            test_small_k_oracle;
+        ] );
+    ]

@@ -153,8 +153,11 @@ let prop_incremental_matches_scratch =
           let space = C.Space.create ~order:C.Space.By_doi ps in
           let ok = ref true in
           let check (v : C.Space.valued) =
-            if C.Space.uses_mask space then
-              ok := !ok && v.C.Space.mask = C.State.mask v.C.Space.state;
+            (match v.C.Space.key with
+            | C.Space.Mask m -> ok := !ok && m = C.State.mask v.C.Space.state
+            | C.Space.Bits b ->
+                ok := !ok && Cqp_util.Bitset.to_list b = v.C.Space.state
+            | C.Space.Positions s -> ok := !ok && s = v.C.Space.state);
             ok :=
               !ok
               && params_agree v.C.Space.params

@@ -809,8 +809,8 @@ let serve_bench () =
   in
   let percentile = Cqp_util.Stats.percentile in
   let passes = 3 in
-  Printf.printf "%-10s %6s %12s %12s %10s %10s %10s\n" "caches" "pass"
-    "total(ms)" "req/s" "p50(ms)" "p90(ms)" "p99(ms)";
+  Printf.printf "%-10s %6s %12s %12s %14s %10s %10s %10s\n" "caches" "pass"
+    "total(ms)" "req/s" "mean±sd(ms)" "p50(ms)" "p90(ms)" "p99(ms)";
   let run_config caching =
     let server = Cqp_serve.Serve.create ~caching catalog in
     let total = ref 0. in
@@ -825,10 +825,13 @@ let serve_bench () =
       in
       Array.sort compare lat;
       let n = Array.length lat in
-      Printf.printf "%-10s %6d %12.1f %12.1f %10.3f %10.3f %10.3f\n%!"
+      Printf.printf
+        "%-10s %6d %12.1f %12.1f %7.3f±%5.3f %10.3f %10.3f %10.3f\n%!"
         (if caching then "on" else "off")
         pass elapsed
         (if elapsed > 0. then 1000. *. float_of_int n /. elapsed else 0.)
+        (Cqp_util.Stats.mean lat)
+        (Cqp_util.Stats.stddev lat)
         (percentile lat 0.50) (percentile lat 0.90) (percentile lat 0.99)
     done;
     (match Cqp_serve.Serve.cache server with
@@ -907,6 +910,41 @@ let serve_bench () =
   Printf.printf
     " shows <= 1x here while test/test_par_diff.ml still proves the\n";
   Printf.printf " domain counts equivalent)\n%!"
+
+(* ---------------------------------------------------------------- *)
+(* Adversarial curriculum: evolved workloads vs the seeded baseline   *)
+(* ---------------------------------------------------------------- *)
+
+module Cur = Cqp_curriculum.Curriculum
+module Cur_fitness = Cqp_curriculum.Fitness
+module Cur_scenario = Cqp_curriculum.Scenario
+
+let curriculum_bench () =
+  section_header "Curriculum"
+    "GA-evolved adversarial workloads vs the seeded-generator baseline";
+  let spec = Cur_scenario.Small 3 in
+  let catalog = Cur_scenario.build_catalog spec in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Cur.evolve ~population:8 ~generations:3 ~seed:!mode.seed catalog
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "evolved %d candidates over %d generations in %.1f s (catalog %s)\n"
+    result.Cur.evaluations result.Cur.generations elapsed
+    (Cur_scenario.catalog_spec_to_string spec);
+  Printf.printf "baseline: %s\n"
+    (Cur_fitness.summary result.Cur.baseline.Cur.fitness);
+  Printf.printf "%-22s %14s %14s\n" "axis" "baseline" "elite";
+  List.iter
+    (fun (axis, (e : Cur.elite)) ->
+      Printf.printf "%-22s %14.4f %14.4f\n" (Cur.axis_name axis)
+        (Cur.axis_value result.Cur.baseline.Cur.fitness axis)
+        (Cur.axis_value e.Cur.fitness axis))
+    result.Cur.reservoir;
+  Printf.printf
+    "(the committed corpus under test/corpus/ is frozen from a longer run\n";
+  Printf.printf " of `cqp curriculum --export`; see EXPERIMENTS.md)\n%!"
 
 (* ---------------------------------------------------------------- *)
 (* The [12] evaluation setting: doi distributions and deviations      *)
@@ -1377,6 +1415,31 @@ let trend_serve ?domains () =
   ( List.map (fun r -> r.Cqp_serve.Serve.latency_ms *. 1000.) responses,
     hit_rate )
 
+(* Workload 5: replay the frozen adversarial corpus (skipped when
+   test/corpus is absent — e.g. when trend runs outside the repo
+   root).  Frozen scenarios hit the serve path's ugly corners — shed,
+   pre-expired deadlines, fault plans, cache-hostile fingerprints — so
+   their latency/GC trajectory complements the healthy-path serve
+   workloads above. *)
+let corpus_dir = "test/corpus"
+
+let trend_corpus () =
+  let files =
+    Sys.readdir corpus_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".scenario")
+    |> List.sort compare
+  in
+  let lats = ref [] in
+  List.iter
+    (fun f ->
+      let s = Cur_scenario.load (Filename.concat corpus_dir f) in
+      List.iter
+        (fun (r : Cqp_serve.Serve.response) ->
+          lats := (r.Cqp_serve.Serve.latency_ms *. 1000.) :: !lats)
+        (Cur_scenario.replay s))
+    files;
+  (!lats, 0.)
+
 let run_trend ~label ~out =
   Cqp_obs.Metrics.enable ();
   Cqp_profile.Request.enable ();
@@ -1385,7 +1448,15 @@ let run_trend ~label ~out =
   let largek = trend_measure "solver_largek" trend_solver_largek in
   let warm = trend_measure "serve_warm" (fun () -> trend_serve ()) in
   let par = trend_measure "par_replay" (fun () -> trend_serve ~domains:4 ()) in
-  let workloads = [ solver; largek; warm; par ] in
+  let workloads =
+    if Sys.file_exists corpus_dir && Sys.is_directory corpus_dir then
+      [ solver; largek; warm; par;
+        trend_measure "corpus_replay" trend_corpus ]
+    else begin
+      Printf.printf "trend: %s absent, skipping corpus_replay\n%!" corpus_dir;
+      [ solver; largek; warm; par ]
+    end
+  in
   largek_gc_ab ();
   let t = { BF.label; workloads } in
   let file =
@@ -1454,6 +1525,7 @@ let sections =
     ("doi_distributions", doi_distributions);
     ("scaling", scaling);
     ("serve", serve_bench);
+    ("curriculum", curriculum_bench);
   ]
 
 let () =

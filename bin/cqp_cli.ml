@@ -13,6 +13,8 @@
      profile   print a generated profile
      serve     replay (or generate) a multi-user workload through the
                batch personalization server with cross-request caches
+     curriculum evolve adversarial workloads against the serve path and
+               freeze the worst survivors as a replayable corpus
 
    Profiles can be loaded from a file of lines "<doi> <condition>",
    e.g.:  0.8 director.name = 'W. Allen' *)
@@ -396,11 +398,13 @@ let serve_action verbose seed movies workload_file save_file users requests
       let n = Array.length lat in
       Format.printf
         "pass %d/%d (%d domain%s): %d requests in %.1f ms (%.1f req/s)  \
-         latency ms p50=%.2f p90=%.2f p99=%.2f@."
+         latency ms mean=%.2f±%.2f p50=%.2f p90=%.2f p99=%.2f@."
         rep repeat domains
         (if domains = 1 then "" else "s")
         n (elapsed *. 1000.)
         (if elapsed > 0. then float_of_int n /. elapsed else 0.)
+        (Cqp_util.Stats.mean lat)
+        (Cqp_util.Stats.stddev lat)
         (percentile lat 0.50) (percentile lat 0.90) (percentile lat 0.99);
       (* Outcome tally — only interesting (and only printed) when a
          resilience feature is on. *)
@@ -687,6 +691,196 @@ let serve_cmd =
       $ inject_arg $ spike_ms_arg $ portfolio_arg $ profile_flag_arg
       $ events_arg $ prometheus_arg $ trace_arg $ metrics_arg)
 
+(* --- curriculum: adversarial workload evolution ------------------ *)
+
+module Curriculum = Cqp_curriculum.Curriculum
+module Cur_fitness = Cqp_curriculum.Fitness
+module Cur_scenario = Cqp_curriculum.Scenario
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let fitness_json (f : Cur_fitness.t) =
+  Printf.sprintf
+    "{\"score\": %.6g, \"requests\": %d, \"served\": %d, \"shed\": %d, \
+     \"blown\": %d, \"degraded\": %d, \"retries\": %d, \"mean_work\": %.6g, \
+     \"stddev_work\": %.6g, \"p99_work\": %.6g, \"miss_ratio\": %.6g, \
+     \"est_cost_p99\": %.6g}"
+    (Cur_fitness.score f) f.Cur_fitness.requests f.Cur_fitness.served
+    f.Cur_fitness.shed f.Cur_fitness.blown f.Cur_fitness.degraded
+    f.Cur_fitness.retries f.Cur_fitness.mean_work f.Cur_fitness.stddev_work
+    f.Cur_fitness.p99_work f.Cur_fitness.miss_ratio f.Cur_fitness.est_cost_p99
+
+let summary_json ~seed ~domains ~population spec (result : Curriculum.result) =
+  let baseline = result.Curriculum.baseline.Curriculum.fitness in
+  let elites =
+    List.map
+      (fun (axis, (e : Curriculum.elite)) ->
+        let bv = Curriculum.axis_value baseline axis in
+        let ev = Curriculum.axis_value e.Curriculum.fitness axis in
+        Printf.sprintf
+          "    {\"axis\": %S, \"baseline\": %.6g, \"elite\": %.6g, \
+           \"beats_baseline\": %b, \"fitness\": %s}"
+          (Curriculum.axis_name axis) bv ev (ev > bv)
+          (fitness_json e.Curriculum.fitness))
+      result.Curriculum.reservoir
+  in
+  String.concat "\n"
+    [
+      "{";
+      Printf.sprintf "  \"seed\": %d," seed;
+      Printf.sprintf "  \"generations\": %d," result.Curriculum.generations;
+      Printf.sprintf "  \"population\": %d," population;
+      Printf.sprintf "  \"evaluations\": %d," result.Curriculum.evaluations;
+      Printf.sprintf "  \"domains\": %d," domains;
+      Printf.sprintf "  \"catalog\": %S,"
+        (Cur_scenario.catalog_spec_to_string spec);
+      Printf.sprintf "  \"par_pool_errors\": %d,"
+        (Cqp_obs.Metrics.counter_value "par.pool.errors");
+      Printf.sprintf "  \"baseline\": %s," (fitness_json baseline);
+      "  \"elites\": [";
+      String.concat ",\n" elites;
+      "  ]";
+      "}";
+    ]
+
+let curriculum_action verbose seed generations population mutation_rate
+    domains movies catalog_seed export_dir summary_file metrics =
+  setup_logs verbose;
+  (* par.pool.errors must read back 0 in the summary, so the registry
+     is always on for this subcommand. *)
+  Cqp_obs.Metrics.enable ();
+  try
+    let spec =
+      if movies = 0 then Cur_scenario.Small catalog_seed
+      else Cur_scenario.Movies { movies; seed = catalog_seed }
+    in
+    let catalog = Cur_scenario.build_catalog spec in
+    let pool =
+      if domains > 1 then Some (Cqp_par.Pool.create ~domains ()) else None
+    in
+    Fun.protect ~finally:(fun () -> Option.iter Cqp_par.Pool.shutdown pool)
+    @@ fun () ->
+    let result =
+      Curriculum.evolve ?pool ~population ~mutation_rate
+        ~log:(Format.printf "%s@.") ~generations ~seed catalog
+    in
+    Format.printf
+      "evolved %d candidates over %d generations (catalog %s, %d domain%s)@."
+      result.Curriculum.evaluations result.Curriculum.generations
+      (Cur_scenario.catalog_spec_to_string spec)
+      domains
+      (if domains = 1 then "" else "s");
+    Format.printf "baseline: %s@."
+      (Cur_fitness.summary result.Curriculum.baseline.Curriculum.fitness);
+    Format.printf "%-22s %14s %14s  improved@." "axis" "baseline" "elite";
+    List.iter
+      (fun (axis, (e : Curriculum.elite)) ->
+        let bv =
+          Curriculum.axis_value result.Curriculum.baseline.Curriculum.fitness
+            axis
+        in
+        let ev = Curriculum.axis_value e.Curriculum.fitness axis in
+        Format.printf "%-22s %14.4f %14.4f  %s@." (Curriculum.axis_name axis)
+          bv ev
+          (if ev > bv then "yes" else "no"))
+      result.Curriculum.reservoir;
+    (match export_dir with
+    | Some dir ->
+        mkdir_p dir;
+        let paths = Curriculum.export ~dir spec result in
+        List.iter
+          (fun (_, path) -> Format.eprintf "scenario -> %s@." path)
+          paths
+    | None -> ());
+    (match summary_file with
+    | Some file ->
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc
+              (summary_json ~seed ~domains ~population spec result);
+            output_char oc '\n');
+        Format.eprintf "summary -> %s@." file
+    | None -> ());
+    Option.iter (fun file -> Cqp_obs.Metrics.dump_json ~file) metrics;
+    0
+  with
+  | Failure msg | Invalid_argument msg | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+
+let curriculum_cmd =
+  let doc =
+    "Evolve adversarial workloads against the serve path and freeze the \
+     worst survivors as a replayable corpus."
+  in
+  let generations_arg =
+    Arg.(value & opt int 6 & info [ "generations" ] ~doc:"GA generations.")
+  in
+  let population_arg =
+    Arg.(value & opt int 12 & info [ "population" ] ~doc:"GA population size.")
+  in
+  let mutation_arg =
+    Arg.(
+      value
+      & opt float 0.25
+      & info [ "mutation-rate" ] ~doc:"Per-gene mutation probability.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "Evaluate candidates in parallel across this many domains \
+             (one candidate per job, each replayed sequentially).  The \
+             result is bit-identical to $(b,--domains 1).")
+  in
+  let cur_movies_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "movies" ]
+          ~doc:
+            "Catalog size; $(b,0) (the default) evolves against the \
+             small test catalog, which is what the frozen corpus uses.")
+  in
+  let catalog_seed_arg =
+    Arg.(
+      value & opt int 3 & info [ "catalog-seed" ] ~doc:"Catalog build seed.")
+  in
+  let export_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"DIR"
+          ~doc:
+            "Freeze the elite reservoir as $(docv)/<axis>.scenario files \
+             (replayable via the test suite's corpus replay).")
+  in
+  let summary_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON run summary (baseline vs per-axis elites, \
+             pool error count) to $(docv).")
+  in
+  Cmd.v (Cmd.info "curriculum" ~doc)
+    Term.(
+      const curriculum_action
+      $ verbose $ seed $ generations_arg $ population_arg $ mutation_arg
+      $ domains_arg $ cur_movies_arg $ catalog_seed_arg $ export_arg
+      $ summary_arg $ metrics_arg)
+
 let () =
   let doc = "Constrained Query Personalization (SIGMOD 2005) toolkit" in
   let info = Cmd.info "cqp" ~version:"1.0.0" ~doc in
@@ -695,5 +889,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; explain_cmd; rank_cmd; plan_cmd; pareto_cmd; sql_cmd;
-            profile_cmd; serve_cmd;
+            profile_cmd; serve_cmd; curriculum_cmd;
           ]))

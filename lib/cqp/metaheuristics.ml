@@ -53,6 +53,33 @@ let best_feasible space ~cmax candidates =
 let random_bits rng k =
   Array.init k (fun _ -> Rng.bool rng)
 
+(* Generic, representation-agnostic GA operators.  [genetic] below is
+   built on them, and the adversarial workload curriculum
+   (lib/curriculum) reuses them over its genome vectors — one seeded
+   implementation of selection/crossover/mutation, not two.  Each
+   operator draws a fixed number of values from [rng] (tournament: two
+   ints; one_point: one int; point_mutate: one float per site, plus
+   whatever the site mutator draws), so call sites control the stream
+   layout exactly. *)
+module Ga = struct
+  let tournament ~rng fits =
+    let n = Array.length fits in
+    let a = Rng.int rng n and b = Rng.int rng n in
+    if fits.(a) >= fits.(b) then a else b
+
+  let one_point ~rng a b =
+    let k = Array.length a in
+    if Array.length b <> k then
+      invalid_arg "Metaheuristics.Ga.one_point: parent length mismatch";
+    let cut = Rng.int rng k in
+    Array.init k (fun i -> if i < cut then a.(i) else b.(i))
+
+  let point_mutate ~rng ~rate mutator genes =
+    Array.iteri
+      (fun i g -> if Rng.float rng 1.0 < rate then genes.(i) <- mutator rng g)
+      genes
+end
+
 let simulated_annealing ?(budget = default_budget)
     ?(deadline = Deadline.unlimited) ?(initial_temperature = 1.0)
     ?(cooling = 0.995) ~rng space ~cmax =
@@ -110,19 +137,10 @@ let genetic ?(budget = default_budget) ?(deadline = Deadline.unlimited)
     in
     let fits = Array.map (fitness space ~cmax) pop in
     let evals = ref population in
-    let tournament () =
-      let a = Rng.int rng population and b = Rng.int rng population in
-      if fits.(a) >= fits.(b) then a else b
-    in
-    let crossover a b =
-      let cut = Rng.int rng k in
-      Array.init k (fun i -> if i < cut then pop.(a).(i) else pop.(b).(i))
-    in
+    let tournament () = Ga.tournament ~rng fits in
+    let crossover a b = Ga.one_point ~rng pop.(a) pop.(b) in
     let mutate child =
-      Array.iteri
-        (fun i _ ->
-          if Rng.float rng 1.0 < mutation_rate then child.(i) <- not child.(i))
-        child
+      Ga.point_mutate ~rng ~rate:mutation_rate (fun _ bit -> not bit) child
     in
     while !evals < budget.evaluations && not (Deadline.poll deadline) do
       let child = crossover (tournament ()) (tournament ()) in

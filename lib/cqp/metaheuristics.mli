@@ -18,6 +18,35 @@ type budget = {
 
 val default_budget : budget
 
+(** Representation-agnostic seeded GA operators.  {!genetic} is built
+    on these, and the adversarial workload curriculum
+    ([Cqp_curriculum]) reuses them over its genome vectors, so there
+    is exactly one implementation of selection/crossover/mutation.
+
+    Each operator draws a fixed number of values from [rng]
+    (tournament: two ints; one_point: one int; point_mutate: one float
+    per site plus whatever the site mutator draws), so callers control
+    the stream layout — and therefore bit-reproducibility — exactly. *)
+module Ga : sig
+  val tournament : rng:Cqp_util.Rng.t -> float array -> int
+  (** Index of the fitter of two uniformly drawn candidates (ties keep
+      the first draw). *)
+
+  val one_point : rng:Cqp_util.Rng.t -> 'a array -> 'a array -> 'a array
+  (** One-point crossover: sites before the drawn cut come from the
+      first parent, the rest from the second.
+      @raise Invalid_argument on parent length mismatch. *)
+
+  val point_mutate :
+    rng:Cqp_util.Rng.t ->
+    rate:float ->
+    (Cqp_util.Rng.t -> 'a -> 'a) ->
+    'a array ->
+    unit
+  (** In-place per-site mutation: each site is rewritten by the
+      mutator with probability [rate]. *)
+end
+
 val simulated_annealing :
   ?budget:budget ->
   ?deadline:Cqp_resilience.Budget.t ->

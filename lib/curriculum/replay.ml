@@ -1,0 +1,64 @@
+module Workload = Cqp_serve.Workload
+module Serve = Cqp_serve.Serve
+
+(* Sequential replay already numbers requests by global arrival order;
+   reuse it bit for bit. *)
+let sequential server entries = Workload.replay server entries
+
+(* Parallel replay: the same user-sharded fan-out as
+   [Workload.replay], except [queue_position] is the request's global
+   index in the entry list — computed up front, before any shard
+   runs — so shedding is identical to the sequential pass. *)
+let parallel pool server entries =
+  let nshards = Cqp_par.Pool.domains pool in
+  let shards = Serve.shards server nshards in
+  let shard_of user = Hashtbl.hash user mod nshards in
+  let per_shard = Array.make nshards [] in
+  let slots = ref 0 in
+  List.iter
+    (fun entry ->
+      let s =
+        shard_of
+          (match entry with
+          | Workload.Set_profile { user; _ } -> user
+          | Workload.Request req -> req.Serve.user)
+      in
+      let tagged =
+        match entry with
+        | Workload.Set_profile { user; seed; shape } ->
+            `Install (user, seed, shape)
+        | Workload.Request req ->
+            let slot = !slots in
+            incr slots;
+            `Serve (slot, req)
+      in
+      per_shard.(s) <- tagged :: per_shard.(s))
+    entries;
+  let responses = Array.make !slots None in
+  let job s =
+    let shard = shards.(s) in
+    List.iter
+      (function
+        | `Install (user, seed, shape) ->
+            Workload.install shard ~user ?shape seed
+        | `Serve (slot, req) ->
+            responses.(slot) <-
+              Some (Serve.handle ~queue_position:slot shard req))
+      (List.rev per_shard.(s))
+  in
+  Cqp_par.Pool.run_all pool (Array.init nshards (fun s _index -> job s));
+  let served =
+    Array.fold_left
+      (fun n -> function
+        | Some { Serve.verdict = Serve.Served _; _ } -> n + 1
+        | Some { Serve.verdict = Serve.Shed _; _ } | None -> n)
+      0 responses
+  in
+  Serve.drain_shards server ~served;
+  Array.to_list responses |> List.filter_map Fun.id
+
+let run ?pool server entries =
+  match pool with
+  | Some pool when Cqp_par.Pool.domains pool > 1 ->
+      parallel pool server entries
+  | Some _ | None -> sequential server entries

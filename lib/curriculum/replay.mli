@@ -1,0 +1,21 @@
+(** Workload replay with {e arrival-order admission}: unlike
+    {!Cqp_serve.Workload.replay}, whose queue positions count requests
+    per serving lane (so the shed pattern depends on the lane count),
+    this replay assigns every request its global position in the
+    workload before fanning out.  Admission — and therefore the shed
+    pattern — is decided by arrival order alone; lanes only execute.
+
+    Consequence: responses are bit-identical at every domain count
+    {e even for workloads that shed}, which is what lets the frozen
+    corpus assert exact outcome equality at domains 1/2/4.  With no
+    pool (or one domain) this is exactly the sequential
+    [Workload.replay]. *)
+
+val run :
+  ?pool:Cqp_par.Pool.t ->
+  Cqp_serve.Serve.t ->
+  Cqp_serve.Workload.entry list ->
+  Cqp_serve.Serve.response list
+(** Responses in entry order; per-user entry order is preserved inside
+    a shard, and a shard exception is re-raised after the batch drains
+    (the {!Cqp_par.Pool} policy). *)

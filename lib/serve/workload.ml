@@ -6,7 +6,11 @@ module Profile_gen = Cqp_workload.Profile_gen
 module Query_gen = Cqp_workload.Query_gen
 
 type entry =
-  | Set_profile of { user : string; seed : int }
+  | Set_profile of {
+      user : string;
+      seed : int;
+      shape : Profile_gen.config option;
+    }
   | Request of Serve.request
 
 let algorithms =
@@ -34,7 +38,11 @@ let generate ?(users = 3) ?(requests = 20) ?(updates = 0) ?(execute = false)
   let installs =
     List.init users (fun u ->
         Set_profile
-          { user = user_name u; seed = Rng.int (Rng.split rng (u + 1)) 1_000_000 })
+          {
+            user = user_name u;
+            seed = Rng.int (Rng.split rng (u + 1)) 1_000_000;
+            shape = None;
+          })
   in
   let reqs =
     List.init requests (fun i ->
@@ -58,8 +66,11 @@ let generate ?(users = 3) ?(requests = 20) ?(updates = 0) ?(execute = false)
         (* +0.5: lands between two requests, after the one it follows. *)
         ( float_of_int (Rng.int r (max 1 requests)) +. 0.5,
           Set_profile
-            { user = user_name (Rng.int r users); seed = Rng.int r 1_000_000 }
-        ))
+            {
+              user = user_name (Rng.int r users);
+              seed = Rng.int r 1_000_000;
+              shape = None;
+            } ))
   in
   let interleaved =
     List.stable_sort
@@ -69,9 +80,10 @@ let generate ?(users = 3) ?(requests = 20) ?(updates = 0) ?(execute = false)
   in
   installs @ interleaved
 
-let install server ~user seed =
+let install server ~user ?shape seed =
   let profile =
-    Profile_gen.generate ~rng:(Rng.create seed) (Serve.catalog server)
+    Profile_gen.generate ?config:shape ~rng:(Rng.create seed)
+      (Serve.catalog server)
   in
   Serve.set_profile server ~user profile
 
@@ -95,8 +107,8 @@ let replay_sequential server entries =
   let enqueued_us = enqueue_stamp () in
   List.filter_map
     (function
-      | Set_profile { user; seed } ->
-          install server ~user seed;
+      | Set_profile { user; seed; shape } ->
+          install server ~user ?shape seed;
           None
       | Request req ->
           let queue_position = !position in
@@ -131,7 +143,7 @@ let replay_parallel pool server entries =
       in
       let tagged =
         match entry with
-        | Set_profile { user; seed } -> `Install (user, seed)
+        | Set_profile { user; seed; shape } -> `Install (user, seed, shape)
         | Request req ->
             let slot = !slots in
             incr slots;
@@ -147,7 +159,7 @@ let replay_parallel pool server entries =
     let shard = shards.(s) in
     List.iter
       (function
-        | `Install (user, seed) -> install shard ~user seed
+        | `Install (user, seed, shape) -> install shard ~user ?shape seed
         | `Serve (slot, queue_position, req) ->
             responses.(slot) <-
               Some (Serve.handle ~queue_position ?enqueued_us shard req))
@@ -225,8 +237,61 @@ let problem_of_field s =
           };
       }
 
+(* Profile shape field (curriculum workloads): semicolon-separated so
+   it nests inside one tab-separated column, floats in hex so the
+   configuration round-trips exactly. *)
+let shape_to_field (c : Profile_gen.config) =
+  let doi =
+    match c.Profile_gen.doi_dist with
+    | Profile_gen.Uniform (lo, hi) -> Printf.sprintf "u:%h:%h" lo hi
+    | Profile_gen.Normal { mean; stddev } ->
+        Printf.sprintf "n:%h:%h" mean stddev
+  in
+  let jlo, jhi = c.Profile_gen.join_doi_range in
+  Printf.sprintf "sel=%d;doi=%s;join=%h:%h" c.Profile_gen.n_selections doi jlo
+    jhi
+
+let shape_of_field s =
+  let assoc =
+    List.map
+      (fun kv ->
+        match String.index_opt kv '=' with
+        | None -> failwith ("Workload: bad shape part: " ^ kv)
+        | Some i ->
+            ( String.sub kv 0 i,
+              String.sub kv (i + 1) (String.length kv - i - 1) ))
+      (String.split_on_char ';' s)
+  in
+  let get k =
+    match List.assoc_opt k assoc with
+    | Some v -> v
+    | None -> failwith ("Workload: shape field missing " ^ k)
+  in
+  let doi_dist =
+    match String.split_on_char ':' (get "doi") with
+    | [ "u"; lo; hi ] ->
+        Profile_gen.Uniform (float_of_string lo, float_of_string hi)
+    | [ "n"; mean; stddev ] ->
+        Profile_gen.Normal
+          { mean = float_of_string mean; stddev = float_of_string stddev }
+    | _ -> failwith ("Workload: bad doi distribution: " ^ get "doi")
+  in
+  let join_doi_range =
+    match String.split_on_char ':' (get "join") with
+    | [ lo; hi ] -> (float_of_string lo, float_of_string hi)
+    | _ -> failwith ("Workload: bad join range: " ^ get "join")
+  in
+  {
+    Profile_gen.n_selections = int_of_string (get "sel");
+    doi_dist;
+    join_doi_range;
+  }
+
 let entry_to_line = function
-  | Set_profile { user; seed } -> Printf.sprintf "user\t%s\t%d" user seed
+  | Set_profile { user; seed; shape = None } ->
+      Printf.sprintf "user\t%s\t%d" user seed
+  | Set_profile { user; seed; shape = Some c } ->
+      Printf.sprintf "user\t%s\t%d\t%s" user seed (shape_to_field c)
   | Request r ->
       Printf.sprintf "req\t%s\t%s\t%s\t%s\t%s\t%s" r.Serve.user
         (problem_to_field r.Serve.problem)
@@ -237,7 +302,15 @@ let entry_to_line = function
 
 let entry_of_line line =
   match String.split_on_char '\t' line with
-  | [ "user"; user; seed ] -> Set_profile { user; seed = int_of_string seed }
+  | [ "user"; user; seed ] ->
+      Set_profile { user; seed = int_of_string seed; shape = None }
+  | [ "user"; user; seed; shape ] ->
+      Set_profile
+        {
+          user;
+          seed = int_of_string seed;
+          shape = Some (shape_of_field shape);
+        }
   | "req" :: user :: problem :: max_k :: algorithm :: execute :: sql_parts
     when sql_parts <> [] ->
       let sql = String.concat "\t" sql_parts in

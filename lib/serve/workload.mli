@@ -12,7 +12,15 @@
     same regardless of how many entries surround it. *)
 
 type entry =
-  | Set_profile of { user : string; seed : int }
+  | Set_profile of {
+      user : string;
+      seed : int;
+      shape : Cqp_workload.Profile_gen.config option;
+          (** generator configuration override; [None] (the generated
+              default) keeps [Profile_gen.default_config].  The
+              curriculum's genomes install shaped profile populations
+              through this. *)
+    }
       (** install [Cqp_workload.Profile_gen.generate] with a fresh
           generator seeded by [seed] as [user]'s profile *)
   | Request of Serve.request
@@ -31,6 +39,13 @@ val generate :
     (2, 3 and 4), with [updates] (default 0) profile re-installations
     interleaved at deterministic positions.  [execute] (default
     [false]) marks every request for engine execution. *)
+
+val install :
+  Serve.t -> user:string -> ?shape:Cqp_workload.Profile_gen.config -> int -> unit
+(** What a [Set_profile] entry does during replay: generate the seeded
+    (optionally shaped) profile and install it.  Exposed for replay
+    variants outside this module (the curriculum's arrival-order
+    admission replay). *)
 
 val replay : ?pool:Cqp_par.Pool.t -> Serve.t -> entry list -> Serve.response list
 (** Apply entries in order; [Set_profile] installs (returning
@@ -54,7 +69,12 @@ val replay : ?pool:Cqp_par.Pool.t -> Serve.t -> entry list -> Serve.response lis
     {v
     user<TAB>alice<TAB>91234
     req<TAB>alice<TAB>2:cmax=0x1.9p+9<TAB>16<TAB>C_Boundaries<TAB>-<TAB>select title from movie
-    v} *)
+    v}
+
+    A profile installation with a non-default shape carries a fourth
+    column ([sel=<n>;doi=u:<lo>:<hi>|n:<mean>:<sd>;join=<lo>:<hi>],
+    floats in hex); three-column [user] lines — every file written
+    before shapes existed — still parse. *)
 
 val entry_to_line : entry -> string
 

@@ -11,3 +11,21 @@ let percentile sorted p =
     let rank = int_of_float (Float.ceil (p *. float_of_int n)) - 1 in
     sorted.(max 0 (min (n - 1) rank))
   end
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+(* Population standard deviation, two-pass for numerical robustness on
+   the narrow, similarly-scaled samples (latencies, work counts) this
+   module summarizes. *)
+let stddev xs =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let m = mean xs in
+    let ss =
+      Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+    in
+    Float.sqrt (ss /. float_of_int n)
+  end

@@ -6,3 +6,11 @@ val percentile : float array -> float -> float
     (1-based), clamped into the array, so [p = 0.] returns the
     minimum, [p = 1.] the maximum, and out-of-range [p] never raises.
     Returns [0.] on the empty array. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [0.] on the empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation (two-pass); [0.] on the empty
+    array.  The CLI, bench, and the curriculum's fitness evaluator all
+    summarize through this module rather than growing private copies. *)

@@ -1500,6 +1500,123 @@ let run_profile_diff ~base ~current ~tolerance ~ignore_timing =
   end
 
 (* ---------------------------------------------------------------- *)
+(* Net: loopback front door — wire overhead and open-loop load       *)
+(* ---------------------------------------------------------------- *)
+
+let net_bench () =
+  section_header "Net"
+    "loopback TCP front door: wire round-trip overhead and store-backed \
+     open-loop load";
+  let catalog = catalog () in
+  let entries =
+    Cqp_serve.Workload.generate ~users:6 ~requests:48 ~updates:2
+      ~rng:(Cqp_util.Rng.create !mode.seed) catalog
+  in
+  let n = List.length entries in
+  (* In-process baseline: the same entries through Workload.replay on a
+     warm server. *)
+  let inproc_ms =
+    let server = Cqp_serve.Serve.create ~caching:true catalog in
+    ignore (Cqp_serve.Workload.replay server entries);
+    let t0 = Unix.gettimeofday () in
+    ignore (Cqp_serve.Workload.replay server entries);
+    (Unix.gettimeofday () -. t0) *. 1000.
+  in
+  Cqp_par.Pool.with_pool ~domains:2 (fun pool ->
+      let serve = Cqp_serve.Serve.create ~caching:true catalog in
+      let srv =
+        Cqp_net.Server.create ~pool
+          ~addr:(Cqp_net.Server.Tcp ("127.0.0.1", 0))
+          serve
+      in
+      Cqp_net.Server.start srv;
+      Fun.protect ~finally:(fun () -> Cqp_net.Server.stop srv)
+      @@ fun () ->
+      let c = Cqp_net.Client.connect (Cqp_net.Server.bound_addr srv) in
+      Fun.protect ~finally:(fun () -> Cqp_net.Client.close c)
+      @@ fun () ->
+      let pings = 2000 in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to pings do
+        Cqp_net.Client.ping c
+      done;
+      Printf.printf "ping round-trip: %.1f us (mean over %d)\n%!"
+        (1e6 *. (Unix.gettimeofday () -. t0) /. float_of_int pings)
+        pings;
+      let replay () =
+        List.iter
+          (function
+            | Cqp_serve.Workload.Set_profile { user; seed; shape } ->
+                Cqp_net.Client.install c ~user ?shape seed
+            | Cqp_serve.Workload.Request r ->
+                ignore
+                  (Cqp_net.Client.call c
+                     (Cqp_net.Wire.Query
+                        {
+                          Cqp_net.Wire.user = r.Cqp_serve.Serve.user;
+                          sql = r.Cqp_serve.Serve.sql;
+                          problem = r.Cqp_serve.Serve.problem;
+                          max_k = r.Cqp_serve.Serve.max_k;
+                          algorithm = r.Cqp_serve.Serve.algorithm;
+                          execute = r.Cqp_serve.Serve.execute;
+                          deadline_ms = None;
+                        })))
+          entries
+      in
+      replay ();
+      let t0 = Unix.gettimeofday () in
+      replay ();
+      let wire_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      Printf.printf
+        "%d-entry replay, warm: in-process %.1f ms, loopback %.1f ms \
+         (+%.0f us/entry wire cost)\n%!"
+        n inproc_ms wire_ms
+        (1000. *. (wire_ms -. inproc_ms) /. float_of_int n));
+  (* Open-loop load against a store-backed server: 2000 profiles on
+     disk, 64 resident, Zipf-skewed draws faulting the cold tail. *)
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cqp-bench-net-%d" (Unix.getpid ()))
+  in
+  let users = 2000 in
+  Cqp_net.Loadgen.populate_store ~dir ~users ~seed:!mode.seed catalog;
+  Fun.protect ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+  @@ fun () ->
+  Cqp_par.Pool.with_pool ~domains:2 (fun pool ->
+      let serve = Cqp_serve.Serve.create ~caching:true catalog in
+      let srv =
+        Cqp_net.Server.create ~store_dir:dir ~store_resident:64 ~pool
+          ~addr:(Cqp_net.Server.Tcp ("127.0.0.1", 0))
+          serve
+      in
+      Cqp_net.Server.start srv;
+      Fun.protect ~finally:(fun () -> Cqp_net.Server.stop srv)
+      @@ fun () ->
+      let config =
+        {
+          Cqp_net.Loadgen.default with
+          Cqp_net.Loadgen.users;
+          requests = 400;
+          rate = 500.;
+          connections = 4;
+          seed = !mode.seed;
+        }
+      in
+      let report =
+        Cqp_net.Loadgen.run config ~catalog (Cqp_net.Server.bound_addr srv)
+      in
+      Printf.printf "open loop, %d users on disk / 64 resident:\n%!" users;
+      Format.printf "%a@." Cqp_net.Loadgen.pp_report report);
+  Printf.printf
+    "(responses over the wire are bit-identical to in-process replay —\n";
+  Printf.printf " test/test_net_diff.ml holds them equal at 1/2/4 domains)\n%!"
+
+(* ---------------------------------------------------------------- *)
 (* Main                                                               *)
 (* ---------------------------------------------------------------- *)
 
@@ -1526,6 +1643,7 @@ let sections =
     ("scaling", scaling);
     ("serve", serve_bench);
     ("curriculum", curriculum_bench);
+    ("net", net_bench);
   ]
 
 let () =

@@ -881,6 +881,376 @@ let curriculum_cmd =
       $ domains_arg $ cur_movies_arg $ catalog_seed_arg $ export_arg
       $ summary_arg $ metrics_arg)
 
+(* --- network front door: netserve / loadgen ---------------------- *)
+
+module Net_server = Cqp_net.Server
+module Net_client = Cqp_net.Client
+module Net_loadgen = Cqp_net.Loadgen
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"TCP address (dotted quad).")
+
+let unix_sock_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "unix" ] ~docv:"PATH"
+        ~doc:"Serve/connect on a Unix socket instead of TCP.")
+
+let sockaddr_of ~unix_path ~host ~port =
+  match unix_path with
+  | Some path -> Unix.ADDR_UNIX path
+  | None ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> failwith ("cannot resolve host " ^ host))
+      in
+      Unix.ADDR_INET (inet, port)
+
+let netserve_action verbose seed movies domains lanes max_connections
+    store_dir store_resident deadline_ms retries shed_depth no_cache capacity
+    host port unix_path metrics prometheus_file =
+  setup_logs verbose;
+  if metrics <> None || prometheus_file <> None then Cqp_obs.Metrics.enable ();
+  try
+    let catalog = catalog_of ~movies ~seed in
+    let resilience =
+      {
+        Cqp_resilience.Config.default with
+        deadline_ms;
+        max_retries = retries;
+        shed_queue_depth = shed_depth;
+      }
+    in
+    let serve =
+      Cqp_serve.Serve.create ~caching:(not no_cache)
+        ?pref_space_capacity:capacity ~resilience catalog
+    in
+    let pool = Cqp_par.Pool.create ~domains () in
+    Fun.protect ~finally:(fun () -> Cqp_par.Pool.shutdown pool)
+    @@ fun () ->
+    let addr =
+      match unix_path with
+      | Some path -> Net_server.Unix_path path
+      | None -> Net_server.Tcp (host, port)
+    in
+    let srv =
+      Net_server.create ?lanes ~max_connections ?store_dir ?store_resident
+        ~pool ~addr serve
+    in
+    Net_server.start srv;
+    (* The bound address goes to stdout as a single parseable line:
+       with --port 0 it is the only way to learn the ephemeral port. *)
+    (match Net_server.bound_addr srv with
+    | Unix.ADDR_INET (a, p) ->
+        Printf.printf "listening on %s:%d\n%!" (Unix.string_of_inet_addr a) p
+    | Unix.ADDR_UNIX p -> Printf.printf "listening on unix:%s\n%!" p);
+    let n_lanes = match lanes with Some n -> n | None -> domains in
+    Format.eprintf
+      "%d domain%s, %d lane%s, %d movies (seed %d)%s; stop with a Shutdown \
+       frame (cqp loadgen --shutdown)@."
+      domains
+      (if domains = 1 then "" else "s")
+      n_lanes
+      (if n_lanes = 1 then "" else "s")
+      movies seed
+      (match store_dir with
+      | Some d -> Printf.sprintf ", store %s" d
+      | None -> "");
+    Net_server.wait srv;
+    Net_server.stop srv;
+    Option.iter (fun file -> Cqp_obs.Metrics.dump_json ~file) metrics;
+    Option.iter
+      (fun file -> Cqp_obs.Metrics.write_prometheus ~file)
+      prometheus_file;
+    0
+  with
+  | Failure msg | Invalid_argument msg | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "error: %s: %s %s\n" fn (Unix.error_message e) arg;
+      1
+
+let netserve_cmd =
+  let doc =
+    "Serve personalization over the wire: a TCP (or Unix-socket) front \
+     door speaking the length-prefixed cqp_net protocol, with an \
+     optional on-disk profile store."
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "domains" ]
+          ~doc:"Worker pool domains (and default lane count).")
+  in
+  let lanes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "lanes" ] ~docv:"N"
+          ~doc:
+            "Serving lanes (users are hashed onto lanes); defaults to \
+             the domain count.")
+  in
+  let max_conns_arg =
+    Arg.(
+      value
+      & opt int 32
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Live connection bound; excess connections get Busy.")
+  in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Back profiles with the sharded on-disk store in $(docv) \
+             (created or reopened; a directory prepopulated by \
+             $(b,cqp loadgen --populate-store) works).")
+  in
+  let store_resident_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "store-resident" ] ~docv:"N"
+          ~doc:
+            "Decoded profiles kept resident with $(b,--store) \
+             (default 4096); evicted users fault back from disk.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt int 7464
+      & info [ "port" ] ~doc:"TCP port; 0 binds an ephemeral port.")
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable both caches.")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-capacity" ]
+          ~doc:"Pref_space extraction LRU capacity (default 128).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline (a query's own deadline_ms \
+             field overrides it).")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int Cqp_resilience.Config.default.Cqp_resilience.Config.max_retries
+      & info [ "retries" ] ~doc:"Transient-fault retries.")
+  in
+  let shed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shed-depth" ] ~docv:"N"
+          ~doc:
+            "Shed a query admitted at lane queue position >= $(docv) \
+             with an explicit Shed frame.")
+  in
+  let prometheus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prometheus" ] ~docv:"FILE"
+          ~doc:
+            "Write the final metrics registry to $(docv) in Prometheus \
+             text exposition format on exit.  Implies metrics recording.")
+  in
+  Cmd.v (Cmd.info "netserve" ~doc)
+    Term.(
+      const netserve_action
+      $ verbose $ seed $ movies $ domains_arg $ lanes_arg $ max_conns_arg
+      $ store_arg $ store_resident_arg $ deadline_arg $ retries_arg
+      $ shed_arg $ no_cache_arg $ capacity_arg $ host_arg $ port_arg
+      $ unix_sock_arg $ metrics_arg $ prometheus_arg)
+
+let loadgen_action verbose seed movies users zipf rate requests connections
+    load_seed deadline_ms execute no_populate populate_store_dir store_shards
+    host port unix_path json_file shutdown =
+  setup_logs verbose;
+  try
+    let catalog = catalog_of ~movies ~seed in
+    match populate_store_dir with
+    | Some dir ->
+        (* Offline bulk load: no server involved. *)
+        Net_loadgen.populate_store ?shards:store_shards ~dir ~users
+          ~seed:load_seed catalog;
+        Format.printf "populated %s with %d profiles@." dir users;
+        0
+    | None ->
+        let config =
+          {
+            Net_loadgen.users;
+            zipf_s = zipf;
+            rate;
+            requests;
+            connections;
+            seed = load_seed;
+            deadline_ms;
+            execute;
+          }
+        in
+        let addr = sockaddr_of ~unix_path ~host ~port in
+        if not no_populate then begin
+          Net_loadgen.populate config addr;
+          Format.eprintf "installed %d profiles over the wire@." users
+        end;
+        let report = Net_loadgen.run config ~catalog addr in
+        Format.printf "%a@." Net_loadgen.pp_report report;
+        (match json_file with
+        | Some file ->
+            let oc = open_out file in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc (Net_loadgen.report_to_json report);
+                output_char oc '\n');
+            Format.eprintf "report -> %s@." file
+        | None -> ());
+        if shutdown then begin
+          let c = Net_client.connect addr in
+          Fun.protect
+            ~finally:(fun () -> Net_client.close c)
+            (fun () -> Net_client.shutdown c)
+        end;
+        if report.Net_loadgen.protocol_errors > 0 then 1 else 0
+  with
+  | Failure msg | Invalid_argument msg | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "error: %s: %s %s\n" fn (Unix.error_message e) arg;
+      1
+
+let loadgen_cmd =
+  let doc =
+    "Open-loop load generator for $(b,cqp netserve): Zipf-skewed users, \
+     Poisson arrivals, latency percentiles and shed/blown counts.  The \
+     $(b,--movies)/$(b,--seed) catalog options must match the server's."
+  in
+  let users_arg =
+    Arg.(
+      value
+      & opt int Net_loadgen.default.Net_loadgen.users
+      & info [ "users" ] ~doc:"User population (names u0..).")
+  in
+  let zipf_arg =
+    Arg.(
+      value
+      & opt float Net_loadgen.default.Net_loadgen.zipf_s
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:"Zipf skew exponent over users; 0 is uniform.")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt float Net_loadgen.default.Net_loadgen.rate
+      & info [ "rate" ] ~docv:"RPS" ~doc:"Offered load, requests/second.")
+  in
+  let requests_arg =
+    Arg.(
+      value
+      & opt int Net_loadgen.default.Net_loadgen.requests
+      & info [ "requests" ] ~doc:"Total arrivals.")
+  in
+  let connections_arg =
+    Arg.(
+      value
+      & opt int Net_loadgen.default.Net_loadgen.connections
+      & info [ "connections" ] ~doc:"Worker domains, one socket each.")
+  in
+  let load_seed_arg =
+    Arg.(
+      value
+      & opt int Net_loadgen.default.Net_loadgen.seed
+      & info [ "load-seed" ]
+          ~doc:
+            "Load-generator seed: drives user installs (user u<i> gets \
+             generator seed load-seed + i) and request content; \
+             distinct from the catalog $(b,--seed).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Stamp every query with this deadline.")
+  in
+  let execute_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "execute" ] ~doc:"Mark queries for engine execution.")
+  in
+  let no_populate_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "no-populate" ]
+          ~doc:
+            "Skip the install phase (the server already holds the \
+             population, e.g. from a prepopulated store).")
+  in
+  let populate_store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "populate-store" ] ~docv:"DIR"
+          ~doc:
+            "Do not connect anywhere: bulk-write the $(b,--users) \
+             population into the store directory $(docv) and exit \
+             (hand $(docv) to $(b,cqp netserve --store)).")
+  in
+  let store_shards_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "store-shards" ] ~docv:"N"
+          ~doc:"Segment-shard count with $(b,--populate-store).")
+  in
+  let port_arg =
+    Arg.(value & opt int 7464 & info [ "port" ] ~doc:"Server TCP port.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the report as one JSON object to $(docv).")
+  in
+  let shutdown_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "shutdown" ]
+          ~doc:"Send a Shutdown frame after the run (drains the server).")
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(
+      const loadgen_action
+      $ verbose $ seed $ movies $ users_arg $ zipf_arg $ rate_arg
+      $ requests_arg $ connections_arg $ load_seed_arg $ deadline_arg
+      $ execute_arg $ no_populate_arg $ populate_store_arg $ store_shards_arg
+      $ host_arg $ port_arg $ unix_sock_arg $ json_arg $ shutdown_arg)
+
 let () =
   let doc = "Constrained Query Personalization (SIGMOD 2005) toolkit" in
   let info = Cmd.info "cqp" ~version:"1.0.0" ~doc in
@@ -889,5 +1259,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; explain_cmd; rank_cmd; plan_cmd; pareto_cmd; sql_cmd;
-            profile_cmd; serve_cmd; curriculum_cmd;
+            profile_cmd; serve_cmd; curriculum_cmd; netserve_cmd; loadgen_cmd;
           ]))

@@ -1,0 +1,41 @@
+(** Blocking {!Wire} client: one socket, strict request–reply.
+
+    The loopback half of the differential suite and the load
+    generator's per-worker connection.  Not thread-safe — one client
+    per domain. *)
+
+type t
+
+exception Closed
+(** The server hung up mid-reply. *)
+
+exception Protocol of Wire.error
+(** The server's bytes do not parse as a response frame. *)
+
+val connect : Unix.sockaddr -> t
+(** @raise Unix.Unix_error when the connection is refused. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val call : t -> Wire.request -> Wire.response
+(** Send one request, block for its reply.
+    @raise Closed / Protocol / Unix.Unix_error as above. *)
+
+(** {1 Conveniences} *)
+
+val ping : t -> unit
+(** @raise Failure unless the reply is [Pong]. *)
+
+val install :
+  t -> user:string -> ?shape:Cqp_workload.Profile_gen.config -> int -> unit
+(** [install t ~user seed]: seeded profile install, as
+    {!Cqp_serve.Workload.install} does in-process.
+    @raise Failure unless acknowledged. *)
+
+val put_profile : t -> user:string -> Cqp_prefs.Profile.t -> unit
+(** @raise Failure unless acknowledged. *)
+
+val shutdown : t -> unit
+(** Ask the server to drain; returns once [Bye] arrives.
+    @raise Failure unless the reply is [Bye]. *)

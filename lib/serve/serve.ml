@@ -96,6 +96,13 @@ let set_profile t ~user profile =
 
 let profile t user = Hashtbl.find_opt t.profiles user
 
+(* Removal does not invalidate cached extractions: the cache keys embed
+   the content fingerprint, so a dangling entry can never produce a
+   stale hit, and the extraction cache is independently LRU-bounded.
+   The network front door cycles users through a bounded working set;
+   dropping their warm extractions on every eviction would defeat it. *)
+let remove_profile t ~user = Hashtbl.remove t.profiles user
+
 (* One pass through the degradation ladder, plugged into
    [Personalizer.run ~solve].  Degradation triggers only on deadline
    expiry: a genuinely infeasible problem solved in time returns [None]
@@ -137,7 +144,7 @@ let ladder config budget (req : request) rung ps =
               rung := Rung.Unpersonalized;
               None))
 
-let handle ?queue_position ?enqueued_us t req =
+let handle ?queue_position ?enqueued_us ?deadline_ms t req =
   let profile =
     match Hashtbl.find_opt t.profiles req.user with
     | Some p -> p
@@ -175,7 +182,15 @@ let handle ?queue_position ?enqueued_us t req =
         if Preq.active () then Option.map Cache.extraction_stats t.cache
         else None
       in
-      let budget = Budget.start ?deadline_ms:config.Config.deadline_ms () in
+      (* A request-scoped deadline (the wire protocol carries one)
+         overrides the configured default; absent both, the budget is
+         unlimited and the ladder never triggers. *)
+      let deadline_ms =
+        match deadline_ms with
+        | Some _ as d -> d
+        | None -> config.Config.deadline_ms
+      in
+      let budget = Budget.start ?deadline_ms () in
       let decision = Fault.decide config.Config.fault ~user:req.user ~sql:req.sql in
       let rung = ref Rung.Full in
       (* The portfolio races C-family members, which need the cost/size

@@ -112,8 +112,21 @@ val set_profile : t -> user:string -> Cqp_prefs.Profile.t -> unit
 
 val profile : t -> string -> Cqp_prefs.Profile.t option
 
+val remove_profile : t -> user:string -> unit
+(** Forget a user's profile (subsequent requests for the user raise
+    {!Unknown_user} until it is re-installed).  Cached extractions are
+    {e not} invalidated: fingerprint keys make stale hits impossible
+    and the extraction cache is independently LRU-bounded, so the
+    network layer's bounded working set can cycle users in and out
+    without going cold. *)
+
 val handle :
-  ?queue_position:int -> ?enqueued_us:float -> t -> request -> response
+  ?queue_position:int ->
+  ?enqueued_us:float ->
+  ?deadline_ms:float ->
+  t ->
+  request ->
+  response
 (** Serve one request through the resilience pipeline: shed check
     (only when [queue_position] is given and shedding is configured),
     deadline budget, fault decision, bounded retries, degradation
@@ -129,6 +142,10 @@ val handle :
     to its lane) credits the gap to handling start as [queue_wait].
     With profiling disabled both parameters are free and responses are
     bit-identical apart from [request_id] and [latency_ms].
+    [deadline_ms] overrides the configured
+    {!Cqp_resilience.Config.t.deadline_ms} for this request only (the
+    wire protocol carries a per-request deadline); when absent the
+    configured default applies.
     @raise Unknown_user when no profile was installed for the
     requesting user.
     @raise Cqp_sql.Parser.Parse_error /

@@ -28,6 +28,22 @@ let gen_problem rng =
 
 let user_name u = Printf.sprintf "u%02d" u
 
+(* One serve-shaped request off an already-positioned stream.  The
+   draw order (sql, problem, max_k, algorithm) is part of the on-disk
+   determinism contract: [generate] below and the frozen curriculum
+   corpus both depend on it, so extend it only at the end. *)
+let random_request ?(execute = false) ~rng ~user catalog =
+  let sql =
+    Cqp_sql.Printer.to_string (Query_gen.generate_serve ~rng catalog)
+  in
+  let problem = gen_problem rng in
+  (* Always bounded: an unbounded K over a 50-selection profile sends
+     the exact searches into their node-budget worst case, which is no
+     workload for a server. *)
+  let max_k = Some (Rng.int_in rng 8 16) in
+  let algorithm = algorithms.(Rng.int rng (Array.length algorithms)) in
+  { Serve.user; sql; problem; max_k; algorithm; execute }
+
 let generate ?(users = 3) ?(requests = 20) ?(updates = 0) ?(execute = false)
     ~rng catalog =
   if users <= 0 then invalid_arg "Workload.generate: users must be positive";
@@ -48,17 +64,7 @@ let generate ?(users = 3) ?(requests = 20) ?(updates = 0) ?(execute = false)
     List.init requests (fun i ->
         let r = Rng.split rng (1000 + i) in
         let user = user_name (Rng.int r users) in
-        let sql =
-          Cqp_sql.Printer.to_string (Query_gen.generate_serve ~rng:r catalog)
-        in
-        let problem = gen_problem r in
-        (* Always bounded: an unbounded K over a 50-selection profile
-           sends the exact searches into their node-budget worst case,
-           which is no workload for a server. *)
-        let max_k = Some (Rng.int_in r 8 16) in
-        let algorithm = algorithms.(Rng.int r (Array.length algorithms)) in
-        ( float_of_int i,
-          Request { user; sql; problem; max_k; algorithm; execute } ))
+        (float_of_int i, Request (random_request ~execute ~rng:r ~user catalog)))
   in
   let upds =
     List.init updates (fun j ->
@@ -345,10 +351,22 @@ let load file =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let rec go acc =
+      (* A malformed line names the file and 1-based line number — a
+         bare [Failure "Workload: malformed line: ..."] is useless once
+         workloads arrive from saved runs or over the wire. *)
+      let rec go n acc =
         match input_line ic with
         | exception End_of_file -> List.rev acc
-        | "" -> go acc
-        | line -> go (entry_of_line line :: acc)
+        | "" -> go (n + 1) acc
+        | line ->
+            let entry =
+              try entry_of_line line with
+              | Failure msg ->
+                  failwith (Printf.sprintf "%s, line %d: %s" file n msg)
+              | Invalid_argument msg ->
+                  failwith
+                    (Printf.sprintf "%s, line %d: invalid entry: %s" file n msg)
+            in
+            go (n + 1) (entry :: acc)
       in
-      go [])
+      go 1 [])

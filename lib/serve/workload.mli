@@ -40,6 +40,18 @@ val generate :
     interleaved at deterministic positions.  [execute] (default
     [false]) marks every request for engine execution. *)
 
+val random_request :
+  ?execute:bool ->
+  rng:Cqp_util.Rng.t ->
+  user:string ->
+  Cqp_relal.Catalog.t ->
+  Serve.request
+(** One request exactly as {!generate} draws them (serve template
+    query, paper problem family, bounded K, rotating algorithm), for
+    callers that pick users themselves — the network load generator
+    draws Zipf-skewed users and feeds each request's own
+    {!Cqp_util.Rng.split} stream here. *)
+
 val install :
   Serve.t -> user:string -> ?shape:Cqp_workload.Profile_gen.config -> int -> unit
 (** What a [Set_profile] entry does during replay: generate the seeded
@@ -82,4 +94,8 @@ val entry_of_line : string -> entry
 (** @raise Failure on a malformed line. *)
 
 val save : string -> entry list -> unit
+
 val load : string -> entry list
+(** @raise Failure on a malformed line, naming the file and 1-based
+    line number ahead of the underlying parse error — blank lines are
+    skipped but still counted. *)

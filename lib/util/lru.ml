@@ -18,6 +18,7 @@ type stats = {
 type ('k, 'v) t = {
   capacity : int;
   weight : 'v -> int;
+  on_evict : ('k -> 'v -> unit) option;
   lock : Mutex.t;
       (** serializes every operation: list surgery, table mutation and
           the stats fields all move together, so a cache shared across
@@ -33,11 +34,12 @@ type ('k, 'v) t = {
   mutable removals : int;
 }
 
-let create ?(weight = fun _ -> 1) ~capacity () =
+let create ?(weight = fun _ -> 1) ?on_evict ~capacity () =
   if capacity < 0 then invalid_arg "Lru.create: negative capacity";
   {
     capacity;
     weight;
+    on_evict;
     lock = Mutex.create ();
     tbl = Hashtbl.create (max 16 capacity);
     mru = None;
@@ -89,30 +91,44 @@ let find t k =
 let mem t k = locked t (fun () -> Hashtbl.mem t.tbl k)
 
 let add t k v =
-  locked t @@ fun () ->
-  if t.capacity > 0 then begin
-    match Hashtbl.find_opt t.tbl k with
-    | Some n ->
-        t.held <- t.held - n.w;
-        n.value <- v;
-        n.w <- t.weight v;
-        t.held <- t.held + n.w;
-        unlink t n;
-        push_front t n
-    | None ->
-        let n = { key = k; value = v; w = t.weight v; prev = None; next = None } in
-        Hashtbl.add t.tbl k n;
-        push_front t n;
-        t.held <- t.held + n.w;
-        t.inserts <- t.inserts + 1;
-        if Hashtbl.length t.tbl > t.capacity then begin
-          match t.lru with
-          | Some victim ->
-              drop t victim;
-              t.evictions <- t.evictions + 1
-          | None -> assert false
-        end
-  end
+  (* The eviction callback fires after the lock is released, so it may
+     touch other locked structures (or even this cache) without
+     deadlocking; by then the victim is already gone from the table. *)
+  let evicted =
+    locked t @@ fun () ->
+    if t.capacity > 0 then begin
+      match Hashtbl.find_opt t.tbl k with
+      | Some n ->
+          t.held <- t.held - n.w;
+          n.value <- v;
+          n.w <- t.weight v;
+          t.held <- t.held + n.w;
+          unlink t n;
+          push_front t n;
+          None
+      | None ->
+          let n =
+            { key = k; value = v; w = t.weight v; prev = None; next = None }
+          in
+          Hashtbl.add t.tbl k n;
+          push_front t n;
+          t.held <- t.held + n.w;
+          t.inserts <- t.inserts + 1;
+          if Hashtbl.length t.tbl > t.capacity then begin
+            match t.lru with
+            | Some victim ->
+                drop t victim;
+                t.evictions <- t.evictions + 1;
+                Some (victim.key, victim.value)
+            | None -> assert false
+          end
+          else None
+    end
+    else None
+  in
+  match (t.on_evict, evicted) with
+  | Some f, Some (k, v) -> f k v
+  | _ -> ()
 
 (* [compute] runs outside the lock: a slow fill must not serialize
    unrelated operations on a shared cache.  Two domains missing the

@@ -29,11 +29,20 @@ type stats = {
   removals : int;  (** explicit [remove] / [remove_if] / [clear] drops *)
 }
 
-val create : ?weight:('v -> int) -> capacity:int -> unit -> ('k, 'v) t
+val create :
+  ?weight:('v -> int) ->
+  ?on_evict:('k -> 'v -> unit) ->
+  capacity:int ->
+  unit ->
+  ('k, 'v) t
 (** [capacity] is the maximum number of entries; [0] disables storage
     entirely (every lookup misses, nothing is ever retained).
     [weight] prices a stored value in words for {!weight_held}
-    (default [fun _ -> 1]).
+    (default [fun _ -> 1]).  [on_evict] observes capacity-driven drops
+    only (not explicit {!remove}/{!clear}); it is called after the
+    victim has left the table and after the internal lock is released,
+    so it may safely touch other locked structures — the profile store
+    uses this to keep a bounded working set installed elsewhere.
     @raise Invalid_argument when [capacity < 0]. *)
 
 val capacity : ('k, 'v) t -> int

@@ -268,6 +268,43 @@ let test_workload_roundtrip () =
         (List.nth big_reqs i = r))
     small_reqs
 
+let test_workload_load_names_offending_line () =
+  let entries =
+    S.Workload.generate ~users:2 ~requests:2 ~rng:(Rng.create 5)
+      (Lazy.force catalog)
+  in
+  let file = Filename.temp_file "cqp-workload" ".tsv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      S.Workload.save file entries;
+      (* Round-trip sanity before corrupting anything. *)
+      checkb "save/load roundtrip" true (S.Workload.load file = entries);
+      (* Append a blank line (skipped but counted) and a malformed
+         entry: the error must carry the file and the 1-based line
+         number of the bad line, not just the parse failure. *)
+      let oc = open_out_gen [ Open_append ] 0o644 file in
+      output_string oc "\nreq\tonly-two-fields\n";
+      close_out oc;
+      let bad_line = List.length entries + 2 in
+      match S.Workload.load file with
+      | _ -> Alcotest.fail "malformed workload loaded"
+      | exception Failure msg ->
+          checkb
+            (Printf.sprintf "names file (got %S)" msg)
+            true
+            (String.length msg >= String.length file
+            && String.sub msg 0 (String.length file) = file);
+          let needle = Printf.sprintf "line %d" bad_line in
+          let contains s sub =
+            let n = String.length s and m = String.length sub in
+            let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+            go 0
+          in
+          checkb
+            (Printf.sprintf "names line %d (got %S)" bad_line msg)
+            true (contains msg needle))
+
 let test_workload_replay_deterministic () =
   let entries =
     S.Workload.generate ~users:2 ~requests:5 ~updates:1
@@ -311,6 +348,8 @@ let () =
           Alcotest.test_case "basics" `Quick test_serve_basics;
           Alcotest.test_case "workload roundtrip" `Quick
             test_workload_roundtrip;
+          Alcotest.test_case "load names offending line" `Quick
+            test_workload_load_names_offending_line;
           Alcotest.test_case "replay deterministic" `Quick
             test_workload_replay_deterministic;
         ] );

@@ -1415,7 +1415,42 @@ let trend_serve ?domains () =
   ( List.map (fun r -> r.Cqp_serve.Serve.latency_ms *. 1000.) responses,
     hit_rate )
 
-(* Workload 5: replay the frozen adversarial corpus (skipped when
+(* Workload 5: pareto-front serving — the serve replay with the
+   tri-objective front cache armed ([Config.pareto]).  The cold pass
+   populates one front per (query, profile); the measured warm pass
+   reports the {e front} cache hit rate, so a regression in front-key
+   stability or NSGA-II determinism (a fresh front per request) shows
+   up as a hit-rate collapse long before it shows up as latency. *)
+let trend_pareto_front () =
+  let catalog = catalog () in
+  let entries =
+    Cqp_serve.Workload.generate ~users:6 ~requests:48 ~updates:2
+      ~rng:(Cqp_util.Rng.create !mode.seed) catalog
+  in
+  let resilience =
+    { Cqp_resilience.Config.default with Cqp_resilience.Config.pareto = true }
+  in
+  let server = Cqp_serve.Serve.create ~caching:true ~resilience catalog in
+  ignore (Cqp_serve.Workload.replay server entries);
+  let front_stats () =
+    match Cqp_serve.Serve.cache server with
+    | Some c ->
+        let s = C.Cache.front_stats c in
+        (s.Cqp_util.Lru.hits, s.Cqp_util.Lru.lookups)
+    | None -> (0, 0)
+  in
+  let hits0, lookups0 = front_stats () in
+  let responses = Cqp_serve.Workload.replay server entries in
+  let hits1, lookups1 = front_stats () in
+  let hit_rate =
+    if lookups1 > lookups0 then
+      float_of_int (hits1 - hits0) /. float_of_int (lookups1 - lookups0)
+    else 0.
+  in
+  ( List.map (fun r -> r.Cqp_serve.Serve.latency_ms *. 1000.) responses,
+    hit_rate )
+
+(* Workload 6: replay the frozen adversarial corpus (skipped when
    test/corpus is absent — e.g. when trend runs outside the repo
    root).  Frozen scenarios hit the serve path's ugly corners — shed,
    pre-expired deadlines, fault plans, cache-hostile fingerprints — so
@@ -1448,13 +1483,16 @@ let run_trend ~label ~out =
   let largek = trend_measure "solver_largek" trend_solver_largek in
   let warm = trend_measure "serve_warm" (fun () -> trend_serve ()) in
   let par = trend_measure "par_replay" (fun () -> trend_serve ~domains:4 ()) in
+  let pareto =
+    trend_measure "pareto_front" (fun () -> trend_pareto_front ())
+  in
   let workloads =
     if Sys.file_exists corpus_dir && Sys.is_directory corpus_dir then
-      [ solver; largek; warm; par;
+      [ solver; largek; warm; par; pareto;
         trend_measure "corpus_replay" trend_corpus ]
     else begin
       Printf.printf "trend: %s absent, skipping corpus_replay\n%!" corpus_dir;
-      [ solver; largek; warm; par ]
+      [ solver; largek; warm; par; pareto ]
     end
   in
   largek_gc_ab ();

@@ -8,7 +8,8 @@
      rank      personalize, then score every answer by the preferences
                it satisfies (Section 3's ranking by r)
      plan      show the physical execution plan of a SQL query
-     pareto    print the doi/cost Pareto front of personalizations
+     pareto    print the doi/cost Pareto front of personalizations,
+               plus the tri-objective (doi, cost, size) front summary
      sql       execute a plain SQL query against the synthetic database
      profile   print a generated profile
      serve     replay (or generate) a multi-user workload through the
@@ -287,16 +288,43 @@ let pareto_action catalog profile query _problem _algorithm max_k =
   let est = C.Estimate.create catalog q in
   let ps = C.Pref_space.build ~max_k est profile in
   let space = C.Space.create ~order:C.Space.By_doi ps in
+  let k = C.Pref_space.k ps in
+  (* One shared switch-over for the CLI, the bench and the serving
+     layer: exact enumeration up to [Pareto.exact_budget_k], the
+     approximate builders beyond. *)
+  let exact = k <= C.Pareto.exact_budget_k in
   let front =
-    if C.Pref_space.k ps <= 16 then C.Pareto.exact_front space
-    else C.Pareto.greedy_front space
+    if exact then C.Pareto.exact_front space else C.Pareto.greedy_front space
   in
+  Format.printf "front algorithm: %s (K = %d %s %d)@."
+    (if exact then "exact" else "greedy")
+    k
+    (if exact then "<=" else ">")
+    C.Pareto.exact_budget_k;
   Format.printf "doi/cost Pareto front (%d points, K = %d):@."
-    (List.length front) (C.Pref_space.k ps);
+    (List.length front) k;
   Format.printf "%a@." C.Pareto.pp front;
-  match C.Pareto.knee front with
+  (match C.Pareto.knee front with
   | Some knee -> Format.printf "knee: %a@." C.Params.pp knee.C.Pareto.params
-  | None -> ()
+  | None -> ());
+  let tri =
+    C.Nsga2.front ~exact_max_k:C.Pareto.exact_budget_k space
+  in
+  let worst =
+    List.fold_left
+      (fun (c, s) (p : C.Nsga2.point) ->
+        (Float.max c p.params.C.Params.cost, Float.max s p.params.C.Params.size))
+      (0., 0.) tri
+  in
+  let ref_point =
+    { C.Params.doi = -0.01; cost = fst worst +. 1.; size = snd worst +. 1. }
+  in
+  Format.printf
+    "tri-objective (doi, cost, size) front: %d points (%s), hypervolume \
+     %.4g@."
+    (List.length tri)
+    (if k <= C.Pareto.exact_budget_k then "exact" else "nsga2")
+    (C.Nsga2.hypervolume ~ref_point tri)
 
 let pareto_cmd =
   let doc = "Print the doi/cost Pareto front of personalizations." in
@@ -323,8 +351,8 @@ let percentile = Cqp_util.Stats.percentile
 
 let serve_action verbose seed movies workload_file save_file users requests
     updates repeat domains no_cache capacity execute deadline_ms retries
-    shed_depth inject spike_ms portfolio profiling events_file prometheus_file
-    trace metrics =
+    shed_depth inject spike_ms portfolio pareto profiling events_file
+    prometheus_file trace metrics =
   setup_logs verbose;
   (match trace with
   | Some file ->
@@ -372,6 +400,7 @@ let serve_action verbose seed movies workload_file save_file users requests
         Cqp_resilience.Config.default with
         deadline_ms;
         portfolio;
+        pareto;
         max_retries = retries;
         shed_queue_depth = shed_depth;
         fault;
@@ -408,7 +437,7 @@ let serve_action verbose seed movies workload_file save_file users requests
         (percentile lat 0.50) (percentile lat 0.90) (percentile lat 0.99);
       (* Outcome tally — only interesting (and only printed) when a
          resilience feature is on. *)
-      if not (Cqp_resilience.Config.is_inert resilience) then begin
+      if not (Cqp_resilience.Config.is_inert resilience) || pareto then begin
         let count pred = List.length (List.filter pred responses) in
         let shed =
           count (fun r ->
@@ -472,7 +501,20 @@ let serve_action verbose seed movies workload_file save_file users requests
            (match List.length caches with
            | 1 -> ""
            | n -> Printf.sprintf " across %d caches" n)
-           mht mlk);
+           mht mlk;
+         if pareto then
+           let flk =
+             sum (fun c ->
+                 (Cqp_core.Cache.front_stats c).Cqp_util.Lru.lookups)
+           in
+           let fht =
+             sum (fun c -> (Cqp_core.Cache.front_stats c).Cqp_util.Lru.hits)
+           in
+           Format.printf
+             "pareto front cache: %d/%d hits (%d entries, %d points)@." fht
+             flk
+             (sum Cqp_core.Cache.front_entries)
+             (sum Cqp_core.Cache.front_points_held));
     if profiling then begin
       (* Per-phase latency breakdown off the registry histograms.
          Quantiles read from log-scale buckets are upper bounds within
@@ -651,6 +693,20 @@ let serve_cmd =
           ~doc:"Serve the Full rung with the solver portfolio instead \
                 of each request's single algorithm.")
   in
+  let pareto_serve_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "pareto" ]
+          ~doc:
+            "Pareto serving: compute and cache a tri-objective (doi, \
+             cost, size) front per (query, profile), and under deadline \
+             pressure answer with an operating point off the front that \
+             fits the remaining budget (rung $(b,pareto)) instead of \
+             dropping straight to the heuristic rungs.  Without \
+             deadline pressure responses are unchanged; only the front \
+             cache warms.")
+  in
   let profile_flag_arg =
     Arg.(
       value
@@ -688,8 +744,9 @@ let serve_cmd =
       $ verbose $ seed $ movies $ workload_arg $ save_arg $ users_arg
       $ requests_arg $ updates_arg $ repeat_arg $ domains_arg $ no_cache_arg
       $ capacity_arg $ execute_arg $ deadline_arg $ retries_arg $ shed_arg
-      $ inject_arg $ spike_ms_arg $ portfolio_arg $ profile_flag_arg
-      $ events_arg $ prometheus_arg $ trace_arg $ metrics_arg)
+      $ inject_arg $ spike_ms_arg $ portfolio_arg $ pareto_serve_arg
+      $ profile_flag_arg $ events_arg $ prometheus_arg $ trace_arg
+      $ metrics_arg)
 
 (* --- curriculum: adversarial workload evolution ------------------ *)
 

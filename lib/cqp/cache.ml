@@ -6,8 +6,10 @@ module Metrics = Cqp_obs.Metrics
 type t = {
   catalog : Cqp_relal.Catalog.t;
   extraction : (string, Path.t list) Lru.t;
+  fronts : (string, Nsga2.serving) Lru.t;
   memo : Estimate.Memo.t option;
   mutable published : Lru.stats;  (** extraction stats at last publish *)
+  mutable front_published : Lru.stats;  (** front stats ditto *)
   mutable memo_published : int * int;  (** memo (lookups, hits) ditto *)
 }
 
@@ -16,14 +18,20 @@ type t = {
 let path_weight paths =
   List.fold_left (fun acc p -> acc + 8 + (8 * List.length p.Path.joins)) 1 paths
 
-let create ?(pref_space_capacity = 128) ?(memo_estimates = true) catalog =
+let no_stats : Lru.stats =
+  { lookups = 0; hits = 0; misses = 0; inserts = 0; evictions = 0;
+    removals = 0 }
+
+let create ?(pref_space_capacity = 128) ?(front_capacity = 128)
+    ?(memo_estimates = true) catalog =
   {
     catalog;
     extraction = Lru.create ~weight:path_weight ~capacity:pref_space_capacity ();
+    fronts =
+      Lru.create ~weight:Nsga2.points_held ~capacity:front_capacity ();
     memo = (if memo_estimates then Some (Estimate.Memo.create ()) else None);
-    published =
-      { lookups = 0; hits = 0; misses = 0; inserts = 0; evictions = 0;
-        removals = 0 };
+    published = no_stats;
+    front_published = no_stats;
     memo_published = (0, 0);
   }
 
@@ -66,18 +74,45 @@ let pref_space t ?constraints ?max_k ?max_path_length ?orders estimate profile
   in
   Pref_space.assemble ?constraints ?max_k ?orders estimate paths
 
+(* A front depends on everything the extraction does plus the query's
+   exact text (item costs re-price against Q's full WHERE clause), the
+   full constraint record (cmax / dmin shape the assembled space,
+   smin / smax filter candidates), and the request's K cap.  The key
+   leads with the profile fingerprint so the same prefix invalidation
+   that drops extractions drops fronts. *)
+let front_key ?(constraints = Params.unconstrained) ?max_k ~fingerprint ~sql
+    ~k () =
+  let f = function None -> "-" | Some v -> Printf.sprintf "%h" v in
+  Printf.sprintf "%s|front|%s|%s,%s,%s,%s|%s|%d" fingerprint
+    (Digest.to_hex (Digest.string sql))
+    (f constraints.Params.cmax) (f constraints.Params.dmin)
+    (f constraints.Params.smin) (f constraints.Params.smax)
+    (match max_k with None -> "-" | Some n -> string_of_int n)
+    k
+
+let front t ~key compute = Lru.find_or_add t.fronts key compute
+
 let invalidate_fingerprint t fingerprint =
   let prefix = fingerprint ^ "|" in
   let plen = String.length prefix in
-  Lru.remove_if t.extraction (fun key ->
-      String.length key >= plen && String.sub key 0 plen = prefix)
+  let matches key = String.length key >= plen && String.sub key 0 plen = prefix in
+  Lru.remove_if t.extraction matches + Lru.remove_if t.fronts matches
 
 let invalidate_profile t profile =
   invalidate_fingerprint t (Profile.fingerprint profile)
 
-let clear t = Lru.clear t.extraction
+let clear t =
+  Lru.clear t.extraction;
+  Lru.clear t.fronts
+
 let extraction_stats t = Lru.stats t.extraction
 let extraction_entries t = Lru.length t.extraction
+let front_stats t = Lru.stats t.fronts
+let front_entries t = Lru.length t.fronts
+
+let front_points_held t =
+  (* The front LRU weighs entries by point count. *)
+  Lru.weight_held t.fronts
 
 let bytes_held t =
   (* Lru weights are in words. *)
@@ -104,6 +139,23 @@ let publish_metrics t =
       (float_of_int (extraction_entries t));
     Metrics.gauge "serve.cache.pref_space.bytes_held"
       (float_of_int (bytes_held t));
+    (* The pareto family publishes only once the front cache has been
+       used: servers that never enable pareto serving keep their
+       metrics dump unchanged. *)
+    let fs = Lru.stats t.fronts in
+    if fs.Lru.lookups > 0 || t.front_published.Lru.lookups > 0 then begin
+      let fp = t.front_published in
+      d "serve.pareto.lookups" fs.Lru.lookups fp.Lru.lookups;
+      d "serve.pareto.hits" fs.Lru.hits fp.Lru.hits;
+      d "serve.pareto.misses" fs.Lru.misses fp.Lru.misses;
+      d "serve.pareto.inserts" fs.Lru.inserts fp.Lru.inserts;
+      d "serve.pareto.evictions" fs.Lru.evictions fp.Lru.evictions;
+      d "serve.pareto.removals" fs.Lru.removals fp.Lru.removals;
+      t.front_published <- fs;
+      Metrics.gauge "serve.pareto.entries" (float_of_int (front_entries t));
+      Metrics.gauge "serve.pareto.points_held"
+        (float_of_int (front_points_held t))
+    end;
     (match t.memo with
     | None -> ()
     | Some m ->
@@ -128,6 +180,12 @@ let publish_gauge_totals caches =
       (float_of_int (sum extraction_entries));
     Metrics.gauge "serve.cache.pref_space.bytes_held"
       (float_of_int (sum bytes_held));
+    if List.exists (fun c -> (Lru.stats c.fronts).Lru.lookups > 0) caches
+    then begin
+      Metrics.gauge "serve.pareto.entries" (float_of_int (sum front_entries));
+      Metrics.gauge "serve.pareto.points_held"
+        (float_of_int (sum front_points_held))
+    end;
     if List.exists (fun c -> c.memo <> None) caches then
       Metrics.gauge "serve.cache.estimate.entries"
         (float_of_int

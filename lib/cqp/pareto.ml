@@ -1,5 +1,12 @@
 type point = { pref_ids : int list; params : Params.t }
 
+(* Enumeration budget for interactive front computation: 2^16 subset
+   extensions keep an exact front within an interactive latency budget
+   on the CLI, the bench, and the serving path.  [Exhaustive.max_k]
+   stays the hard correctness guard; this is the softer "switch to an
+   approximate front" threshold that every front consumer shares. *)
+let exact_budget_k = 16
+
 let dominates a b =
   a.params.Params.doi >= b.params.Params.doi
   && a.params.Params.cost <= b.params.Params.cost
@@ -78,15 +85,27 @@ let greedy_front ?constraints space =
             (fun id ->
               let params = Space.params_with_id space ~n:!n !base id in
               let gain = params.Params.doi -. !base.Params.doi in
-              let price =
-                max 1e-9 (params.Params.cost -. !base.Params.cost)
+              let price = params.Params.cost -. !base.Params.cost in
+              (* A free improvement dominates any priced one; ranking
+                 zero-cost gains by an arbitrary epsilon divisor would
+                 make the winner depend on gain magnitudes alone, so
+                 score them as [infinity] and settle ties below. *)
+              let score =
+                if price > 0. then gain /. price
+                else if gain > 0. then infinity
+                else 0.
               in
-              (id, gain /. price))
+              (id, score, gain))
             !remaining
         in
-        let best_id, _ =
+        (* Deterministic, order-independent tie-breaking: best score,
+           then largest raw gain, then lowest id. *)
+        let best_id, _, _ =
           List.fold_left
-            (fun (bi, bs) (i, s) -> if s > bs then (i, s) else (bi, bs))
+            (fun (bi, bs, bg) (i, s, g) ->
+              if s > bs || (s = bs && (g > bg || (g = bg && i < bi))) then
+                (i, s, g)
+              else (bi, bs, bg))
             (List.hd scored) (List.tl scored)
         in
         current := List.sort compare (best_id :: !current);
@@ -105,10 +124,14 @@ let knee points =
   | [ p ] -> Some p
   | front ->
       let doi_of p = p.params.Params.doi and cost_of p = p.params.Params.cost in
-      let min_c = List.fold_left (fun m p -> min m (cost_of p)) infinity front in
-      let max_c = List.fold_left (fun m p -> max m (cost_of p)) 0. front in
-      let min_d = List.fold_left (fun m p -> min m (doi_of p)) infinity front in
-      let max_d = List.fold_left (fun m p -> max m (doi_of p)) 0. front in
+      (* Seed every extreme fold from the first point: seeding with
+         [0.] would fold a phantom zero into fronts whose objectives
+         are all negative (or all zero), skewing the normalization. *)
+      let h = List.hd front in
+      let min_c = List.fold_left (fun m p -> min m (cost_of p)) (cost_of h) front in
+      let max_c = List.fold_left (fun m p -> max m (cost_of p)) (cost_of h) front in
+      let min_d = List.fold_left (fun m p -> min m (doi_of p)) (doi_of h) front in
+      let max_d = List.fold_left (fun m p -> max m (doi_of p)) (doi_of h) front in
       let span_c = max 1e-9 (max_c -. min_c) in
       let span_d = max 1e-9 (max_d -. min_d) in
       (* Maximize normalized doi minus normalized cost: the point with

@@ -48,6 +48,7 @@ type served = {
   rung : Rung.t;
   retries : int;
   deadline_expired : bool;
+  front_point : int option;
   pref_ids : int list;
   params : Params.t;
   personalized_sql : string;
@@ -327,7 +328,8 @@ let put_rung buf r =
     | Rung.Full -> 0
     | Rung.Heuristic -> 1
     | Rung.Greedy -> 2
-    | Rung.Unpersonalized -> 3)
+    | Rung.Unpersonalized -> 3
+    | Rung.Pareto -> 4)
 
 let get_rung c =
   match get_u8 c with
@@ -335,6 +337,7 @@ let get_rung c =
   | 1 -> Rung.Heuristic
   | 2 -> Rung.Greedy
   | 3 -> Rung.Unpersonalized
+  | 4 -> Rung.Pareto
   | n -> raise (Bad (Printf.sprintf "bad rung tag %d" n))
 
 let put_error_code buf code =
@@ -409,6 +412,7 @@ let encode_response resp =
       put_rung p s.rung;
       put_u32 p s.retries;
       put_bool p s.deadline_expired;
+      put_option (fun b i -> put_u32 b i) p s.front_point;
       put_u32 p (List.length s.pref_ids);
       List.iter (fun id -> put_u32 p id) s.pref_ids;
       put_f64 p s.params.Params.doi;
@@ -462,6 +466,7 @@ let decode_payload_response tag c =
       let rung = get_rung c in
       let retries = get_u32 c in
       let deadline_expired = get_bool c in
+      let front_point = get_option get_u32 c in
       let n = get_u32 c in
       let pref_ids = List.init n (fun _ -> get_u32 c) in
       let doi = get_f64 c in
@@ -475,6 +480,7 @@ let decode_payload_response tag c =
           rung;
           retries;
           deadline_expired;
+          front_point;
           pref_ids;
           params = { Params.doi; cost; size };
           personalized_sql;
@@ -596,6 +602,7 @@ let served_of_response (r : Cqp_serve.Serve.response) =
         rung = s.Cqp_serve.Serve.rung;
         retries = s.Cqp_serve.Serve.retries;
         deadline_expired = s.Cqp_serve.Serve.deadline_expired;
+        front_point = s.Cqp_serve.Serve.front_point;
         pref_ids = sol.Cqp_core.Solution.pref_ids;
         params = sol.Cqp_core.Solution.params;
         personalized_sql =

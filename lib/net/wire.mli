@@ -78,6 +78,9 @@ type served = {
   rung : Cqp_resilience.Rung.t;
   retries : int;
   deadline_expired : bool;
+  front_point : int option;
+      (** index of the Pareto-front operating point that answered (set
+          iff [rung] is {!Cqp_resilience.Rung.Pareto}) *)
   pref_ids : int list;
   params : Cqp_core.Params.t;
   personalized_sql : string;

@@ -1,6 +1,7 @@
 type t = {
   deadline_ms : float option;
   portfolio : bool;
+  pareto : bool;
   max_retries : int;
   backoff_ms : float;
   max_backoff_ms : float;
@@ -12,6 +13,7 @@ let default =
   {
     deadline_ms = None;
     portfolio = false;
+    pareto = false;
     max_retries = 2;
     backoff_ms = 1.;
     max_backoff_ms = 8.;
@@ -19,5 +21,8 @@ let default =
     fault = None;
   }
 
+(* [pareto] alone is still inert: without deadline pressure the front
+   is computed and cached but never consulted, so responses stay
+   bit-identical (the serve tests enforce this). *)
 let is_inert t =
   t.deadline_ms = None && t.shed_queue_depth = None && t.fault = None

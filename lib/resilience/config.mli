@@ -9,6 +9,11 @@ type t = {
   portfolio : bool;
       (** run the solver portfolio on the {!Rung.Full} rung instead of
           the single configured algorithm *)
+  pareto : bool;
+      (** compute and cache a tri-objective Pareto front per (query,
+          profile) and, under deadline pressure, serve an operating
+          point off it ({!Rung.Pareto}) instead of dropping straight
+          to the heuristic rungs *)
   max_retries : int;
       (** retries after a transient {!Fault.Injected} before falling
           back to the unpersonalized rung *)
@@ -25,4 +30,6 @@ val default : t
 val is_inert : t -> bool
 (** No deadline, no shedding, no faults — the configuration under
     which the serve path must be bit-identical to the pre-resilience
-    one. *)
+    one.  [pareto] does not break inertness: without deadline pressure
+    the front is cached but never consulted, so responses are
+    unchanged. *)

@@ -1,11 +1,12 @@
-type t = Full | Heuristic | Greedy | Unpersonalized
+type t = Full | Pareto | Heuristic | Greedy | Unpersonalized
 
 let name = function
   | Full -> "full"
+  | Pareto -> "pareto"
   | Heuristic -> "heuristic"
   | Greedy -> "greedy"
   | Unpersonalized -> "unpersonalized"
 
-let all = [ Full; Heuristic; Greedy; Unpersonalized ]
+let all = [ Full; Pareto; Heuristic; Greedy; Unpersonalized ]
 let of_name s = List.find_opt (fun r -> name r = s) all
 let is_degraded = function Full -> false | _ -> true

@@ -6,6 +6,9 @@
 
 type t =
   | Full  (** the request's configured solver (or the portfolio) *)
+  | Pareto
+      (** an operating point picked off the cached Pareto front to fit
+          the remaining budget (pareto serving enabled only) *)
   | Heuristic  (** single cheapest applicable heuristic *)
   | Greedy  (** doi-ordered greedy completion *)
   | Unpersonalized  (** the original query [Q], no personalization *)

@@ -10,6 +10,7 @@ module Preq = Cqp_profile.Request
 module Phase = Cqp_profile.Phase
 module Fault = Cqp_resilience.Fault
 module Config = Cqp_resilience.Config
+module Nsga2 = Cqp_core.Nsga2
 
 type request = {
   user : string;
@@ -25,6 +26,7 @@ type served = {
   rung : Rung.t;
   retries : int;
   deadline_expired : bool;
+  front_point : int option;
 }
 
 type verdict = Served of served | Shed of { queue_position : int; limit : int }
@@ -103,14 +105,54 @@ let profile t user = Hashtbl.find_opt t.profiles user
    dropping their warm extractions on every eviction would defeat it. *)
 let remove_profile t ~user = Hashtbl.remove t.profiles user
 
+(* Pareto serving (the NSGA-II front as a resilience rung): with
+   [config.pareto] on, every request computes — or looks up in the
+   front cache — the tri-objective front for its (query, profile,
+   constraints), so the cache is warm by the time pressure hits.
+   [Nsga2.front] is a pure function of its inputs, so the cache can
+   never change what a pick returns. *)
+let serving_front t (req : request) profile ps =
+  let problem = req.problem in
+  let compute () =
+    let space = Cqp_core.Space.create ~order:Cqp_core.Space.By_doi ps in
+    Nsga2.serving_of_front
+      (Nsga2.front ~constraints:problem.Cqp_core.Problem.constraints
+         ~exact_max_k:Cqp_core.Pareto.exact_budget_k space)
+  in
+  match t.cache with
+  | None -> compute ()
+  | Some c ->
+      let key =
+        Cache.front_key ~constraints:problem.Cqp_core.Problem.constraints
+          ?max_k:req.max_k
+          ~fingerprint:(Profile.fingerprint profile)
+          ~sql:req.sql
+          ~k:(Cqp_core.Pref_space.k ps)
+          ()
+      in
+      Cache.front c ~key compute
+
 (* One pass through the degradation ladder, plugged into
    [Personalizer.run ~solve].  Degradation triggers only on deadline
    expiry: a genuinely infeasible problem solved in time returns [None]
    at the Full rung, exactly like the undegraded path, so with no
    deadline configured the ladder is bit-identical to plain
    [Solver.solve]. *)
-let ladder config budget (req : request) rung ps =
+let ladder t config budget profile (req : request) rung front_point ps =
   let problem = req.problem in
+  front_point := None;
+  (* The front lookup (and the one clock read for the budget snapshot)
+     happens before the full solve: a pressured pick must not pay a
+     cold front computation, and the snapshot is taken while the
+     budget can still be positive — at pressure time the budget has by
+     definition expired, so [remaining_ms] would always be [0.]. *)
+  let serving =
+    if config.Config.pareto then Some (serving_front t req profile ps)
+    else None
+  in
+  let entry_remaining_ms =
+    match serving with None -> 0. | Some _ -> Budget.remaining_ms budget
+  in
   let full () =
     if config.Config.portfolio then Solver.portfolio ~budget ps problem
     else Solver.solve ~algorithm:req.algorithm ~budget ps problem
@@ -131,18 +173,51 @@ let ladder config budget (req : request) rung ps =
          rungs self-attribute as [Degrade] phase time, nested inside
          the enclosing [Solve] attribution. *)
       Preq.timed Phase.Degrade @@ fun () ->
-      match Solver.solve_heuristic ~budget ps problem with
-      | Some sol ->
-          rung := Rung.Heuristic;
-          Some sol
+      let pareto_pick =
+        match serving with
+        | None -> None
+        | Some s -> (
+            (* Best doi whose estimated cost fits what remained of the
+               budget at solve start (O(log n) on the cost-sorted
+               front); when nothing fits — the common case once the
+               deadline is blown — fall back to the front's knee, the
+               bounded-cost quality floor, rather than dropping
+               straight to unpersonalized. *)
+            match Nsga2.pick s ~budget_ms:entry_remaining_ms with
+            | Some _ as p ->
+                if Metrics.is_enabled () then Metrics.incr "serve.pareto.fit";
+                p
+            | None -> (
+                match Nsga2.knee s with
+                | Some _ as p ->
+                    if Metrics.is_enabled () then
+                      Metrics.incr "serve.pareto.floor";
+                    p
+                | None ->
+                    if Metrics.is_enabled () then
+                      Metrics.incr "serve.pareto.empty";
+                    None))
+      in
+      match pareto_pick with
+      | Some (i, p) ->
+          rung := Rung.Pareto;
+          front_point := Some i;
+          if Metrics.is_enabled () then Metrics.incr "serve.pareto.served";
+          let space = Cqp_core.Space.create ~order:Cqp_core.Space.By_doi ps in
+          Some (Cqp_core.Solution.of_ids space p.Cqp_core.Pareto.pref_ids)
       | None -> (
-          match Solver.solve_greedy ~budget ps problem with
+          match Solver.solve_heuristic ~budget ps problem with
           | Some sol ->
-              rung := Rung.Greedy;
+              rung := Rung.Heuristic;
               Some sol
-          | None ->
-              rung := Rung.Unpersonalized;
-              None))
+          | None -> (
+              match Solver.solve_greedy ~budget ps problem with
+              | Some sol ->
+                  rung := Rung.Greedy;
+                  Some sol
+              | None ->
+                  rung := Rung.Unpersonalized;
+                  None)))
 
 let handle ?queue_position ?enqueued_us ?deadline_ms t req =
   let profile =
@@ -193,6 +268,7 @@ let handle ?queue_position ?enqueued_us ?deadline_ms t req =
       let budget = Budget.start ?deadline_ms () in
       let decision = Fault.decide config.Config.fault ~user:req.user ~sql:req.sql in
       let rung = ref Rung.Full in
+      let front_point = ref None in
       (* The portfolio races C-family members, which need the cost/size
          order vectors the request's own algorithm may not require. *)
       let orders =
@@ -218,12 +294,13 @@ let handle ?queue_position ?enqueued_us ?deadline_ms t req =
         | None -> ());
         Personalizer.run ~algorithm:req.algorithm ?max_k:req.max_k
           ?cache:t.cache ?orders
-          ~solve:(ladder config budget req rung)
+          ~solve:(ladder t config budget profile req rung front_point)
           ~execute:req.execute t.catalog profile ~sql:req.sql
           ~problem:req.problem ()
       in
       let unpersonalized () =
         rung := Rung.Unpersonalized;
+        front_point := None;
         Personalizer.run ~algorithm:req.algorithm ?max_k:req.max_k
           ?cache:t.cache
           ~solve:(fun _ -> None)
@@ -289,7 +366,10 @@ let handle ?queue_position ?enqueued_us ?deadline_ms t req =
       {
         request = req;
         request_id;
-        verdict = Served { outcome; rung; retries; deadline_expired };
+        verdict =
+          Served
+            { outcome; rung; retries; deadline_expired;
+              front_point = !front_point };
         latency_ms;
       }
 

@@ -18,6 +18,17 @@
       degradation ladder — single cheap heuristic, doi-ordered greedy,
       unpersonalized — each rung under the remaining budget.  The rung
       that answered is recorded on the response.
+    - With [pareto] enabled, every request additionally computes (or
+      looks up in the {!Cqp_core.Cache} front cache) the tri-objective
+      {!Cqp_core.Nsga2} Pareto front for its (query, profile,
+      constraints), and under deadline pressure the ladder first tries
+      to serve an operating point off that front: the best-doi point
+      whose estimated cost fits the budget that remained at solve
+      start (O(log n) binary search on cost), falling back to the
+      front's knee as a bounded-cost quality floor.  The pick is
+      recorded as {!Cqp_resilience.Rung.Pareto} plus the point index
+      ([front_point]); without deadline pressure the front is cached
+      but never consulted, so responses stay bit-identical.
     - Transient faults ({!Cqp_resilience.Fault.Injected}) are retried
       with bounded exponential backoff (capped by the remaining
       budget); past [max_retries] the request answers unpersonalized
@@ -58,6 +69,10 @@ type served = {
   retries : int;  (** transient-fault retries spent on this request *)
   deadline_expired : bool;
       (** the request's deadline had expired by response time *)
+  front_point : int option;
+      (** with pareto serving enabled and the request answered at
+          {!Cqp_resilience.Rung.Pareto}: the index (in cost order) of
+          the front operating point served; [None] otherwise *)
 }
 
 type verdict =

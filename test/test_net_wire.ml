@@ -137,6 +137,7 @@ let gen_served =
   let* rung = oneofl Rung.all in
   let* retries = int_range 0 10 in
   let* deadline_expired = bool in
+  let* front_point = option (int_range 0 1000) in
   let* pref_ids = list_size (int_range 0 10) (int_range 0 1000) in
   let* doi = gen_float in
   let* cost = gen_float in
@@ -149,6 +150,7 @@ let gen_served =
       W.rung;
       retries;
       deadline_expired;
+      front_point;
       pref_ids;
       params = { Params.doi; cost; size };
       personalized_sql;

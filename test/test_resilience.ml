@@ -284,10 +284,11 @@ let test_default_config_is_inert () =
   let obs = observables ~domains:1 ~resilience:Config.default entries in
   List.iter
     (function
-      | `Served (_, _, _, _, rung, retries, expired) ->
+      | `Served (_, _, _, _, rung, retries, expired, front_point) ->
           Alcotest.(check string) "full rung" "full" rung;
           Alcotest.(check int) "no retries" 0 retries;
-          Alcotest.(check bool) "no expiry" false expired
+          Alcotest.(check bool) "no expiry" false expired;
+          Alcotest.(check bool) "no front point" true (front_point = None)
       | `Shed _ -> Alcotest.fail "default config must never shed")
     obs;
   Alcotest.(check bool) "replay is deterministic" true
@@ -321,7 +322,7 @@ let test_portfolio_rung_builds_all_orders () =
   let resilience = { Config.default with Config.portfolio = true } in
   List.iter
     (function
-      | `Served (_, _, _, _, rung, _, _) ->
+      | `Served (_, _, _, _, rung, _, _, _) ->
           Alcotest.(check string) "portfolio serves at full rung" "full" rung
       | `Shed _ -> Alcotest.fail "portfolio config must not shed")
     (observables ~domains:1 ~resilience entries)

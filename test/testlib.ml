@@ -176,4 +176,5 @@ let serve_observable (r : Cqp_serve.Serve.response) =
           o.C.Personalizer.rows,
           Cqp_resilience.Rung.name s.Cqp_serve.Serve.rung,
           s.Cqp_serve.Serve.retries,
-          s.Cqp_serve.Serve.deadline_expired )
+          s.Cqp_serve.Serve.deadline_expired,
+          s.Cqp_serve.Serve.front_point )
